@@ -1,0 +1,10 @@
+"""Benchmark harness configuration.
+
+Every benchmark regenerates one of the paper's tables or figures, prints the
+measured rows (and, where the paper reports numbers, the paper's values next
+to them), and asserts the qualitative shape — who wins, by roughly what
+factor, where crossovers fall.  Run with ``pytest benchmarks/ --benchmark-only``
+(add ``-s`` to see the printed tables).
+"""
+
+from __future__ import annotations

@@ -1,0 +1,38 @@
+"""Benchmark: Fig. 12 — per-layer throughput/PE on real devices (ResNet-50)."""
+
+import pytest
+
+from repro.experiments import fig12
+
+PAPER_GEOMEAN_SPEEDUP = {"Gemmini": 3.91, "Xilinx DPU": 2.65, "Edge TPU": 4.56}
+
+
+def _print_header(title: str) -> None:
+    line = "=" * len(title)
+    print(f"\n{line}\n{title}\n{line}")
+
+
+@pytest.mark.benchmark(group="fig12")
+def test_fig12_device_throughput(benchmark):
+    result = benchmark(fig12.run)
+
+    _print_header("Fig. 12 — normalised throughput/PE on ResNet-50 (geomean speedups)")
+    print(f"{'baseline':12s} {'measured speedup':>17s} {'paper':>7s}")
+    for name, speedup in result.speedups().items():
+        paper = PAPER_GEOMEAN_SPEEDUP.get(name, float('nan'))
+        print(f"{name:12s} {speedup:17.2f} {paper:7.2f}")
+
+    print("\nper-layer normalised throughput (first 10 layers):")
+    print(f"{'layer':22s}" + "".join(f"{d:>12s}" for d in result.per_device))
+    for i, layer in enumerate(result.layers[:10]):
+        print(f"{layer:22s}" + "".join(
+            f"{result.per_device[d][i]:12.3f}" for d in result.per_device))
+
+    # Shape: FEATHER beats every baseline in geomean, with Gemmini and the Edge
+    # TPU by a wide margin (the paper's 3.91x / 4.56x); the DPU gap is the
+    # hardest to reproduce without the real controller (documented in
+    # EXPERIMENTS.md) but the ordering must hold.
+    speedups = result.speedups()
+    assert all(s > 1.0 for s in speedups.values())
+    assert speedups["Gemmini"] > 2.0
+    assert speedups["Edge TPU"] > 2.0

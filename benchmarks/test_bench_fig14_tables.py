@@ -1,0 +1,91 @@
+"""Benchmarks: Fig. 14 (ASIC resources) and Tables I / III / IV / V."""
+
+import pytest
+
+from repro.area.asic import PAPER_TABLE_V
+from repro.experiments import fig14, tables
+
+
+def _print_header(title: str) -> None:
+    line = "=" * len(title)
+    print(f"\n{line}\n{title}\n{line}")
+
+
+@pytest.mark.benchmark(group="fig14")
+def test_fig14a_reduction_network_scaling(benchmark):
+    rows = benchmark(fig14.run_fig14a)
+    _print_header("Fig. 14a — reduction network area/power vs input count")
+    print(f"{'inputs':>6s} {'ART um2':>12s} {'FAN um2':>12s} {'BIRRD um2':>12s} "
+          f"{'BIRRD/FAN':>10s} {'BIRRD/ART':>10s}")
+    for row in rows:
+        print(f"{row.inputs:6d} {row.art_area_um2:12.0f} {row.fan_area_um2:12.0f} "
+              f"{row.birrd_area_um2:12.0f} {row.birrd_over_fan_area:10.2f} "
+              f"{row.birrd_over_art_area:10.2f}")
+
+    # Paper: BIRRD ~1.43x FAN and ~2.21x ART in area at equal input count,
+    # with monotone growth in size.
+    for row in rows:
+        assert 1.1 < row.birrd_over_fan_area < 1.9
+        assert 1.7 < row.birrd_over_art_area < 2.9
+    areas = [r.birrd_area_um2 for r in rows]
+    assert areas == sorted(areas)
+
+
+@pytest.mark.benchmark(group="fig14")
+def test_fig14b_accelerator_area_breakdown(benchmark):
+    result = benchmark(fig14.run_fig14b)
+    _print_header("Fig. 14b — accelerator area breakdown at 256 PEs")
+    for name, breakdown in result.breakdowns.items():
+        parts = ", ".join(f"{k}={v / 1e3:.0f}k" for k, v in breakdown.components_um2)
+        print(f"{name:18s} total {breakdown.total_area_mm2:6.3f} mm2  ({parts})")
+    print(f"FEATHER / Eyeriss-like area : {result.feather_over_eyeriss:.2f}x (paper ~1.06x)")
+    print(f"SIGMA / FEATHER area        : {result.sigma_over_feather:.2f}x (paper ~2.4x)")
+    print(f"BIRRD share of FEATHER die  : {result.birrd_area_fraction * 100:.1f}% (paper ~4%)")
+
+    assert 0.95 < result.feather_over_eyeriss < 1.3
+    assert result.sigma_over_feather > 1.8
+    assert result.birrd_area_fraction < 0.10
+
+
+@pytest.mark.benchmark(group="tables")
+def test_tables_i_iii_iv(benchmark):
+    rows = benchmark(lambda: (tables.table_i(), tables.table_iii(), tables.table_iv()))
+    t1, t3, t4 = rows
+    _print_header("Table I — dataflow switching / layout reorder support")
+    for row in t1:
+        print(f"{row['work']:12s} switching={str(row['dataflow_switching']):5s} "
+              f"reorder={row['layout_reorder']:10s} impl={row['implementation']}")
+    _print_header("Table III — on-chip reorder patterns")
+    for row in t3:
+        print(f"{row['work']:10s} dataflow={row['dataflow_flexibility']:5s} "
+              f"pattern={row['reorder_pattern']:24s} impl={row['implementation']}")
+    _print_header("Table IV — Layoutloop evaluation setup")
+    for row in t4:
+        print(f"{row['name']:32s} {row['pes']:4d} PEs  layout={row['layout']:10s} "
+              f"dataflow={row['dataflow']:5s} reorder={row['reorder_implementation']}")
+
+    assert t1[-1]["work"] == "FEATHER" and t1[-1]["implementation"] == "RIR"
+    assert t3[-1]["reorder_pattern"] == "arbitrary"
+    assert len(t4) == 9
+
+
+@pytest.mark.benchmark(group="tables")
+def test_table_v_post_pnr_scaling(benchmark):
+    rows = benchmark(tables.table_v_rows)
+    _print_header("Table V — FEATHER post-PnR area/power across shapes (model vs paper)")
+    print(f"{'shape':>8s} {'model um2':>14s} {'paper um2':>14s} {'model mW':>10s} "
+          f"{'paper mW':>10s}")
+    for row in sorted(rows, key=lambda r: r['model_area_um2']):
+        print(f"{row['shape']:>8s} {row['model_area_um2']:14.0f} "
+              f"{row.get('paper_area_um2', float('nan')):14.0f} "
+              f"{row['model_power_mw']:10.1f} {row.get('paper_power_mw', float('nan')):10.1f}")
+
+    # Shape: strictly increasing with PE count and within an order of magnitude
+    # of the paper's post-PnR numbers for every reported shape.
+    by_shape = {r["shape"]: r for r in rows}
+    order = ["4x4", "8x8", "16x16", "16x32", "32x32", "64x64", "64x128"]
+    areas = [by_shape[s]["model_area_um2"] for s in order]
+    assert areas == sorted(areas)
+    for row in rows:
+        if "paper_area_um2" in row:
+            assert 0.1 < row["model_area_um2"] / row["paper_area_um2"] < 10.0

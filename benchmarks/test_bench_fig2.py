@@ -1,0 +1,36 @@
+"""Benchmark: Fig. 2 — theory/practice latency gap on a 16x16 array."""
+
+import pytest
+
+from repro.experiments import fig2
+
+
+def _print_header(title: str) -> None:
+    line = "=" * len(title)
+    print(f"\n{line}\n{title}\n{line}")
+
+
+
+
+@pytest.mark.benchmark(group="fig2")
+def test_fig2_theory_practice_gap(benchmark):
+    results = benchmark.pedantic(
+        fig2.run, kwargs={"max_mappings": 40, "full_model_layers": 10},
+        iterations=1, rounds=1)
+
+    _print_header("Fig. 2 — latency of dataflow/layout policies (normalised to FEATHER)")
+    print(f"{'workload':30s} {'fixed':>8s} {'theory':>8s} {'practice':>9s} "
+          f"{'feather':>8s} {'worst gap':>10s}")
+    for model, rows in results.items():
+        for row in rows:
+            norm = row.normalized()
+            print(f"{row.workload:30s} {norm['fixed']:8.2f} {norm['theory']:8.2f} "
+                  f"{norm['practice']:9.2f} {1.0:8.2f} {row.practice_gap:9.1f}x")
+
+    # Shape checks (paper: flexible dataflow cuts the fixed policy's latency by
+    # ~63% overall, and ignoring layout opens a multi-x practice gap).
+    for model, rows in results.items():
+        full = rows[-1]
+        assert full.feather_vs_fixed > 0.3
+        assert full.practice_gap > 2.0
+        assert full.feather_latency <= full.fixed_latency

@@ -1,0 +1,42 @@
+"""Benchmark: Fig. 4 — memory efficiency / utilization of mappings M1-M8."""
+
+import pytest
+
+from repro.experiments import fig4
+
+
+def _print_header(title: str) -> None:
+    line = "=" * len(title)
+    print(f"\n{line}\n{title}\n{line}")
+
+
+
+# Practical utilization the paper reports per mapping (Fig. 4 tables).
+PAPER_PRACTICAL = {"M1": 0.75, "M2": 0.50, "M3": 0.50, "M4": 1.00,
+                   "M5": 1.00, "M6": 0.50, "M7": 0.50, "M8": 1.00}
+
+
+@pytest.mark.benchmark(group="fig4")
+def test_fig4_mapping_tables(benchmark):
+    rows = benchmark(fig4.run)
+
+    _print_header("Fig. 4 — (workload, dataflow, layout) mappings on a 4x4 array")
+    print(f"{'map':4s} {'dataflow':8s} {'layout':10s} {'lines/cyc':>9s} "
+          f"{'slowdown':>8s} {'theo util':>9s} {'pract util':>10s} {'paper':>6s}")
+    for row in rows:
+        paper = PAPER_PRACTICAL[row.mapping]
+        print(f"{row.mapping:4s} {row.dataflow:8s} {row.layout:10s} "
+              f"{row.lines_per_cycle:9.1f} {row.slowdown:8.2f} "
+              f"{row.theoretical_utilization:9.2f} {row.practical_utilization:10.2f} "
+              f"{paper:6.2f}")
+
+    by_id = {r.mapping: r for r in rows}
+    # Shape: the paper's concordant picks reach 100%; the discordant ones stall.
+    assert by_id["M4"].practical_utilization == pytest.approx(1.0)
+    assert by_id["M5"].practical_utilization == pytest.approx(1.0)
+    assert by_id["M8"].practical_utilization == pytest.approx(1.0)
+    for mid in ("M2", "M3", "M7"):
+        assert by_id[mid].practical_utilization <= 0.55
+    # Dataflow matters (M1 vs M4) and layout matters (M2 vs M4).
+    assert by_id["M4"].practical_utilization > by_id["M1"].practical_utilization
+    assert by_id["M4"].practical_utilization > by_id["M2"].practical_utilization

@@ -1,0 +1,68 @@
+"""Microbenchmarks for the core components: BIRRD routing/evaluation, the
+functional accelerator, and the Layoutloop cost model.
+
+These are not paper figures; they document the performance of the simulator
+itself so regressions in the library are visible.
+"""
+
+import numpy as np
+import pytest
+
+from repro.feather.accelerator import FeatherAccelerator
+from repro.feather.config import FeatherConfig
+from repro.layout.layout import parse_layout
+from repro.layoutloop.cost_model import CostModel
+from repro.layoutloop.arch import feather_arch
+from repro.dataflow.mapping import weight_stationary_mapping
+from repro.noc.birrd import BirrdNetwork
+from repro.noc.routing import BirrdRouter, contiguous_reduction_requests
+from repro.workloads.resnet50 import resnet50_layer
+
+
+@pytest.mark.benchmark(group="micro-birrd")
+def test_birrd_route_reduction_aw8(benchmark):
+    router = BirrdRouter(8)
+    requests = contiguous_reduction_requests(4, 8, destinations=[5, 2])
+    result = benchmark(router.route, requests)
+    assert result.routed
+
+
+@pytest.mark.benchmark(group="micro-birrd")
+def test_birrd_route_permutation_aw8(benchmark):
+    router = BirrdRouter(8)
+    perm = {i: (i * 5 + 2) % 8 for i in range(8)}
+    result = benchmark(router.route_permutation, perm)
+    assert result.routed
+
+
+@pytest.mark.benchmark(group="micro-birrd")
+def test_birrd_evaluate_aw16(benchmark):
+    net = BirrdNetwork(16)
+    configs = net.identity_configuration()
+    inputs = list(range(16))
+    outputs = benchmark(net.evaluate, inputs, configs)
+    assert sorted(outputs) == inputs
+
+
+@pytest.mark.benchmark(group="micro-accelerator")
+def test_functional_conv_on_4x8_array(benchmark):
+    rng = np.random.default_rng(0)
+    from repro.workloads.conv import ConvLayerSpec
+    layer = ConvLayerSpec("bench", m=16, c=8, h=8, w=8, r=3, s=3, padding=1)
+    iacts = rng.integers(-5, 6, (layer.c, layer.h, layer.w))
+    weights = rng.integers(-3, 4, (layer.m, layer.c, layer.r, layer.s))
+    acc = FeatherAccelerator(FeatherConfig(array_rows=4, array_cols=8,
+                                           stab_lines=1024),
+                             route_birrd="never")
+    out, stats = benchmark(acc.run_conv, layer, iacts, weights)
+    assert stats.macs == layer.macs
+
+
+@pytest.mark.benchmark(group="micro-costmodel")
+def test_cost_model_single_evaluation(benchmark):
+    layer = resnet50_layer(14)
+    model = CostModel(feather_arch())
+    mapping = weight_stationary_mapping(layer, 16, 16)
+    layout = parse_layout("HWC_C32")
+    report = benchmark(model.evaluate, layer, mapping, layout)
+    assert report.total_cycles > 0

@@ -1,0 +1,30 @@
+#!/usr/bin/env python3
+"""Fig. 12-style device comparison: FEATHER vs Gemmini / Xilinx DPU / Edge TPU.
+
+Runs every ResNet-50 convolution layer through the four device models and
+prints per-layer normalised throughput (throughput / #PEs / clock, i.e.
+achieved MACs per PE per cycle) plus the geomean speedups the paper headlines.
+
+Run with:  python examples/fpga_device_comparison.py
+"""
+
+from repro.experiments import fig12
+
+
+def main() -> None:
+    result = fig12.run()
+
+    devices = list(result.per_device)
+    print(f"{'layer':24s}" + "".join(f"{d:>12s}" for d in devices))
+    for i, layer in enumerate(result.layers):
+        row = "".join(f"{result.per_device[d][i]:12.3f}" for d in devices)
+        print(f"{layer:24s}{row}")
+
+    print("\nGeomean speedup of FEATHER over each baseline "
+          "(paper: Gemmini 3.91x, Xilinx DPU 2.65x, Edge TPU 4.56x):")
+    for name, speedup in result.speedups().items():
+        print(f"  {name:12s}: {speedup:.2f}x")
+
+
+if __name__ == "__main__":
+    main()

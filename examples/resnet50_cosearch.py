@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Layoutloop (dataflow, layout) co-search over ResNet-50 layers.
+
+Reproduces the core of the paper's evaluation flow (§V/§VI-C) on a few
+representative layers: for each layer, search the best (dataflow, layout) pair
+by energy-delay product for FEATHER and for three baselines, then print the
+per-layer and aggregate comparison.
+
+Run with:  python examples/resnet50_cosearch.py  [--full]
+"""
+
+import argparse
+
+from repro.baselines import eyeriss_like, nvdla_like, sigma_like
+from repro.layoutloop import Mapper, compare_architectures, feather_arch
+from repro.workloads import resnet50_layer, resnet50_layers
+
+
+def per_layer_demo(layer_indices=(1, 14, 41)) -> None:
+    print("Per-layer co-search (metric: EDP)")
+    print(f"{'layer':22s} {'arch':14s} {'dataflow':28s} {'layout':12s} "
+          f"{'util':>6s} {'slowdown':>9s} {'pJ/MAC':>7s}")
+    for idx in layer_indices:
+        layer = resnet50_layer(idx)
+        for arch in (nvdla_like(), eyeriss_like(), feather_arch()):
+            result = Mapper(arch, max_mappings=80).search(layer)
+            report = result.best_report
+            print(f"{layer.name:22s} {arch.name:14s} "
+                  f"{result.best_mapping.name[:28]:28s} {result.best_layout.name:12s} "
+                  f"{report.utilization:6.2f} {report.slowdown:9.2f} "
+                  f"{report.energy_per_mac_pj:7.2f}")
+        print()
+
+
+def full_model_comparison(max_layers=None) -> None:
+    layers = resnet50_layers(include_fc=False)
+    if max_layers:
+        layers = layers[:max_layers]
+    arches = [nvdla_like(), eyeriss_like(), sigma_like(layout="HWC_C32"),
+              feather_arch()]
+    print(f"Whole-model comparison over {len(layers)} ResNet-50 layers "
+          f"(deduplicated by shape)")
+    costs = compare_architectures(arches, layers, model_name="resnet50",
+                                  max_mappings=60)
+    feather = costs["FEATHER"]
+    print(f"{'arch':22s} {'cycles':>14s} {'norm lat':>9s} {'pJ/MAC':>8s} "
+          f"{'norm energy':>12s} {'avg util':>9s} {'stall %':>8s}")
+    for name, cost in costs.items():
+        print(f"{name:22s} {cost.total_cycles:14.0f} "
+              f"{cost.total_cycles / feather.total_cycles:9.2f} "
+              f"{cost.energy_per_mac_pj:8.2f} "
+              f"{cost.energy_per_mac_pj / feather.energy_per_mac_pj:12.2f} "
+              f"{cost.avg_utilization:9.2f} {cost.stall_fraction * 100:8.1f}")
+    print(f"\nLayouts FEATHER switches between: {feather.layouts_used()}")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true",
+                        help="run the whole 53-layer model (slower)")
+    args = parser.parse_args()
+
+    per_layer_demo()
+    full_model_comparison(max_layers=None if args.full else 16)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+"""FEATHER (ISCA 2024) reproduction.
+
+The package is organised the way the paper is: workloads and layouts are the
+vocabulary, the dataflow/mapping machinery describes how a layer is scheduled
+onto hardware, ``noc``/``nest``/``feather`` implement the accelerator itself
+(BIRRD reduction-and-reordering network plus the NEST PE array), and
+``layoutloop`` is the Timeloop-style analytical cost model extended with
+physical-storage and layout awareness used for all cross-accelerator studies.
+
+Typical entry points:
+
+* :class:`repro.workloads.ConvLayerSpec` / :func:`repro.workloads.resnet50_layers`
+* :class:`repro.feather.FeatherAccelerator` — functional + timing model
+* :class:`repro.layoutloop.CostModel` and :func:`repro.layoutloop.cosearch`
+* :mod:`repro.experiments` — one module per paper figure/table
+"""
+
+from repro import (
+    area,
+    baselines,
+    buffer,
+    dataflow,
+    experiments,
+    feather,
+    layout,
+    layoutloop,
+    nest,
+    noc,
+    workloads,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "area",
+    "baselines",
+    "buffer",
+    "dataflow",
+    "experiments",
+    "feather",
+    "layout",
+    "layoutloop",
+    "nest",
+    "noc",
+    "workloads",
+    "__version__",
+]

@@ -1,0 +1,23 @@
+"""Analytical ASIC area/power models (Fig. 14 and Table V)."""
+
+from repro.area.asic import (
+    PAPER_TABLE_V,
+    AreaBreakdown,
+    eyeriss_like_breakdown,
+    feather_breakdown,
+    feather_post_pnr,
+    nvdla_like_breakdown,
+    sigma_like_breakdown,
+    table_v,
+)
+
+__all__ = [
+    "PAPER_TABLE_V",
+    "AreaBreakdown",
+    "eyeriss_like_breakdown",
+    "feather_breakdown",
+    "feather_post_pnr",
+    "nvdla_like_breakdown",
+    "sigma_like_breakdown",
+    "table_v",
+]

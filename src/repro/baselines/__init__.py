@@ -1,0 +1,46 @@
+"""Baseline accelerator models: Layoutloop configurations and device-level models."""
+
+from repro.baselines.registry import (
+    FeatureRow,
+    eyeriss_like,
+    feather_layoutloop,
+    feature_table,
+    fig13_arch_suite,
+    medusa_like,
+    mtia_like,
+    nvdla_like,
+    reorder_support_table,
+    sigma_like,
+    tpu_like,
+)
+from repro.baselines.systolic import SystolicArray, SystolicGemmReport
+from repro.baselines.devices import (
+    DeviceModel,
+    DeviceThroughput,
+    edge_tpu_device,
+    feather_fpga_device,
+    gemmini_device,
+    xilinx_dpu_device,
+)
+
+__all__ = [
+    "FeatureRow",
+    "eyeriss_like",
+    "feather_layoutloop",
+    "feature_table",
+    "fig13_arch_suite",
+    "medusa_like",
+    "mtia_like",
+    "nvdla_like",
+    "reorder_support_table",
+    "sigma_like",
+    "tpu_like",
+    "SystolicArray",
+    "SystolicGemmReport",
+    "DeviceModel",
+    "DeviceThroughput",
+    "edge_tpu_device",
+    "feather_fpga_device",
+    "gemmini_device",
+    "xilinx_dpu_device",
+]

@@ -1,0 +1,196 @@
+"""Layoutloop architecture configurations for every design in Table IV / Fig. 13.
+
+Each factory returns an :class:`~repro.layoutloop.arch.ArchSpec` whose declared
+flexibility matches the paper's characterisation:
+
+* **NVDLA-like** — fixed weight/output-stationary dataflow (only tiling is
+  flexible), fixed HWC_C32 layout, no reordering.
+* **Eyeriss-like** — row-stationary; tiling and shape flexible, order fixed,
+  fixed HWC_C32 layout, no reordering.
+* **SIGMA-like** — fully flexible TOPS dataflow; evaluated with a fixed layout
+  (HWC_C32 or HWC_C4W8), with off-chip reordering, with Medusa-style line
+  rotation, with MTIA-style transpose, or with TPU-style transpose+row-reorder.
+* **FEATHER** — fully flexible TOPS plus arbitrary reorder-in-reduction.
+
+All configurations use a 16x16 int8 array (256 PEs) as in the Layoutloop
+comparison of Table IV.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.layout.patterns import ReorderImplementation, ReorderPattern
+from repro.layoutloop.arch import ArchSpec, BufferGeometry, feather_arch
+
+_DEFAULT_BUFFER = BufferGeometry(num_lines=2048, line_size=32, banks=32,
+                                 ports_per_bank=2)
+
+
+def nvdla_like(rows: int = 16, cols: int = 16) -> ArchSpec:
+    """NVDLA: fixed dataflow (M x C weight stationary), fixed HWC_C32 layout."""
+    return ArchSpec(
+        name="NVDLA-like",
+        pe_rows=rows,
+        pe_cols=cols,
+        flexible_order=False,
+        flexible_parallelism=False,
+        flexible_shape=False,
+        fixed_parallelism=(("M", rows), ("C", cols), ("K", cols)),
+        fixed_layout="HWC_C32",
+        reorder_pattern=ReorderPattern.NONE,
+        reorder_implementation=ReorderImplementation.NONE,
+        buffer=_DEFAULT_BUFFER,
+    )
+
+
+def eyeriss_like(rows: int = 16, cols: int = 16) -> ArchSpec:
+    """Eyeriss: row-stationary; tiling + shape flexible, fixed layout, no reorder."""
+    return ArchSpec(
+        name="Eyeriss-like",
+        pe_rows=rows,
+        pe_cols=cols,
+        flexible_order=False,
+        flexible_parallelism=True,
+        flexible_shape=True,
+        allowed_parallel_dims=("M", "P", "Q", "R", "S", "N"),
+        max_parallel_dims=2,
+        fixed_layout="HWC_C32",
+        reorder_pattern=ReorderPattern.NONE,
+        reorder_implementation=ReorderImplementation.NONE,
+        buffer=_DEFAULT_BUFFER,
+    )
+
+
+def sigma_like(rows: int = 16, cols: int = 16, layout: Optional[str] = "HWC_C32",
+               reorder: str = "none") -> ArchSpec:
+    """SIGMA: fully flexible TOPS; layout handling selected by ``reorder``.
+
+    ``reorder`` is one of ``"none"`` (fixed layout, no reordering),
+    ``"offchip"`` (concordant layout via DRAM round trips), ``"line_rotation"``
+    (Medusa-like), ``"transpose"`` (MTIA-like) or ``"transpose_row"``
+    (TPU-like) — the five SIGMA-derived bars of Fig. 13.
+    """
+    table = {
+        "none": (ReorderPattern.NONE, ReorderImplementation.NONE),
+        "offchip": (ReorderPattern.ARBITRARY, ReorderImplementation.OFF_CHIP),
+        "line_rotation": (ReorderPattern.LINE_ROTATION, ReorderImplementation.RAR),
+        "transpose": (ReorderPattern.TRANSPOSE, ReorderImplementation.RAR),
+        "transpose_row": (ReorderPattern.TRANSPOSE_ROW, ReorderImplementation.RAR),
+    }
+    if reorder not in table:
+        raise ValueError(f"unknown reorder mode {reorder!r}")
+    pattern, implementation = table[reorder]
+    suffix = {"none": f" ({layout})", "offchip": " (off-chip reorder)",
+              "line_rotation": " (line rotation)", "transpose": " (transpose)",
+              "transpose_row": " (transpose+row)"}[reorder]
+    name = {"line_rotation": "Medusa-like", "transpose": "MTIA-like",
+            "transpose_row": "TPU-like"}.get(reorder, "SIGMA-like")
+    fixed_layout = layout if reorder == "none" else None
+    return ArchSpec(
+        name=name + ("" if name != "SIGMA-like" else suffix),
+        pe_rows=rows,
+        pe_cols=cols,
+        flexible_order=True,
+        flexible_parallelism=True,
+        flexible_shape=True,
+        max_parallel_dims=2,
+        runtime_layout_flexible=reorder != "none",
+        fixed_layout=fixed_layout,
+        reorder_pattern=pattern,
+        reorder_implementation=implementation,
+        buffer=_DEFAULT_BUFFER,
+        offchip_bandwidth_gbps=128.0 if reorder == "offchip" else 25.6,
+    )
+
+
+def medusa_like(rows: int = 16, cols: int = 16) -> ArchSpec:
+    """SIGMA enhanced with Medusa's line rotation."""
+    return sigma_like(rows, cols, layout=None, reorder="line_rotation")
+
+
+def mtia_like(rows: int = 16, cols: int = 16) -> ArchSpec:
+    """SIGMA enhanced with MTIA's on-chip transpose (MLU)."""
+    return sigma_like(rows, cols, layout=None, reorder="transpose")
+
+
+def tpu_like(rows: int = 16, cols: int = 16) -> ArchSpec:
+    """SIGMA enhanced with TPUv4-style transpose + row reorder."""
+    return sigma_like(rows, cols, layout=None, reorder="transpose_row")
+
+
+def feather_layoutloop(rows: int = 16, cols: int = 16) -> ArchSpec:
+    """FEATHER as modelled in Layoutloop (16x16, RIR)."""
+    return feather_arch(rows, cols)
+
+
+def fig13_arch_suite(rows: int = 16, cols: int = 16, gemm: bool = False
+                     ) -> List[ArchSpec]:
+    """The architecture list of Fig. 13, in the paper's bar order.
+
+    The BERT (GEMM) chart only includes NVDLA-like, Eyeriss-like, SIGMA-like
+    (fixed MK_K32 layout) and FEATHER; the CNN charts add the off-chip /
+    line-rotation / transpose / transpose+row variants.
+    """
+    if gemm:
+        return [
+            nvdla_like(rows, cols),
+            eyeriss_like(rows, cols),
+            sigma_like(rows, cols, layout="MK_K32", reorder="none"),
+            feather_layoutloop(rows, cols),
+        ]
+    return [
+        nvdla_like(rows, cols),
+        eyeriss_like(rows, cols),
+        sigma_like(rows, cols, layout="HWC_C32", reorder="none"),
+        sigma_like(rows, cols, layout="HWC_C4W8", reorder="none"),
+        sigma_like(rows, cols, layout=None, reorder="offchip"),
+        medusa_like(rows, cols),
+        mtia_like(rows, cols),
+        tpu_like(rows, cols),
+        feather_layoutloop(rows, cols),
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Feature tables (paper Table I and Table III).
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class FeatureRow:
+    """One row of the qualitative feature-comparison tables."""
+
+    work: str
+    dataflow_switching: bool
+    layout_reorder: str
+    dataflow_flexibility: str
+    reorder_pattern: str
+    implementation: str
+
+
+def feature_table() -> List[FeatureRow]:
+    """Table I: how FEATHER resolves the challenges of prior works."""
+    return [
+        FeatureRow("NVDLA", False, "no reorder", "T", "none", "none"),
+        FeatureRow("Xilinx DPU", False, "no reorder", "T", "none", "none"),
+        FeatureRow("Gemmini", False, "no reorder", "T", "none", "none"),
+        FeatureRow("SIMBA", False, "no reorder", "T", "none", "none"),
+        FeatureRow("Eyeriss", False, "no reorder", "TS", "none", "none"),
+        FeatureRow("Eyeriss v2", True, "off-chip", "TOS", "arbitrary", "off-chip"),
+        FeatureRow("SARA", True, "off-chip", "TOPS", "arbitrary", "off-chip"),
+        FeatureRow("MAERI", True, "off-chip", "TOPS", "arbitrary", "off-chip"),
+        FeatureRow("SIGMA", True, "off-chip", "TOPS", "arbitrary", "off-chip"),
+        FeatureRow("FEATHER", True, "on-chip", "TOPS", "arbitrary", "RIR"),
+    ]
+
+
+def reorder_support_table() -> List[FeatureRow]:
+    """Table III: on-chip reordering support of prior accelerators vs FEATHER."""
+    return [
+        FeatureRow("im2col", False, "on-chip", "N/A", "row-reorder", "RAR"),
+        FeatureRow("Medusa", False, "on-chip", "N/A", "line rotation", "RAR"),
+        FeatureRow("MTIA", True, "on-chip", "TOP", "transpose", "RAR"),
+        FeatureRow("TPUv4", True, "on-chip", "TO", "transpose + row-reorder", "RAR"),
+        FeatureRow("FEATHER", True, "on-chip", "TOPS", "arbitrary", "RIR"),
+    ]

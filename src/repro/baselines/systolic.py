@@ -1,0 +1,129 @@
+"""Weight-stationary systolic array model (the rigid baseline of Fig. 4 and Fig. 10).
+
+The model captures the two rigidities the paper exploits in its comparisons:
+
+* **Fixed parallelism** — an ``rows x cols`` weight-stationary systolic array
+  maps one dataflow only: the reduction dimension flows down the columns and
+  the output dimension across the rows (or vice versa), so layers whose
+  dimensions do not divide the array shape leave PEs idle.
+* **Linear reduction** — partial sums accumulate cycle-by-cycle through the
+  column, so a reduction of length K costs K cycles of pipeline depth and a
+  skewed GEMM cannot share columns between output rows (Fig. 10 workloads
+  B/C/D).
+
+It also doubles as the Gemmini / Xilinx DPU utilization model used in the
+Fig. 12 reproduction (those devices are parameterised instances of it).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.workloads.conv import ConvLayerSpec
+from repro.workloads.gemm import GemmSpec
+
+
+@dataclass(frozen=True)
+class SystolicGemmReport:
+    """Utilization/cycle estimate of one GEMM (or im2col'd conv) on the array."""
+
+    workload: str
+    rows: int
+    cols: int
+    macs: int
+    cycles: float
+    utilization: float
+    fill_drain_cycles: int
+
+    @property
+    def macs_per_cycle(self) -> float:
+        return self.macs / self.cycles if self.cycles else 0.0
+
+
+class SystolicArray:
+    """Output/weight-stationary systolic array with a fixed (M, K) mapping.
+
+    ``parallel_m`` x ``parallel_k`` defaults to the full array: M (output
+    channels / GEMM rows) across one axis, the reduction dimension K (input
+    channels x kernel window for a conv) down the other.  ``extra_parallel``
+    optionally models designs like the Xilinx DPU that additionally
+    parallelise an output-pixel dimension across duplicated arrays.
+    """
+
+    def __init__(self, rows: int, cols: int, parallel_m: Optional[int] = None,
+                 parallel_k: Optional[int] = None, extra_parallel: int = 1,
+                 name: str = "systolic"):
+        if rows < 1 or cols < 1:
+            raise ValueError("array shape must be positive")
+        self.rows = rows
+        self.cols = cols
+        self.parallel_m = parallel_m if parallel_m is not None else rows
+        self.parallel_k = parallel_k if parallel_k is not None else cols
+        self.extra_parallel = max(1, extra_parallel)
+        self.name = name
+
+    @property
+    def num_pes(self) -> int:
+        return self.rows * self.cols * self.extra_parallel
+
+    # -------------------------------------------------------------------- GEMM
+    def run_gemm(self, gemm: GemmSpec) -> SystolicGemmReport:
+        """Estimate cycles/utilization of a GEMM with the fixed (M, K) mapping."""
+        m_tiles = math.ceil(gemm.m / self.parallel_m)
+        k_tiles = math.ceil(gemm.k / self.parallel_k)
+        n_steps = gemm.n
+        # Each (m_tile, k_tile) pass streams N columns through the array; the
+        # pipeline needs rows + cols cycles to fill and drain per pass.
+        fill_drain = self.parallel_m + self.parallel_k
+        passes = m_tiles * k_tiles
+        cycles = passes * (n_steps + fill_drain)
+        macs = gemm.macs
+        util = macs / (cycles * self.rows * self.cols) if cycles else 0.0
+        return SystolicGemmReport(
+            workload=gemm.name, rows=self.rows, cols=self.cols, macs=macs,
+            cycles=cycles, utilization=min(1.0, util), fill_drain_cycles=fill_drain)
+
+    # -------------------------------------------------------------------- conv
+    def run_conv(self, layer: ConvLayerSpec) -> SystolicGemmReport:
+        """Estimate a convolution by lowering it to the im2col GEMM."""
+        m, k, n = layer.as_gemm_shape()
+        gemm = GemmSpec(layer.name, m=m, k=k, n=n, bits=layer.bits)
+        report = self.run_gemm(gemm)
+        # Extra output-pixel parallelism (e.g. the DPU's H/W lanes) divides the
+        # streamed N dimension but only helps when there are enough pixels.
+        if self.extra_parallel > 1:
+            effective = min(self.extra_parallel, max(1, n))
+            cycles = report.cycles / effective
+            util = report.macs / (cycles * self.num_pes) if cycles else 0.0
+            report = SystolicGemmReport(
+                workload=report.workload, rows=self.rows, cols=self.cols,
+                macs=report.macs, cycles=cycles, utilization=min(1.0, util),
+                fill_drain_cycles=report.fill_drain_cycles)
+        return report
+
+    # -------------------------------------------------- steady-state utilization
+    def steady_state_utilization(self, layer: ConvLayerSpec) -> float:
+        """Utilization ignoring fill/drain: how well the layer fills the array."""
+        m, k, _ = layer.as_gemm_shape()
+        m_eff = m / (math.ceil(m / self.parallel_m) * self.parallel_m)
+        k_eff = k / (math.ceil(k / self.parallel_k) * self.parallel_k)
+        return m_eff * k_eff
+
+    def steady_state_utilization_gemm(self, gemm: GemmSpec) -> float:
+        """Output-stationary steady-state utilization on a skewed GEMM (Fig. 10).
+
+        Outputs (M x N) are tiled onto the rows x cols grid; the reduction K
+        runs temporally inside each PE, so utilization is purely how well the
+        output tile fills the grid — the rigidity FEATHER's cross-column
+        reduction removes.
+        """
+        m_eff = gemm.m / (math.ceil(gemm.m / self.rows) * self.rows)
+        n_eff = gemm.n / (math.ceil(gemm.n / self.cols) * self.cols)
+        return m_eff * n_eff
+
+    def describe(self) -> str:
+        return (f"{self.name}: {self.rows}x{self.cols} weight-stationary, "
+                f"parallel (M={self.parallel_m}, K={self.parallel_k}, "
+                f"extra={self.extra_parallel})")

@@ -1,0 +1,12 @@
+"""On-chip storage substrate: SRAM banks, logical 2D buffers, ping-pong buffers."""
+
+from repro.buffer.sram import BankConflictError, SramBank
+from repro.buffer.buffer import Buffer2D, BufferSpec, PingPongBuffer
+
+__all__ = [
+    "BankConflictError",
+    "SramBank",
+    "Buffer2D",
+    "BufferSpec",
+    "PingPongBuffer",
+]

@@ -1,0 +1,247 @@
+"""Logical 2D buffer and ping-pong buffer built from SRAM banks.
+
+The paper (Table II) describes on-chip storage as a logical 2D buffer of
+``num_line x line_size`` stacking SRAM banks both vertically (more lines) and
+horizontally (wider lines).  FEATHER's stationary buffer (StaB) instead uses
+``AW`` one-word-wide banks so that every bank can take an independent write
+address — that is what lets BIRRD scatter oActs into a new layout.  Both
+organisations are expressible with :class:`BufferSpec`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.buffer.sram import BankConflictError, SramBank
+
+
+@dataclass(frozen=True)
+class BufferSpec:
+    """Geometry of a logical 2D buffer.
+
+    ``num_lines`` x ``line_size`` is the logical shape; ``banks`` is the number
+    of physical banks the lines are distributed across (horizontally for
+    word-interleaved StaB-style buffers, vertically for line-stacked
+    scratchpads); ``ports_per_bank`` is the physical port count;
+    ``word_bits`` the word width.
+
+    ``interleaving`` selects how logical positions map to banks:
+
+    * ``"line"`` — whole lines live in one bank; consecutive lines go to
+      consecutive banks (the conventional scratchpad of §II-B, the paper's
+      ``conflict_depth = num_lines / banks``).
+    * ``"word"`` — each column of the logical buffer is its own bank
+      (FEATHER's StaB: ``banks == line_size`` and every word of a line comes
+      from a different bank).
+    """
+
+    num_lines: int
+    line_size: int
+    banks: int
+    ports_per_bank: int = 2
+    word_bits: int = 8
+    interleaving: str = "line"
+    name: str = "buffer"
+
+    def __post_init__(self) -> None:
+        if self.interleaving not in ("line", "word"):
+            raise ValueError("interleaving must be 'line' or 'word'")
+        if self.num_lines < 1 or self.line_size < 1 or self.banks < 1:
+            raise ValueError("buffer geometry must be positive")
+        if self.interleaving == "word" and self.banks != self.line_size:
+            raise ValueError("word interleaving requires banks == line_size")
+
+    @property
+    def conflict_depth(self) -> int:
+        """Lines per bank (paper §V-A's ``conflict_depth``)."""
+        if self.interleaving == "word":
+            return self.num_lines
+        return math.ceil(self.num_lines / self.banks)
+
+    @property
+    def capacity_words(self) -> int:
+        return self.num_lines * self.line_size
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self.capacity_words * self.word_bits // 8
+
+    @property
+    def peak_words_per_cycle(self) -> int:
+        """Upper bound on words served per cycle across all bank ports."""
+        if self.interleaving == "word":
+            return self.banks * self.ports_per_bank
+        return self.banks * self.ports_per_bank * self.line_size
+
+
+class Buffer2D:
+    """A logical 2D buffer backed by :class:`SramBank` instances.
+
+    Addressing is by ``(line, offset)``.  The buffer exposes cycle-level
+    ``read_line`` / ``write_word`` operations that account for port usage in
+    the underlying banks, and a :meth:`cycle_cost` helper that returns the
+    slowdown a set of concurrent line reads would incur — the same
+    ``max(lines_in_bank / ports, 1)`` rule as the analytical model, so the
+    functional and analytical paths agree by construction.
+    """
+
+    def __init__(self, spec: BufferSpec):
+        self.spec = spec
+        if spec.interleaving == "word":
+            entries = spec.num_lines
+            self._banks = [
+                SramBank(entries=entries, io_width=1, ports=spec.ports_per_bank,
+                         name=f"{spec.name}.bank{i}")
+                for i in range(spec.banks)
+            ]
+        else:
+            entries = spec.conflict_depth
+            self._banks = [
+                SramBank(entries=entries, io_width=spec.line_size, ports=spec.ports_per_bank,
+                         name=f"{spec.name}.bank{i}")
+                for i in range(spec.banks)
+            ]
+        self.cycles = 0
+        self.stall_cycles = 0
+
+    # -------------------------------------------------------------- addressing
+    def _locate_line(self, line: int) -> Tuple[int, int]:
+        """Map a logical line to (bank index, entry within bank) for line interleaving."""
+        if not 0 <= line < self.spec.num_lines:
+            raise IndexError(f"line {line} outside buffer of {self.spec.num_lines} lines")
+        if self.spec.interleaving == "word":
+            raise RuntimeError("word-interleaved buffers address by (line, offset) words")
+        bank = line // self.spec.conflict_depth
+        entry = line % self.spec.conflict_depth
+        return min(bank, self.spec.banks - 1), entry
+
+    @property
+    def banks(self) -> List[SramBank]:
+        return self._banks
+
+    # ------------------------------------------------------------------ timing
+    def tick(self) -> None:
+        self.cycles += 1
+        for bank in self._banks:
+            bank.tick()
+
+    def cycle_cost(self, lines: Iterable[int]) -> float:
+        """Slowdown for reading the given logical lines in one cycle."""
+        per_bank: Dict[int, int] = {}
+        for line in set(lines):
+            if self.spec.interleaving == "word":
+                # Every word of a line comes from a different bank, one entry each:
+                # any number of distinct lines costs one access per bank per line.
+                bank_count = 1  # placeholder; handled below
+                per_bank[line] = 1
+            else:
+                bank, _ = self._locate_line(line)
+                per_bank[bank] = per_bank.get(bank, 0) + 1
+        if self.spec.interleaving == "word":
+            # Reading L distinct lines touches every bank L times.
+            lines_needed = len(per_bank)
+            return max(lines_needed / self.spec.ports_per_bank, 1.0)
+        worst = 1.0
+        for count in per_bank.values():
+            worst = max(worst, count / self.spec.ports_per_bank)
+        return max(worst, 1.0)
+
+    # ------------------------------------------------------------------ access
+    def write_word(self, line: int, offset: int, value: int, strict: bool = False) -> None:
+        if not 0 <= offset < self.spec.line_size:
+            raise IndexError(f"offset {offset} outside line of {self.spec.line_size}")
+        if self.spec.interleaving == "word":
+            if not 0 <= line < self.spec.num_lines:
+                raise IndexError(f"line {line} outside buffer")
+            self._banks[offset].write_word(line, 0, value, strict=strict)
+        else:
+            bank, entry = self._locate_line(line)
+            self._banks[bank].write_word(entry, offset, value, strict=strict)
+
+    def write_line(self, line: int, values: Sequence[int], strict: bool = False) -> None:
+        for offset, value in enumerate(values):
+            self.write_word(line, offset, value, strict=strict)
+
+    def read_line(self, line: int, strict: bool = False) -> List[Optional[int]]:
+        if self.spec.interleaving == "word":
+            if not 0 <= line < self.spec.num_lines:
+                raise IndexError(f"line {line} outside buffer")
+            return [bank.read(line, strict=strict)[0] for bank in self._banks]
+        bank, entry = self._locate_line(line)
+        return self._banks[bank].read(entry, strict=strict)
+
+    def read_word(self, line: int, offset: int, strict: bool = False) -> Optional[int]:
+        if self.spec.interleaving == "word":
+            return self._banks[offset].read(line, strict=strict)[0]
+        bank, entry = self._locate_line(line)
+        return self._banks[bank].read(entry, strict=strict)[offset]
+
+    def peek_word(self, line: int, offset: int) -> Optional[int]:
+        if self.spec.interleaving == "word":
+            return self._banks[offset].peek(line)[0]
+        bank, entry = self._locate_line(line)
+        return self._banks[bank].peek(entry)[offset]
+
+    # ------------------------------------------------------------------- stats
+    @property
+    def total_reads(self) -> int:
+        return sum(b.total_reads for b in self._banks)
+
+    @property
+    def total_writes(self) -> int:
+        return sum(b.total_writes for b in self._banks)
+
+    @property
+    def conflict_stalls(self) -> int:
+        return sum(b.conflict_stalls for b in self._banks)
+
+    def reset_stats(self) -> None:
+        for bank in self._banks:
+            bank.reset_stats()
+        self.cycles = 0
+        self.stall_cycles = 0
+
+
+class PingPongBuffer:
+    """Two identical buffers swapped between producer and consumer roles.
+
+    FEATHER's StaB and StrB are both ping-pong pairs (§III-C1): the compute
+    pipeline reads iActs from the Ping half and writes next-layer iActs
+    (oActs) into the Pong half, then the roles swap at the layer boundary.
+    """
+
+    def __init__(self, spec: BufferSpec):
+        self.spec = spec
+        self._halves = (
+            Buffer2D(BufferSpec(**{**spec.__dict__, "name": f"{spec.name}.ping"})),
+            Buffer2D(BufferSpec(**{**spec.__dict__, "name": f"{spec.name}.pong"})),
+        )
+        self._read_idx = 0
+        self.swaps = 0
+
+    @property
+    def read_half(self) -> Buffer2D:
+        return self._halves[self._read_idx]
+
+    @property
+    def write_half(self) -> Buffer2D:
+        return self._halves[1 - self._read_idx]
+
+    def swap(self) -> None:
+        """Exchange the read/write roles (layer boundary)."""
+        self._read_idx = 1 - self._read_idx
+        self.swaps += 1
+
+    def tick(self) -> None:
+        for half in self._halves:
+            half.tick()
+
+    @property
+    def total_reads(self) -> int:
+        return sum(h.total_reads for h in self._halves)
+
+    @property
+    def total_writes(self) -> int:
+        return sum(h.total_writes for h in self._halves)

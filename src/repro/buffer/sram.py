@@ -1,0 +1,109 @@
+"""SRAM bank model.
+
+A bank is a physical 2D SRAM of ``entries x io_width`` words with a limited
+number of ports (Table II: TSMC 28nm offers at most two).  The model tracks
+per-cycle port usage so that reads/writes exceeding the port budget are
+detected — this is exactly the bank-conflict behaviour the paper's motivation
+section builds on — and it counts accesses for the energy model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+class BankConflictError(RuntimeError):
+    """Raised when a cycle requests more bank ports than physically exist."""
+
+
+@dataclass
+class SramBank:
+    """A single SRAM bank with a fixed number of shared read/write ports."""
+
+    entries: int
+    io_width: int = 1
+    ports: int = 2
+    name: str = "bank"
+
+    def __post_init__(self) -> None:
+        if self.entries < 1 or self.io_width < 1 or self.ports < 1:
+            raise ValueError("entries, io_width and ports must all be >= 1")
+        self._data: Dict[int, List[Optional[int]]] = {}
+        self._cycle = 0
+        self._ports_used_this_cycle = 0
+        self.total_reads = 0
+        self.total_writes = 0
+        self.conflict_stalls = 0
+
+    # ----------------------------------------------------------------- timing
+    def tick(self) -> None:
+        """Advance one cycle, resetting per-cycle port accounting."""
+        self._cycle += 1
+        self._ports_used_this_cycle = 0
+
+    def _use_port(self, strict: bool) -> None:
+        self._ports_used_this_cycle += 1
+        if self._ports_used_this_cycle > self.ports:
+            self.conflict_stalls += 1
+            if strict:
+                raise BankConflictError(
+                    f"{self.name}: {self._ports_used_this_cycle} accesses in cycle "
+                    f"{self._cycle} but only {self.ports} ports"
+                )
+
+    @property
+    def ports_available(self) -> int:
+        return max(0, self.ports - self._ports_used_this_cycle)
+
+    # ----------------------------------------------------------------- access
+    def write(self, entry: int, values: List[int], strict: bool = False) -> None:
+        """Write a full or partial line to ``entry``."""
+        self._check_entry(entry)
+        if len(values) > self.io_width:
+            raise ValueError(f"line of width {len(values)} exceeds io width {self.io_width}")
+        self._use_port(strict)
+        line = self._data.setdefault(entry, [None] * self.io_width)
+        for i, v in enumerate(values):
+            line[i] = v
+        self.total_writes += 1
+
+    def write_word(self, entry: int, offset: int, value: int, strict: bool = False) -> None:
+        """Write a single word at ``(entry, offset)``."""
+        self._check_entry(entry)
+        if not 0 <= offset < self.io_width:
+            raise ValueError(f"offset {offset} outside io width {self.io_width}")
+        self._use_port(strict)
+        line = self._data.setdefault(entry, [None] * self.io_width)
+        line[offset] = value
+        self.total_writes += 1
+
+    def read(self, entry: int, strict: bool = False) -> List[Optional[int]]:
+        """Read a full line."""
+        self._check_entry(entry)
+        self._use_port(strict)
+        self.total_reads += 1
+        return list(self._data.get(entry, [None] * self.io_width))
+
+    def peek(self, entry: int) -> List[Optional[int]]:
+        """Read without consuming a port or counting an access (debug only)."""
+        self._check_entry(entry)
+        return list(self._data.get(entry, [None] * self.io_width))
+
+    def _check_entry(self, entry: int) -> None:
+        if not 0 <= entry < self.entries:
+            raise IndexError(f"entry {entry} outside bank of {self.entries} entries")
+
+    # ------------------------------------------------------------------ stats
+    @property
+    def total_accesses(self) -> int:
+        return self.total_reads + self.total_writes
+
+    def reset_stats(self) -> None:
+        self.total_reads = 0
+        self.total_writes = 0
+        self.conflict_stalls = 0
+
+    def occupancy(self) -> int:
+        """Number of entries that hold at least one written word."""
+        return sum(1 for line in self._data.values() if any(v is not None for v in line))

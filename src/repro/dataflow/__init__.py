@@ -1,0 +1,32 @@
+"""Dataflow / mapping machinery: tiling, ordering, parallelism and shape (TOPS)."""
+
+from repro.dataflow.mapping import (
+    Mapping,
+    ParallelSpec,
+    TileLevel,
+    output_stationary_mapping,
+    weight_stationary_mapping,
+)
+from repro.dataflow.loopnest import (
+    LoopNest,
+    balanced_factor_pair,
+    factor_splits,
+    factors,
+    tile_counts,
+)
+from repro.dataflow.space import MappingSpace, enumerate_parallelisms
+
+__all__ = [
+    "Mapping",
+    "ParallelSpec",
+    "TileLevel",
+    "output_stationary_mapping",
+    "weight_stationary_mapping",
+    "LoopNest",
+    "balanced_factor_pair",
+    "factor_splits",
+    "factors",
+    "tile_counts",
+    "MappingSpace",
+    "enumerate_parallelisms",
+]

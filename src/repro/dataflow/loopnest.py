@@ -1,0 +1,146 @@
+"""Loop-nest utilities: factorization and tiled loop-nest bookkeeping.
+
+A dataflow in the paper is a transformed loop nest (Fig. 1): tile sizes per
+level, an order of loops at each level, and a parallelism assignment.  This
+module holds the arithmetic helpers shared by the mapping space enumeration
+and the cost model: integer factorizations, ceil-division tile counts, and a
+small :class:`LoopNest` object that iterates tile coordinates.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+
+@lru_cache(maxsize=4096)
+def factors(n: int) -> Tuple[int, ...]:
+    """All positive divisors of ``n`` in ascending order."""
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    small, large = [], []
+    i = 1
+    while i * i <= n:
+        if n % i == 0:
+            small.append(i)
+            if i != n // i:
+                large.append(n // i)
+        i += 1
+    return tuple(small + large[::-1])
+
+
+def balanced_factor_pair(n: int) -> Tuple[int, int]:
+    """The divisor pair of ``n`` closest to a square, e.g. 12 -> (3, 4)."""
+    best = (1, n)
+    for f in factors(n):
+        other = n // f
+        if abs(f - other) < abs(best[0] - best[1]):
+            best = (min(f, other), max(f, other))
+    return best
+
+
+def factor_splits(n: int, parts: int) -> List[Tuple[int, ...]]:
+    """All ordered ways to write ``n`` as a product of ``parts`` divisors.
+
+    Used to enumerate multi-level tilings: ``factor_splits(16, 2)`` returns
+    ``[(1, 16), (2, 8), (4, 4), (8, 2), (16, 1)]``.
+    """
+    if parts < 1:
+        raise ValueError("parts must be >= 1")
+    if parts == 1:
+        return [(n,)]
+    results = []
+    for f in factors(n):
+        for rest in factor_splits(n // f, parts - 1):
+            results.append((f,) + rest)
+    return results
+
+
+def tile_counts(total: int, tile: int) -> int:
+    """Number of tiles of size ``tile`` needed to cover ``total`` (ceil division)."""
+    if tile < 1:
+        raise ValueError("tile must be >= 1")
+    return math.ceil(total / tile)
+
+
+def divisors_at_most(n: int, limit: int) -> Tuple[int, ...]:
+    """Divisors of ``n`` that do not exceed ``limit``."""
+    return tuple(f for f in factors(n) if f <= limit)
+
+
+def padded_parallel_sizes(total: int, limit: int) -> Tuple[int, ...]:
+    """Candidate parallelism degrees for a dimension of extent ``total``.
+
+    Unlike :func:`divisors_at_most` this also keeps powers of two up to
+    ``limit`` even when they do not divide ``total`` — real accelerators pad
+    the edge tile, at a utilization cost the cost model accounts for.
+    """
+    cands = set(divisors_at_most(total, limit))
+    p = 1
+    while p <= limit:
+        cands.add(min(p, limit))
+        p *= 2
+    cands.add(min(total, limit))
+    return tuple(sorted(c for c in cands if c >= 1))
+
+
+@dataclass(frozen=True)
+class LoopNest:
+    """A tiled loop nest over named dimensions.
+
+    ``bounds`` are the full extents; ``tiles`` the level-1 (on-chip) tile
+    sizes; ``order`` the loop order of the outer (inter-tile) loops from
+    outermost to innermost.  Iterating the nest yields the base coordinate of
+    each tile in execution order.
+    """
+
+    bounds: Tuple[Tuple[str, int], ...]
+    tiles: Tuple[Tuple[str, int], ...]
+    order: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        bound_dims = {d for d, _ in self.bounds}
+        tile_dims = {d for d, _ in self.tiles}
+        if tile_dims - bound_dims:
+            raise ValueError(f"tiles name unknown dimensions: {tile_dims - bound_dims}")
+        if set(self.order) - bound_dims:
+            raise ValueError("order names unknown dimensions")
+
+    @property
+    def bound_map(self) -> Dict[str, int]:
+        return dict(self.bounds)
+
+    @property
+    def tile_map(self) -> Dict[str, int]:
+        full = {d: 1 for d, _ in self.bounds}
+        full.update(dict(self.tiles))
+        return full
+
+    def trip_counts(self) -> Dict[str, int]:
+        """Inter-tile trip count per dimension."""
+        bounds = self.bound_map
+        tiles = self.tile_map
+        return {d: tile_counts(bounds[d], tiles[d]) for d in bounds}
+
+    def total_tiles(self) -> int:
+        return math.prod(self.trip_counts().values())
+
+    def iter_tiles(self) -> Iterator[Dict[str, int]]:
+        """Yield the base coordinate of every tile, honouring ``order``.
+
+        Dimensions absent from ``order`` are appended (outermost) in bound
+        declaration order so every tile is still visited.
+        """
+        trips = self.trip_counts()
+        tiles = self.tile_map
+        ordered = [d for d, _ in self.bounds if d not in self.order] + list(self.order)
+        ranges = [range(trips[d]) for d in ordered]
+        for combo in itertools.product(*ranges):
+            yield {d: idx * tiles[d] for d, idx in zip(ordered, combo)}
+
+    def tile_volume(self) -> int:
+        """Number of iteration points inside one full tile."""
+        return math.prod(size for _, size in self.tiles) if self.tiles else 1

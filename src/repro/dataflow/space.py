@@ -1,0 +1,175 @@
+"""Mapping-space enumeration.
+
+The full dataflow space of a convolution is astronomically large (the paper
+quotes O(10^36) for a single layer), so like Timeloop's hybrid mapper we
+enumerate a *structured* subspace: parallelism assignments over one or two
+dimensions whose degrees divide (or pad to) the array axes, a small set of
+canonical loop orders (stationarities), and tile sizes induced by the
+parallelism.  The pruned-random search in :mod:`repro.layoutloop.mapper`
+samples from this space.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.workloads.conv import ConvLayerSpec
+from repro.workloads.gemm import GemmSpec
+from repro.dataflow.loopnest import padded_parallel_sizes
+from repro.dataflow.mapping import (
+    CONV_REDUCTION_DIMS,
+    GEMM_REDUCTION_DIMS,
+    Mapping,
+    ParallelSpec,
+    TileLevel,
+)
+
+# Canonical loop orders (stationarities) explored for convolutions.  Each is a
+# permutation of the temporal dims from outermost to innermost; the innermost
+# dims are the least stationary.
+_CONV_ORDERS: Tuple[Tuple[str, ...], ...] = (
+    ("N", "P", "Q", "R", "S", "M", "C"),   # weight stationary flavour
+    ("N", "M", "C", "R", "S", "P", "Q"),   # output stationary flavour
+    ("N", "C", "M", "P", "Q", "R", "S"),   # input stationary flavour
+    ("N", "R", "S", "C", "P", "Q", "M"),   # row stationary flavour
+)
+
+_GEMM_ORDERS: Tuple[Tuple[str, ...], ...] = (
+    ("M", "N", "K"),
+    ("K", "M", "N"),
+    ("N", "K", "M"),
+)
+
+# Dimensions worth parallelising for each workload kind.
+_CONV_PARALLEL_DIMS = ("M", "C", "P", "Q", "R", "S")
+_GEMM_PARALLEL_DIMS = ("M", "N", "K")
+
+
+@dataclass
+class MappingSpace:
+    """Enumerable mapping subspace for one workload on one array shape.
+
+    ``max_parallel_dims`` bounds how many dimensions are co-parallelised
+    (FEATHER and SIGMA support multi-dimensional parallelism; rigid designs
+    are modelled by constraining this to the dimensions they support).
+    ``allowed_parallel_dims`` restricts which dimensions may be parallel
+    (e.g. NVDLA-like only parallelises M and C).
+    """
+
+    workload: object
+    array_rows: int
+    array_cols: int
+    max_parallel_dims: int = 2
+    allowed_parallel_dims: Optional[Sequence[str]] = None
+    allowed_orders: Optional[Sequence[Tuple[str, ...]]] = None
+    require_full_rows: bool = False
+
+    def __post_init__(self) -> None:
+        if isinstance(self.workload, ConvLayerSpec):
+            self._dims = {
+                "N": self.workload.n, "M": self.workload.m,
+                "C": self.workload.c // self.workload.groups,
+                "P": self.workload.p, "Q": self.workload.q,
+                "R": self.workload.r, "S": self.workload.s,
+            }
+            self._parallel_dims = _CONV_PARALLEL_DIMS
+            self._orders = tuple(self.allowed_orders or _CONV_ORDERS)
+            self._reduction = CONV_REDUCTION_DIMS
+        elif isinstance(self.workload, GemmSpec):
+            self._dims = {"M": self.workload.m, "K": self.workload.k, "N": self.workload.n}
+            self._parallel_dims = _GEMM_PARALLEL_DIMS
+            self._orders = tuple(self.allowed_orders or _GEMM_ORDERS)
+            self._reduction = GEMM_REDUCTION_DIMS
+        else:
+            raise TypeError(f"unsupported workload type {type(self.workload)!r}")
+        if self.allowed_parallel_dims is not None:
+            allowed = {d.upper() for d in self.allowed_parallel_dims}
+            self._parallel_dims = tuple(d for d in self._parallel_dims if d in allowed)
+
+    # ----------------------------------------------------------- enumeration
+    @property
+    def num_pes(self) -> int:
+        return self.array_rows * self.array_cols
+
+    def parallelism_candidates(self) -> List[Tuple[ParallelSpec, ...]]:
+        """Enumerate parallelism assignments onto the array."""
+        return list(enumerate_parallelisms(
+            self._dims, self._parallel_dims, self.array_rows, self.array_cols,
+            max_dims=self.max_parallel_dims))
+
+    def iter_mappings(self) -> Iterator[Mapping]:
+        """Yield every mapping in the structured subspace."""
+        for idx, parallel in enumerate(self.parallelism_candidates()):
+            tile_sizes = {p.dim: p.degree for p in parallel}
+            for order in self._orders:
+                order_present = tuple(d for d in order if d in self._dims)
+                name = "df_" + "_".join(f"{p.dim}{p.degree}" for p in parallel) or "df_serial"
+                yield Mapping(
+                    name=f"{name}_{'.'.join(order_present[:3]).lower()}",
+                    array_rows=self.array_rows,
+                    array_cols=self.array_cols,
+                    parallel=parallel,
+                    tile=TileLevel.of(**tile_sizes),
+                    order=order_present,
+                    reduction_dims=self._reduction,
+                )
+
+    def sample(self, count: int, seed: int = 0) -> List[Mapping]:
+        """Pruned random sample of the space (the paper's search algorithm)."""
+        all_mappings = list(self.iter_mappings())
+        if count >= len(all_mappings):
+            return all_mappings
+        rng = random.Random(seed)
+        return rng.sample(all_mappings, count)
+
+    def size(self) -> int:
+        return len(self.parallelism_candidates()) * len(self._orders)
+
+
+def enumerate_parallelisms(dims: Dict[str, int], candidate_dims: Sequence[str],
+                           rows: int, cols: int, max_dims: int = 2,
+                           ) -> Iterable[Tuple[ParallelSpec, ...]]:
+    """Enumerate ways to spread 1..max_dims dimensions over a rows x cols array.
+
+    Single-dimension assignments use the whole array (degree up to rows*cols);
+    two-dimension assignments put one dimension on rows and the other on
+    columns.  Degrees are drawn from divisors / powers of two no larger than
+    the axis, deduplicated.
+    """
+    seen = set()
+    num_pes = rows * cols
+
+    # Serial mapping (degree 1 everywhere) is always a member.
+    yield tuple()
+
+    usable = [d for d in candidate_dims if dims.get(d, 1) > 1]
+
+    for dim in usable:
+        for degree in padded_parallel_sizes(dims[dim], num_pes):
+            if degree <= 1:
+                continue
+            key = ((dim, degree),)
+            if key not in seen:
+                seen.add(key)
+                yield (ParallelSpec(dim, degree),)
+
+    if max_dims < 2:
+        return
+
+    for dim_a, dim_b in itertools.combinations(usable, 2):
+        for deg_a in padded_parallel_sizes(dims[dim_a], rows):
+            if deg_a <= 1:
+                continue
+            for deg_b in padded_parallel_sizes(dims[dim_b], cols):
+                if deg_b <= 1:
+                    continue
+                if deg_a * deg_b > num_pes:
+                    continue
+                key = ((dim_a, deg_a), (dim_b, deg_b))
+                if key in seen:
+                    continue
+                seen.add(key)
+                yield (ParallelSpec(dim_a, deg_a), ParallelSpec(dim_b, deg_b))

@@ -1,0 +1,70 @@
+"""Fig. 12 — per-layer throughput on real devices, normalised by PE count and clock.
+
+The paper runs ResNet-50 layer by layer on FEATHER (ZCU104), the Xilinx DPU
+(same board), Gemmini (FireSim) and a Coral Edge TPU, then reports throughput
+normalised by the number of PEs and the clock — which reduces to achieved
+MACs per PE per cycle, i.e. utilization of each design's dataflow.  This
+experiment drives the device models over the same layer table and reports
+per-layer normalised throughput plus the geomean speedups the paper headlines
+(3.91x over Gemmini, 2.65x over the DPU, 4.56x geomean / 4.91x text over the
+Edge TPU).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.baselines.devices import (
+    DeviceModel,
+    edge_tpu_device,
+    feather_fpga_device,
+    gemmini_device,
+    xilinx_dpu_device,
+)
+from repro.experiments.common import geomean
+from repro.workloads.conv import ConvLayerSpec, LayerKind
+from repro.workloads.resnet50 import resnet50_layers
+
+
+@dataclass
+class Fig12Result:
+    """Per-layer normalised throughput and geomean speedups."""
+
+    layers: List[str]
+    per_device: Dict[str, List[float]] = field(default_factory=dict)
+
+    def geomean_speedup(self, baseline: str, target: str = "FEATHER") -> float:
+        ratios = [
+            t / b for t, b in zip(self.per_device[target], self.per_device[baseline])
+            if b > 0
+        ]
+        return geomean(ratios)
+
+    def speedups(self) -> Dict[str, float]:
+        return {
+            name: self.geomean_speedup(name)
+            for name in self.per_device if name != "FEATHER"
+        }
+
+
+def run(max_layers: int = None) -> Fig12Result:
+    """Run all ResNet-50 conv layers through the four device models."""
+    layers = [l for l in resnet50_layers(include_fc=False)
+              if l.kind is not LayerKind.FC]
+    if max_layers:
+        layers = layers[:max_layers]
+
+    devices: List[DeviceModel] = [
+        feather_fpga_device(),
+        gemmini_device(),
+        xilinx_dpu_device(),
+        edge_tpu_device(),
+    ]
+
+    result = Fig12Result(layers=[l.name for l in layers])
+    for device in devices:
+        throughputs = [device.run_layer(layer).normalized_throughput_per_pe
+                       for layer in layers]
+        result.per_device[device.name] = throughputs
+    return result

@@ -1,0 +1,95 @@
+"""Fig. 14 — ASIC resource comparison.
+
+(a) Area and power of the three reduction networks (MAERI's ART, SIGMA's FAN,
+    FEATHER's BIRRD) from 16 to 256 inputs; the paper's relationships are that
+    a same-sized BIRRD is ~1.43x/2.21x larger and ~1.17x/2.07x more power than
+    FAN/ART, yet a single instance serves the whole 2D array.
+
+(b) Full-accelerator area breakdown at 256 PEs: an Eyeriss-like fixed-dataflow
+    design, SIGMA, and FEATHER, with BIRRD at ~4% of FEATHER's die and FEATHER
+    only ~6% larger than the Eyeriss-like design while SIGMA is ~2.4x larger.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.area.asic import (
+    AreaBreakdown,
+    eyeriss_like_breakdown,
+    feather_breakdown,
+    sigma_like_breakdown,
+)
+from repro.noc.area_models import reduction_network_comparison
+
+
+@dataclass
+class Fig14aRow:
+    """Area/power of the three reduction networks at one input count."""
+
+    inputs: int
+    art_area_um2: float
+    fan_area_um2: float
+    birrd_area_um2: float
+    art_power_mw: float
+    fan_power_mw: float
+    birrd_power_mw: float
+
+    @property
+    def birrd_over_fan_area(self) -> float:
+        return self.birrd_area_um2 / self.fan_area_um2
+
+    @property
+    def birrd_over_art_area(self) -> float:
+        return self.birrd_area_um2 / self.art_area_um2
+
+
+@dataclass
+class Fig14bResult:
+    """Accelerator area breakdowns and headline ratios."""
+
+    breakdowns: Dict[str, AreaBreakdown]
+
+    @property
+    def feather_over_eyeriss(self) -> float:
+        return (self.breakdowns["FEATHER-256"].total_area_um2
+                / self.breakdowns["Eyeriss-like-256"].total_area_um2)
+
+    @property
+    def sigma_over_feather(self) -> float:
+        return (self.breakdowns["SIGMA-256"].total_area_um2
+                / self.breakdowns["FEATHER-256"].total_area_um2)
+
+    @property
+    def birrd_area_fraction(self) -> float:
+        return self.breakdowns["FEATHER-256"].area_fraction("Redn_NoC")
+
+
+def run_fig14a(sizes: Tuple[int, ...] = (16, 32, 64, 128, 256)) -> List[Fig14aRow]:
+    rows = []
+    for size, nets in reduction_network_comparison(sizes).items():
+        rows.append(Fig14aRow(
+            inputs=size,
+            art_area_um2=nets["ART"].area_um2,
+            fan_area_um2=nets["FAN"].area_um2,
+            birrd_area_um2=nets["BIRRD"].area_um2,
+            art_power_mw=nets["ART"].power_mw,
+            fan_power_mw=nets["FAN"].power_mw,
+            birrd_power_mw=nets["BIRRD"].power_mw,
+        ))
+    return rows
+
+
+def run_fig14b(pes: int = 256) -> Fig14bResult:
+    rows = cols = int(pes ** 0.5)
+    return Fig14bResult(breakdowns={
+        f"Eyeriss-like-{pes}": eyeriss_like_breakdown(pes),
+        f"SIGMA-{pes}": sigma_like_breakdown(pes),
+        f"FEATHER-{pes}": feather_breakdown(rows, cols),
+    })
+
+
+def run() -> Dict[str, object]:
+    """Both halves of Fig. 14."""
+    return {"fig14a": run_fig14a(), "fig14b": run_fig14b()}

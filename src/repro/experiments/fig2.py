@@ -1,0 +1,153 @@
+"""Fig. 2 — the theory/practice latency gap on a 16x16 PE array.
+
+For selected ResNet-50 and MobileNet-V3 layers (and the full models) the paper
+compares four policies:
+
+1. **fixed** — a fixed output-stationary dataflow with a fixed layout (the
+   error bar spans the layouts); the conventional compromise.
+2. **theory** — the best dataflow reported by a layout-blind search (what a
+   Timeloop-style mapper promises).
+3. **practice** — that same "best" dataflow executed under real layouts with
+   bank conflicts (the error bar again spans layouts); this is where the up to
+   128x theory/practice gap appears.
+4. **feather** — FEATHER co-switching (dataflow, layout), which restores the
+   theoretical latency.
+
+The experiment returns, per workload entry, the latency of each policy
+normalised to the FEATHER policy, plus the min/max across layouts for the
+policies with layout error bars.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.dataflow.mapping import output_stationary_mapping
+from repro.layout.library import conv_layout_library
+from repro.layoutloop.arch import feather_arch
+from repro.layoutloop.cost_model import CostModel
+from repro.layoutloop.mapper import Mapper
+from repro.baselines.registry import sigma_like
+from repro.workloads.conv import ConvLayerSpec
+from repro.workloads.resnet50 import resnet50_layers, resnet50_motivation_layers
+from repro.workloads.mobilenet_v3 import mobilenet_v3_layers, mobilenet_v3_motivation_layers
+from repro.experiments.common import geomean
+
+
+@dataclass
+class Fig2Row:
+    """Latency of the four policies for one workload entry."""
+
+    workload: str
+    fixed_latency: float
+    fixed_latency_range: tuple
+    theory_latency: float
+    practice_latency: float
+    practice_latency_range: tuple
+    feather_latency: float
+
+    @property
+    def practice_gap(self) -> float:
+        """Worst-case practice / theory latency ratio (the paper's 2-128x gap)."""
+        return self.practice_latency_range[1] / self.theory_latency if self.theory_latency else 0.0
+
+    @property
+    def feather_vs_fixed(self) -> float:
+        """Latency reduction of FEATHER over the fixed policy (paper: ~63% overall)."""
+        return 1.0 - self.feather_latency / self.fixed_latency if self.fixed_latency else 0.0
+
+    def normalized(self) -> Dict[str, float]:
+        base = self.feather_latency or 1.0
+        return {
+            "fixed": self.fixed_latency / base,
+            "theory": self.theory_latency / base,
+            "practice": self.practice_latency / base,
+            "feather": 1.0,
+        }
+
+
+def _policies_for_layer(layer: ConvLayerSpec, rows: int, cols: int,
+                        max_mappings: int) -> Fig2Row:
+    layouts = conv_layout_library()
+    # A plain no-reorder architecture; the layout under evaluation is supplied
+    # per call below, so the fixed-layout name here is irrelevant.
+    no_reorder_model = CostModel(sigma_like(rows, cols, layout="HWC_C32", reorder="none"))
+
+    # Policy 1: fixed output-stationary dataflow across layouts.
+    fixed_mapping = output_stationary_mapping(layer, rows, cols)
+    fixed_lat = [no_reorder_model.evaluate(layer, fixed_mapping, lay).total_cycles
+                 for lay in layouts]
+
+    # Policy 2: layout-blind best dataflow (slowdown ignored => FEATHER model).
+    theory_mapper = Mapper(feather_arch(rows, cols), metric="latency",
+                           max_mappings=max_mappings)
+    theory = theory_mapper.search(layer, layouts=[layouts[0]])
+    theory_mapping = theory.best_mapping
+    theory_lat = theory.best_report.total_cycles
+
+    # Policy 3: that dataflow under real layouts with conflicts.
+    practice_lat = [no_reorder_model.evaluate(layer, theory_mapping, lay).total_cycles
+                    for lay in layouts]
+
+    # Policy 4: FEATHER co-switching (dataflow, layout).
+    feather_mapper = Mapper(feather_arch(rows, cols), metric="latency",
+                            max_mappings=max_mappings)
+    feather_lat = feather_mapper.search(layer).best_report.total_cycles
+
+    return Fig2Row(
+        workload=layer.name,
+        fixed_latency=geomean(fixed_lat),
+        fixed_latency_range=(min(fixed_lat), max(fixed_lat)),
+        theory_latency=theory_lat,
+        practice_latency=geomean(practice_lat),
+        practice_latency_range=(min(practice_lat), max(practice_lat)),
+        feather_latency=feather_lat,
+    )
+
+
+def _aggregate(rows: Sequence[Fig2Row], name: str) -> Fig2Row:
+    return Fig2Row(
+        workload=name,
+        fixed_latency=sum(r.fixed_latency for r in rows),
+        fixed_latency_range=(sum(r.fixed_latency_range[0] for r in rows),
+                             sum(r.fixed_latency_range[1] for r in rows)),
+        theory_latency=sum(r.theory_latency for r in rows),
+        practice_latency=sum(r.practice_latency for r in rows),
+        practice_latency_range=(sum(r.practice_latency_range[0] for r in rows),
+                                sum(r.practice_latency_range[1] for r in rows)),
+        feather_latency=sum(r.feather_latency for r in rows),
+    )
+
+
+def run(rows: int = 16, cols: int = 16, max_mappings: int = 60,
+        full_model_layers: Optional[int] = 12) -> Dict[str, List[Fig2Row]]:
+    """Reproduce Fig. 2.
+
+    ``full_model_layers`` bounds how many (unique) layers feed the "Full
+    Model" bar to keep the run fast; ``None`` uses every layer.
+    """
+    results: Dict[str, List[Fig2Row]] = {}
+
+    resnet_rows = [
+        _policies_for_layer(layer, rows, cols, max_mappings)
+        for key, layer in sorted(resnet50_motivation_layers().items()) if key != 47
+    ]
+    resnet_all = resnet50_layers(include_fc=False)
+    if full_model_layers:
+        resnet_all = resnet_all[:full_model_layers]
+    resnet_full = [_policies_for_layer(l, rows, cols, max_mappings) for l in resnet_all]
+    resnet_rows.append(_aggregate(resnet_full, "resnet50_full_model"))
+    results["resnet50"] = resnet_rows
+
+    mob_rows = [
+        _policies_for_layer(layer, rows, cols, max_mappings)
+        for _, layer in sorted(mobilenet_v3_motivation_layers().items())
+    ]
+    mob_all = mobilenet_v3_layers(include_fc=False)
+    if full_model_layers:
+        mob_all = mob_all[:full_model_layers]
+    mob_full = [_policies_for_layer(l, rows, cols, max_mappings) for l in mob_all]
+    mob_rows.append(_aggregate(mob_full, "mobilenet_v3_full_model"))
+    results["mobilenet_v3"] = mob_rows
+    return results

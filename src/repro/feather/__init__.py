@@ -1,0 +1,50 @@
+"""FEATHER accelerator: NEST + BIRRD + on-chip storage + quantization."""
+
+from repro.feather.config import FeatherConfig
+from repro.feather.quantize import QuantizationModule
+from repro.feather.rir import RirPlan, RirPlanner, WriteCommand
+from repro.feather.accelerator import (
+    ExecutionStats,
+    FeatherAccelerator,
+    im2col,
+    reference_conv,
+)
+from repro.feather.controller import InstructionStream, generate_instruction_stream
+from repro.feather.postproc import (
+    IntegerBatchNorm,
+    avg_pool_layer,
+    avg_pool_reference,
+    max_pool,
+    relu,
+)
+from repro.feather.model_runner import (
+    ConvStage,
+    ModelRunResult,
+    ModelRunner,
+    PoolStage,
+    reference_model,
+)
+
+__all__ = [
+    "FeatherConfig",
+    "QuantizationModule",
+    "RirPlan",
+    "RirPlanner",
+    "WriteCommand",
+    "ExecutionStats",
+    "FeatherAccelerator",
+    "im2col",
+    "reference_conv",
+    "InstructionStream",
+    "generate_instruction_stream",
+    "IntegerBatchNorm",
+    "avg_pool_layer",
+    "avg_pool_reference",
+    "max_pool",
+    "relu",
+    "ConvStage",
+    "ModelRunResult",
+    "ModelRunner",
+    "PoolStage",
+    "reference_model",
+]

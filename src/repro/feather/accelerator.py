@@ -1,0 +1,371 @@
+"""FEATHER accelerator top level.
+
+Wires the pieces of Fig. 7/8 together: iActs live in the stationary buffer
+(StaB Ping), weights stream from the streaming buffer (StrB), the NEST array
+performs local temporal reduction and row-by-row spatial forwarding, BIRRD
+reduces each row's partial sums and *reorders them in reduction* so the
+resulting oActs land in StaB Pong already in the layout the next layer wants,
+and the quantization module rescales 32-bit sums back to 8 bits.
+
+The model is functional (numerically exact — results are checked against
+numpy in the tests) plus cycle-accounting: NEST steady-state pipelining,
+iAct-read bank-conflict slowdown under the chosen input layout, and oAct
+write serialization if the chosen output layout ever overloads a bank's
+write ports (it never does for co-searched pairs — that is the RIR claim).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.buffer.buffer import Buffer2D
+from repro.feather.config import FeatherConfig
+from repro.feather.quantize import QuantizationModule
+from repro.feather.rir import RirPlanner
+from repro.layout.concordance import analyze_concordance
+from repro.layout.layout import Layout, parse_layout
+from repro.nest.array import NestArray
+from repro.noc.birrd import BirrdNetwork
+from repro.noc.routing import BirrdRouter
+from repro.workloads.conv import ConvLayerSpec
+
+
+@dataclass
+class ExecutionStats:
+    """Aggregate statistics of running one layer/GEMM on FEATHER."""
+
+    cycles: float = 0.0
+    macs: int = 0
+    num_pes: int = 1
+    stab_reads: int = 0
+    stab_writes: int = 0
+    strb_reads: int = 0
+    birrd_cycles: int = 0
+    birrd_routed_cycles: int = 0
+    birrd_fallback_cycles: int = 0
+    read_slowdown: float = 1.0
+    write_serialization: float = 1.0
+    input_layout: str = ""
+    output_layout: str = ""
+
+    @property
+    def utilization(self) -> float:
+        """Achieved MACs per cycle over the array's peak."""
+        if self.cycles <= 0:
+            return 0.0
+        return self.macs / (self.cycles * self.num_pes)
+
+    @property
+    def routed_fraction(self) -> float:
+        if self.birrd_cycles == 0:
+            return 1.0
+        return self.birrd_routed_cycles / self.birrd_cycles
+
+    def merge(self, other: "ExecutionStats") -> "ExecutionStats":
+        """Accumulate another layer's stats (used for whole-model runs)."""
+        return ExecutionStats(
+            cycles=self.cycles + other.cycles,
+            macs=self.macs + other.macs,
+            num_pes=max(self.num_pes, other.num_pes),
+            stab_reads=self.stab_reads + other.stab_reads,
+            stab_writes=self.stab_writes + other.stab_writes,
+            strb_reads=self.strb_reads + other.strb_reads,
+            birrd_cycles=self.birrd_cycles + other.birrd_cycles,
+            birrd_routed_cycles=self.birrd_routed_cycles + other.birrd_routed_cycles,
+            birrd_fallback_cycles=self.birrd_fallback_cycles + other.birrd_fallback_cycles,
+            read_slowdown=max(self.read_slowdown, other.read_slowdown),
+            write_serialization=max(self.write_serialization, other.write_serialization),
+            input_layout=other.input_layout or self.input_layout,
+            output_layout=other.output_layout or self.output_layout,
+        )
+
+
+class FeatherAccelerator:
+    """Functional + timing model of one FEATHER instance.
+
+    ``route_birrd`` controls how BIRRD cycles are realised:
+
+    * ``"auto"``   — attempt real switch-level routing for small arrays
+      (AW <= 8) and fall back to the ideal functional outcome otherwise,
+      mirroring the paper's brute-force fallback;
+    * ``"always"`` — require routing to succeed (raises if it cannot);
+    * ``"never"``  — always use the ideal functional outcome (fast).
+    """
+
+    def __init__(self, config: Optional[FeatherConfig] = None,
+                 route_birrd: str = "auto"):
+        self.config = config or FeatherConfig()
+        if route_birrd not in ("auto", "always", "never"):
+            raise ValueError("route_birrd must be 'auto', 'always' or 'never'")
+        self.route_birrd = route_birrd
+        self.nest = NestArray(self.config.array_rows, self.config.array_cols,
+                              weight_capacity=self.config.weight_capacity_per_pe)
+        self.birrd = BirrdNetwork(self.config.array_cols)
+        self._router = BirrdRouter(self.config.array_cols)
+        self.stab_pong = Buffer2D(self.config.stab_spec)
+
+    # ------------------------------------------------------------------ lanes
+    def _choose_col_k(self, k_total: int) -> int:
+        """Reduction lanes per row: largest power of two <= min(AW, K)."""
+        aw = self.config.array_cols
+        col_k = 1
+        while col_k * 2 <= min(aw, k_total):
+            col_k *= 2
+        return col_k
+
+    # ------------------------------------------------------------------- GEMM
+    def run_gemm(self, weights: np.ndarray, iacts: np.ndarray,
+                 output_layout: Optional[Layout] = None,
+                 output_dims: Optional[Dict[str, int]] = None,
+                 coord_fn: Optional[Callable[[int, int], Dict[str, int]]] = None,
+                 input_layout: Optional[Layout] = None,
+                 input_dims: Optional[Dict[str, int]] = None,
+                 input_coord_fn: Optional[Callable[[int, int], Dict[str, int]]] = None,
+                 quantizer: Optional[QuantizationModule] = None,
+                 ) -> Tuple[np.ndarray, ExecutionStats]:
+        """Execute ``out[M, N] = weights[M, K] @ iacts[K, N]`` on FEATHER.
+
+        ``output_layout``/``output_dims`` describe the layout the *next* layer
+        wants; oActs are scattered into StaB Pong accordingly (RIR).
+        ``coord_fn`` maps a flat output index (m, n) to the logical coordinate
+        used by that layout (defaults to ``{"M": m, "N": n}``), which is how
+        convolution output coordinates (M, P, Q) are threaded through.
+        ``input_layout`` enables read-side bank-conflict accounting.
+        """
+        weights = np.asarray(weights, dtype=np.int64)
+        iacts = np.asarray(iacts, dtype=np.int64)
+        if weights.ndim != 2 or iacts.ndim != 2:
+            raise ValueError("weights and iacts must be 2D")
+        m_total, k_total = weights.shape
+        if iacts.shape[0] != k_total:
+            raise ValueError("weights and iacts disagree on K")
+        n_total = iacts.shape[1]
+
+        cfg = self.config
+        aw, ah = cfg.array_cols, cfg.array_rows
+        col_k = self._choose_col_k(k_total)
+        col_m = aw // col_k
+        m_per_tile = ah * col_m
+
+        if output_layout is None:
+            output_layout = parse_layout(f"MN_N{min(aw, max(1, n_total))}")
+        if output_dims is None:
+            output_dims = {"M": m_total, "N": n_total}
+        if coord_fn is None:
+            coord_fn = lambda m, n: {"M": m, "N": n}
+
+        planner = RirPlanner(aw, output_layout, output_dims,
+                             ports_per_bank=cfg.stab_ports_per_bank)
+
+        outputs = np.zeros((m_total, n_total), dtype=np.int64)
+        stats = ExecutionStats(num_pes=cfg.num_pes,
+                               input_layout=input_layout.name if input_layout else "",
+                               output_layout=output_layout.name)
+
+        k_per_lane = math.ceil(k_total / col_k)
+        total_serial = 0.0
+        serial_cycles = 0
+
+        for m_base in range(0, m_total, m_per_tile):
+            m_tile = min(m_per_tile, m_total - m_base)
+            w_tile = weights[m_base:m_base + m_tile]
+            self.nest.reset()
+            stats.strb_reads += w_tile.size
+
+            for row_result in self.nest.run_gemm_tile(w_tile, iacts, col_k=col_k):
+                n_idx = row_result.temporal_tile[0]
+                group_inputs: List[List[int]] = []
+                group_coords: List[Dict[str, int]] = []
+                group_values: List[int] = []
+                for m_lane in range(col_m):
+                    m_idx = m_base + row_result.row * col_m + m_lane
+                    if m_idx >= m_total:
+                        continue
+                    lanes = list(range(m_lane * col_k, (m_lane + 1) * col_k))
+                    group_inputs.append(lanes)
+                    group_coords.append(coord_fn(m_idx, n_idx))
+                    group_values.append(sum(row_result.partial_sums[l] for l in lanes))
+                    outputs[m_idx, n_idx] = group_values[-1]
+                if not group_inputs:
+                    continue
+
+                plan = planner.plan_cycle(group_inputs, group_coords)
+                total_serial += plan.serialization_factor
+                serial_cycles += 1
+                stats.birrd_cycles += 1
+                self._execute_birrd_cycle(row_result.partial_sums, plan, group_values,
+                                          stats)
+                for write, value in zip(plan.writes, group_values):
+                    final = quantizer.quantize(value) if quantizer else value
+                    self.stab_pong.write_word(write.line % cfg.stab_lines, write.bank,
+                                              int(final))
+                    stats.stab_writes += 1
+
+        # ---------------------------------------------------------- timing
+        tiles = math.ceil(m_total / m_per_tile)
+        timing_cycles = 0.0
+        for _ in range(tiles):
+            timing = self.nest.timing_for_tile(
+                temporal_steps=n_total, macs_per_pe_per_step=k_per_lane)
+            timing_cycles += timing.total_cycles
+
+        read_slowdown = 1.0
+        if input_layout is not None and input_dims is not None:
+            read_slowdown = self._read_slowdown(iacts.shape, col_k, k_per_lane,
+                                                input_layout, input_dims,
+                                                input_coord_fn)
+        write_serial = (total_serial / serial_cycles) if serial_cycles else 1.0
+
+        stats.cycles = timing_cycles * max(read_slowdown, write_serial)
+        stats.macs = int(m_total * k_total * n_total)
+        stats.stab_reads += int(k_total * n_total)
+        stats.read_slowdown = read_slowdown
+        stats.write_serialization = write_serial
+        return outputs, stats
+
+    # -------------------------------------------------------------- BIRRD step
+    def _execute_birrd_cycle(self, partial_sums: Sequence[int], plan,
+                             expected_values: Sequence[int],
+                             stats: ExecutionStats) -> None:
+        """Realise one drain cycle on BIRRD, by routing if feasible."""
+        aw = self.config.array_cols
+        attempt_routing = (self.route_birrd == "always"
+                           or (self.route_birrd == "auto" and aw <= 8))
+        if not attempt_routing:
+            stats.birrd_fallback_cycles += 1
+            return
+        result = self._router.route(plan.requests)
+        if not result.routed:
+            if self.route_birrd == "always":
+                raise RuntimeError("BIRRD routing failed with route_birrd='always'")
+            stats.birrd_fallback_cycles += 1
+            return
+        outputs = self.birrd.evaluate(list(partial_sums), result.configs)
+        for request, expected in zip(plan.requests, expected_values):
+            got = outputs[request.output_port]
+            if got != expected:
+                raise AssertionError(
+                    f"BIRRD routing produced {got} at port {request.output_port}, "
+                    f"expected {expected}")
+        stats.birrd_routed_cycles += 1
+
+    # ----------------------------------------------------------- read slowdown
+    def _read_slowdown(self, iact_shape: Tuple[int, int], col_k: int, k_per_lane: int,
+                       input_layout: Layout, input_dims: Dict[str, int],
+                       input_coord_fn: Optional[Callable[[int, int], Dict[str, int]]] = None,
+                       max_cycles: int = 256) -> float:
+        """Average bank-conflict slowdown of streaming iActs under a layout.
+
+        ``input_coord_fn`` maps a flat (k, n) GEMM index to the logical
+        coordinate of the original tensor (e.g. the (C, H, W) position an
+        im2col'd convolution actually reads); defaults to GEMM-native names.
+        """
+        if input_coord_fn is None:
+            input_coord_fn = lambda k, n: {"K": k, "N": n, "C": k, "W": n}
+        k_total, n_total = iact_shape
+        per_cycle = []
+        cycles = 0
+        for n_idx in range(n_total):
+            for step in range(k_per_lane):
+                coords = []
+                for lane in range(col_k):
+                    k_idx = lane * k_per_lane + step
+                    if k_idx < k_total:
+                        coords.append(input_coord_fn(k_idx, n_idx))
+                if coords:
+                    per_cycle.append(coords)
+                cycles += 1
+                if cycles >= max_cycles:
+                    break
+            if cycles >= max_cycles:
+                break
+        if not per_cycle:
+            return 1.0
+        report = analyze_concordance(
+            per_cycle, input_layout, input_dims,
+            ports_per_bank=self.config.stab_ports_per_bank,
+            lines_per_bank=1, num_banks=self.config.array_cols)
+        return report.avg_slowdown
+
+    # ------------------------------------------------------------ convolution
+    def run_conv(self, layer: ConvLayerSpec, iacts: np.ndarray, weights: np.ndarray,
+                 output_layout: Optional[Layout] = None,
+                 input_layout: Optional[Layout] = None,
+                 quantizer: Optional[QuantizationModule] = None,
+                 ) -> Tuple[np.ndarray, ExecutionStats]:
+        """Execute one convolution layer (functionally via im2col).
+
+        ``iacts`` is ``(C, H, W)``; ``weights`` is ``(M, C, R, S)``; the
+        result is ``(M, P, Q)``.  oActs are written into StaB Pong in
+        ``output_layout`` over the (M, P, Q) coordinates (the next layer's
+        iActs layout), exactly as in the Fig. 11 walk-through.
+        """
+        iacts = np.asarray(iacts, dtype=np.int64)
+        weights = np.asarray(weights, dtype=np.int64)
+        if iacts.shape != (layer.c, layer.h, layer.w):
+            raise ValueError(f"iacts shape {iacts.shape} does not match layer {layer}")
+        if weights.shape != (layer.m, layer.c, layer.r, layer.s):
+            raise ValueError(f"weights shape {weights.shape} does not match layer {layer}")
+
+        cols = im2col(iacts, layer)
+        w_matrix = weights.reshape(layer.m, layer.c * layer.r * layer.s)
+
+        p, q = layer.p, layer.q
+        output_dims = {"M": layer.m, "P": p, "Q": q,
+                       "C": layer.m, "H": p, "W": q}
+        if output_layout is None:
+            output_layout = parse_layout(f"MPQ_Q{min(self.config.array_cols, q)}")
+
+        def coord_fn(m: int, n: int) -> Dict[str, int]:
+            pp, qq = divmod(n, q)
+            # Provide both GEMM-style (M, P, Q) and next-layer iAct-style
+            # (C, H, W) names so either flavour of layout can address it.
+            return {"M": m, "P": pp, "Q": qq, "C": m, "H": pp, "W": qq}
+
+        input_dims = None
+        input_coord_fn = None
+        if input_layout is not None:
+            input_dims = {"C": layer.c, "H": layer.h, "W": layer.w}
+
+            def input_coord_fn(k: int, n: int) -> Dict[str, int]:
+                # Translate the im2col (k, n) index back to the (C, H, W)
+                # position the NEST actually reads from StaB Ping.
+                c = k // (layer.r * layer.s)
+                rem = k % (layer.r * layer.s)
+                r, s = divmod(rem, layer.s)
+                pp, qq = divmod(n, q)
+                h = min(max(pp * layer.stride + r - layer.padding, 0), layer.h - 1)
+                w = min(max(qq * layer.stride + s - layer.padding, 0), layer.w - 1)
+                return {"C": c, "H": h, "W": w}
+
+        flat, stats = self.run_gemm(
+            w_matrix, cols, output_layout=output_layout, output_dims=output_dims,
+            coord_fn=coord_fn, input_layout=input_layout, input_dims=input_dims,
+            input_coord_fn=input_coord_fn, quantizer=quantizer)
+        return flat.reshape(layer.m, p, q), stats
+
+
+def im2col(iacts: np.ndarray, layer: ConvLayerSpec) -> np.ndarray:
+    """Lower a (C, H, W) activation tensor to the (C*R*S, P*Q) im2col matrix."""
+    c, h, w = iacts.shape
+    p, q = layer.p, layer.q
+    padded = np.zeros((c, h + 2 * layer.padding, w + 2 * layer.padding), dtype=iacts.dtype)
+    padded[:, layer.padding:layer.padding + h, layer.padding:layer.padding + w] = iacts
+    cols = np.zeros((c * layer.r * layer.s, p * q), dtype=iacts.dtype)
+    for pp in range(p):
+        for qq in range(q):
+            patch = padded[:, pp * layer.stride:pp * layer.stride + layer.r,
+                           qq * layer.stride:qq * layer.stride + layer.s]
+            cols[:, pp * q + qq] = patch.reshape(-1)
+    return cols
+
+
+def reference_conv(iacts: np.ndarray, weights: np.ndarray, layer: ConvLayerSpec) -> np.ndarray:
+    """Straightforward numpy convolution used as the golden reference in tests."""
+    cols = im2col(np.asarray(iacts, dtype=np.int64), layer)
+    w_matrix = np.asarray(weights, dtype=np.int64).reshape(layer.m, -1)
+    return (w_matrix @ cols).reshape(layer.m, layer.p, layer.q)

@@ -1,0 +1,86 @@
+"""FEATHER hardware configuration."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.buffer.buffer import BufferSpec
+from repro.noc.birrd import BirrdTopology
+
+
+@dataclass(frozen=True)
+class FeatherConfig:
+    """Shape and storage parameters of one FEATHER instance.
+
+    ``array_rows`` (AH) x ``array_cols`` (AW) is the NEST shape; AW must be a
+    power of two because it is also the BIRRD input count.  The stationary
+    buffer has ``array_cols`` one-byte-wide banks (word interleaved) so each
+    bank can take an independent write address — the property RIR relies on.
+    """
+
+    array_rows: int = 16
+    array_cols: int = 16
+    stab_lines: int = 2048
+    strb_lines: int = 2048
+    ob_entries: int = 256
+    stab_ports_per_bank: int = 2
+    weight_capacity_per_pe: int = 64
+    iact_bits: int = 8
+    weight_bits: int = 8
+    accumulator_bits: int = 32
+    frequency_mhz: float = 1000.0
+
+    def __post_init__(self) -> None:
+        if self.array_cols < 2 or self.array_cols & (self.array_cols - 1):
+            raise ValueError("array_cols (AW) must be a power of two >= 2")
+        if self.array_rows < 1:
+            raise ValueError("array_rows (AH) must be >= 1")
+
+    # ---------------------------------------------------------------- derived
+    @property
+    def num_pes(self) -> int:
+        return self.array_rows * self.array_cols
+
+    @property
+    def birrd_topology(self) -> BirrdTopology:
+        return BirrdTopology(self.array_cols)
+
+    @property
+    def stab_spec(self) -> BufferSpec:
+        """Stationary buffer: AW word-wide banks, word interleaved (Fig. 8)."""
+        return BufferSpec(
+            num_lines=self.stab_lines,
+            line_size=self.array_cols,
+            banks=self.array_cols,
+            ports_per_bank=self.stab_ports_per_bank,
+            word_bits=self.iact_bits,
+            interleaving="word",
+            name="StaB",
+        )
+
+    @property
+    def strb_spec(self) -> BufferSpec:
+        """Streaming buffer: single bank with an AW-word line (Fig. 8)."""
+        return BufferSpec(
+            num_lines=self.strb_lines,
+            line_size=self.array_cols,
+            banks=1,
+            ports_per_bank=self.stab_ports_per_bank,
+            word_bits=self.weight_bits,
+            interleaving="line",
+            name="StrB",
+        )
+
+    @property
+    def instruction_bits_per_entry(self) -> int:
+        """IB entry width: 2 bits per switch plus a log2(depth) write address (Fig. 8)."""
+        topo = self.birrd_topology
+        return topo.config_bits_per_cycle + max(1, int(math.log2(self.stab_lines)))
+
+    @property
+    def peak_macs_per_cycle(self) -> int:
+        return self.num_pes
+
+    def peak_throughput_gmacs(self) -> float:
+        return self.peak_macs_per_cycle * self.frequency_mhz / 1e3

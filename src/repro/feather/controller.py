@@ -1,0 +1,99 @@
+"""FEATHER controller: instruction stream for BIRRD and the write-back path.
+
+The BIRRD configurations are generated offline and fetched into the
+instruction buffer at run time (§III-C2).  This module turns a sequence of
+:class:`~repro.feather.rir.RirPlan` cycles into the packed instruction words
+the IB would hold (2 bits per Egg plus a write address per bank), which gives
+the instruction-buffer sizing of Fig. 8 and lets tests check that per-layer
+reconfiguration cost is a handful of kilobytes — the "low-cost switching"
+claim.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.feather.config import FeatherConfig
+from repro.feather.rir import RirPlan
+from repro.noc.birrd import BirrdTopology, EggConfig
+from repro.noc.routing import BirrdRouter
+
+
+@dataclass
+class InstructionStream:
+    """Packed per-cycle control words for BIRRD and the StaB write path."""
+
+    aw: int
+    stab_lines: int
+    words: List[int] = field(default_factory=list)
+    bits_per_word: int = 0
+    unrouted_cycles: int = 0
+
+    @property
+    def num_words(self) -> int:
+        return len(self.words)
+
+    @property
+    def total_bits(self) -> int:
+        return self.num_words * self.bits_per_word
+
+    @property
+    def total_bytes(self) -> float:
+        return self.total_bits / 8.0
+
+    def reconfiguration_cycles(self, fetch_width_bits: int = 256) -> int:
+        """Cycles to stream the instruction words in through a fetch port."""
+        if fetch_width_bits < 1:
+            raise ValueError("fetch width must be positive")
+        return math.ceil(self.total_bits / fetch_width_bits)
+
+
+def pack_configuration(configs: Sequence[Sequence[EggConfig]], topo: BirrdTopology,
+                       write_lines: Sequence[int], stab_lines: int) -> int:
+    """Pack one cycle's switch configs + write addresses into an integer word."""
+    word = 0
+    for stage_cfg in configs:
+        for cfg in stage_cfg:
+            word = (word << 2) | cfg.control_bits
+    addr_bits = max(1, int(math.log2(max(2, stab_lines))))
+    for line in write_lines:
+        word = (word << addr_bits) | (line % stab_lines)
+    return word
+
+
+def generate_instruction_stream(plans: Sequence[RirPlan], config: FeatherConfig,
+                                router: Optional[BirrdRouter] = None,
+                                route: bool = True) -> InstructionStream:
+    """Generate the IB contents for a sequence of RIR plans (one per drain cycle).
+
+    When ``route`` is false (or routing fails) the cycle still occupies one
+    instruction word — the controller would hold a brute-forced configuration
+    there — but it is counted in ``unrouted_cycles`` for reporting.
+    """
+    topo = config.birrd_topology
+    addr_bits = max(1, int(math.log2(max(2, config.stab_lines))))
+    bits_per_word = 2 * topo.num_switches + addr_bits * config.array_cols
+    stream = InstructionStream(aw=config.array_cols, stab_lines=config.stab_lines,
+                               bits_per_word=bits_per_word)
+    router = router or BirrdRouter(config.array_cols)
+
+    identity = [[EggConfig.PASS] * topo.switches_per_stage
+                for _ in range(topo.num_stages)]
+
+    for plan in plans:
+        configs = identity
+        if route and config.array_cols <= 8:
+            result = router.route(plan.requests)
+            if result.routed:
+                configs = result.configs
+            else:
+                stream.unrouted_cycles += 1
+        elif route:
+            stream.unrouted_cycles += 1
+        write_lines = [w.line for w in plan.writes]
+        write_lines += [0] * (config.array_cols - len(write_lines))
+        stream.words.append(pack_configuration(configs, topo, write_lines,
+                                               config.stab_lines))
+    return stream

@@ -1,0 +1,196 @@
+"""Whole-model execution on FEATHER with per-layer (dataflow, layout) co-switching.
+
+This ties the pieces together the way the paper's end-to-end deployment does
+(§III, §VI-B): a network is a sequence of stages (convolutions interleaved
+with ReLU / BatchNorm / pooling), the Layoutloop co-search picks each conv
+layer's layout, the accelerator writes every layer's oActs into the StaB Pong
+in the layout the *next* conv wants (RIR), the ping-pong buffer swaps at the
+layer boundary, and the post-processing engines run in between.
+
+The runner is functional (results are exact integers, verifiable against the
+numpy reference) and accumulates the per-layer :class:`ExecutionStats` so
+whole-model latency/utilization can be reported.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.feather.accelerator import ExecutionStats, FeatherAccelerator, reference_conv
+from repro.feather.config import FeatherConfig
+from repro.feather.postproc import IntegerBatchNorm, max_pool, relu
+from repro.layout.layout import Layout, parse_layout
+from repro.workloads.conv import ConvLayerSpec
+
+
+@dataclass
+class ConvStage:
+    """One convolution stage with its weights and optional post-processing."""
+
+    layer: ConvLayerSpec
+    weights: np.ndarray
+    apply_relu: bool = False
+    batch_norm: Optional[IntegerBatchNorm] = None
+
+    def __post_init__(self) -> None:
+        expected = (self.layer.m, self.layer.c // self.layer.groups,
+                    self.layer.r, self.layer.s)
+        if tuple(self.weights.shape) != expected:
+            raise ValueError(
+                f"{self.layer.name}: weights shape {self.weights.shape} != {expected}")
+
+
+@dataclass
+class PoolStage:
+    """A max-pooling stage (runs on the dedicated engine, not the NEST)."""
+
+    kernel: int
+    stride: Optional[int] = None
+
+
+Stage = Union[ConvStage, PoolStage]
+
+
+@dataclass
+class ModelRunResult:
+    """Output activations plus per-layer and aggregate statistics."""
+
+    outputs: np.ndarray
+    per_layer_stats: List[Tuple[str, ExecutionStats]] = field(default_factory=list)
+
+    @property
+    def total_stats(self) -> ExecutionStats:
+        total = ExecutionStats()
+        for _, stats in self.per_layer_stats:
+            total = total.merge(stats)
+        return total
+
+    @property
+    def total_cycles(self) -> float:
+        return sum(stats.cycles for _, stats in self.per_layer_stats)
+
+    @property
+    def layouts_used(self) -> List[str]:
+        return [stats.output_layout for _, stats in self.per_layer_stats
+                if stats.output_layout]
+
+
+class ModelRunner:
+    """Run a sequence of stages on one FEATHER instance with layout co-switching.
+
+    ``layout_for`` chooses the layout each conv layer's *output* is written in
+    (i.e. the next layer's iAct layout); by default channel-last sized to the
+    array width, which is concordant with the channel-parallel reads the GEMM
+    lowering performs — callers can plug in the Layoutloop co-search instead.
+    """
+
+    def __init__(self, config: Optional[FeatherConfig] = None,
+                 layout_for: Optional[Callable[[ConvLayerSpec], Layout]] = None,
+                 route_birrd: str = "never"):
+        self.config = config or FeatherConfig(array_rows=4, array_cols=8,
+                                              stab_lines=4096)
+        self.accelerator = FeatherAccelerator(self.config, route_birrd=route_birrd)
+        self._layout_for = layout_for or self._default_layout
+
+    def _default_layout(self, layer: ConvLayerSpec) -> Layout:
+        width = min(self.config.array_cols, max(1, layer.q))
+        return parse_layout(f"MPQ_Q{width}")
+
+    def _input_layout(self, layer: ConvLayerSpec) -> Layout:
+        width = min(self.config.array_cols, max(1, layer.c))
+        return parse_layout(f"HWC_C{width}")
+
+    # ------------------------------------------------------------------- run
+    def run(self, stages: Sequence[Stage], iacts: np.ndarray) -> ModelRunResult:
+        """Execute the stage list on the input tensor ``(C, H, W)``."""
+        acts = np.asarray(iacts, dtype=np.int64)
+        result = ModelRunResult(outputs=acts)
+
+        for index, stage in enumerate(stages):
+            if isinstance(stage, PoolStage):
+                acts = max_pool(acts, kernel=stage.kernel, stride=stage.stride)
+                continue
+            if not isinstance(stage, ConvStage):
+                raise TypeError(f"unsupported stage type {type(stage)!r}")
+
+            layer = stage.layer
+            if acts.shape != (layer.c, layer.h, layer.w):
+                raise ValueError(
+                    f"stage {index} ({layer.name}): activations {acts.shape} do not "
+                    f"match the declared layer input {(layer.c, layer.h, layer.w)}")
+
+            grouped = self._run_conv_possibly_grouped(stage, acts)
+            acts, stats = grouped
+
+            if stage.batch_norm is not None:
+                acts = stage.batch_norm.apply(acts)
+            if stage.apply_relu:
+                acts = relu(acts)
+
+            result.per_layer_stats.append((layer.name, stats))
+
+        result.outputs = acts
+        return result
+
+    def _run_conv_possibly_grouped(self, stage: ConvStage, acts: np.ndarray
+                                   ) -> Tuple[np.ndarray, ExecutionStats]:
+        """Run a conv stage, handling grouped/depthwise layers group by group."""
+        layer = stage.layer
+        output_layout = self._layout_for(layer)
+        input_layout = self._input_layout(layer)
+        if layer.groups == 1:
+            return self.accelerator.run_conv(
+                layer, acts, stage.weights,
+                output_layout=output_layout, input_layout=input_layout)
+
+        c_per_group = layer.c // layer.groups
+        m_per_group = layer.m // layer.groups
+        outputs = np.zeros((layer.m, layer.p, layer.q), dtype=np.int64)
+        total = ExecutionStats()
+        for g in range(layer.groups):
+            sub_layer = ConvLayerSpec(
+                f"{layer.name}_g{g}", m=m_per_group, c=c_per_group, h=layer.h,
+                w=layer.w, r=layer.r, s=layer.s, stride=layer.stride,
+                padding=layer.padding)
+            sub_acts = acts[g * c_per_group:(g + 1) * c_per_group]
+            sub_weights = stage.weights[g * m_per_group:(g + 1) * m_per_group]
+            sub_out, stats = self.accelerator.run_conv(
+                sub_layer, sub_acts, sub_weights,
+                output_layout=self._layout_for(sub_layer),
+                input_layout=self._input_layout(sub_layer))
+            outputs[g * m_per_group:(g + 1) * m_per_group] = sub_out
+            total = total.merge(stats)
+        return outputs, total
+
+
+def reference_model(stages: Sequence[Stage], iacts: np.ndarray) -> np.ndarray:
+    """Numpy reference of the whole stage sequence (golden model for tests)."""
+    acts = np.asarray(iacts, dtype=np.int64)
+    for stage in stages:
+        if isinstance(stage, PoolStage):
+            acts = max_pool(acts, kernel=stage.kernel, stride=stage.stride)
+            continue
+        layer = stage.layer
+        if layer.groups == 1:
+            acts = reference_conv(acts, stage.weights, layer)
+        else:
+            c_per_group = layer.c // layer.groups
+            m_per_group = layer.m // layer.groups
+            out = np.zeros((layer.m, layer.p, layer.q), dtype=np.int64)
+            for g in range(layer.groups):
+                sub_layer = ConvLayerSpec(
+                    f"{layer.name}_ref_g{g}", m=m_per_group, c=c_per_group,
+                    h=layer.h, w=layer.w, r=layer.r, s=layer.s,
+                    stride=layer.stride, padding=layer.padding)
+                out[g * m_per_group:(g + 1) * m_per_group] = reference_conv(
+                    acts[g * c_per_group:(g + 1) * c_per_group],
+                    stage.weights[g * m_per_group:(g + 1) * m_per_group], sub_layer)
+            acts = out
+        if stage.batch_norm is not None:
+            acts = stage.batch_norm.apply(acts)
+        if stage.apply_relu:
+            acts = relu(acts)
+    return acts

@@ -1,0 +1,60 @@
+"""Quantization module (QM).
+
+FEATHER's QM rescales 32-bit accumulated oActs and re-quantizes them to 8-bit
+using the FBGEMM/QNNPACK scheme referenced by the paper (§III-C4): 8-bit zero
+points and 32-bit floating scales held in the ZP/Scale buffer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclass
+class QuantizationModule:
+    """Requantize int32 accumulator values to int8 activations."""
+
+    scale: float = 1.0
+    zero_point: int = 0
+    out_bits: int = 8
+    signed: bool = True
+
+    def __post_init__(self) -> None:
+        if self.scale <= 0:
+            raise ValueError("scale must be positive")
+        if self.out_bits < 2 or self.out_bits > 32:
+            raise ValueError("out_bits must be between 2 and 32")
+        self.values_quantized = 0
+
+    @property
+    def qmin(self) -> int:
+        return -(1 << (self.out_bits - 1)) if self.signed else 0
+
+    @property
+    def qmax(self) -> int:
+        return (1 << (self.out_bits - 1)) - 1 if self.signed else (1 << self.out_bits) - 1
+
+    def quantize(self, value: int) -> int:
+        """Requantize one int32 accumulator value."""
+        q = int(round(value * self.scale)) + self.zero_point
+        self.values_quantized += 1
+        return max(self.qmin, min(self.qmax, q))
+
+    def quantize_array(self, values) -> np.ndarray:
+        """Vector form used by the functional simulator."""
+        arr = np.asarray(values, dtype=np.int64)
+        q = np.rint(arr * self.scale).astype(np.int64) + self.zero_point
+        self.values_quantized += arr.size
+        return np.clip(q, self.qmin, self.qmax).astype(np.int32)
+
+    @classmethod
+    def calibrated(cls, accumulators: Sequence[int], out_bits: int = 8) -> "QuantizationModule":
+        """Pick a symmetric scale that maps the observed accumulator range onto int8."""
+        arr = np.asarray(list(accumulators), dtype=np.int64)
+        max_abs = int(np.max(np.abs(arr))) if arr.size else 1
+        qmax = (1 << (out_bits - 1)) - 1
+        scale = qmax / max_abs if max_abs else 1.0
+        return cls(scale=scale, zero_point=0, out_bits=out_bits)

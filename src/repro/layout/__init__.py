@@ -1,0 +1,55 @@
+"""On-chip data layout: specification, reorder patterns and concordance analysis."""
+
+from repro.layout.layout import IntraLineDim, Layout, parse_layout
+from repro.layout.patterns import (
+    ReorderCapability,
+    ReorderImplementation,
+    ReorderPattern,
+    apply_arbitrary,
+    apply_line_rotation,
+    apply_row_reorder,
+    apply_transpose,
+    capability,
+    capability_table,
+    concordant_dataflow_flexibility,
+)
+from repro.layout.concordance import (
+    AccessTraceEntry,
+    ConcordanceReport,
+    analyze_concordance,
+    cycle_slowdown,
+    lines_touched,
+    required_parallel_coords,
+    sliding_window_coords,
+)
+from repro.layout.library import (
+    conv_layout_library,
+    gemm_layout_library,
+    motivation_layouts,
+)
+
+__all__ = [
+    "IntraLineDim",
+    "Layout",
+    "parse_layout",
+    "ReorderCapability",
+    "ReorderImplementation",
+    "ReorderPattern",
+    "apply_arbitrary",
+    "apply_line_rotation",
+    "apply_row_reorder",
+    "apply_transpose",
+    "capability",
+    "capability_table",
+    "concordant_dataflow_flexibility",
+    "AccessTraceEntry",
+    "ConcordanceReport",
+    "analyze_concordance",
+    "cycle_slowdown",
+    "lines_touched",
+    "required_parallel_coords",
+    "sliding_window_coords",
+    "conv_layout_library",
+    "gemm_layout_library",
+    "motivation_layouts",
+]

@@ -1,0 +1,71 @@
+"""Layout libraries used by the paper's searches (§VI-A2, footnote 4).
+
+Conv layouts: HWC_C32, HWC_W32, HWC_H32, HWC_C4W8, HWC_C4H8, HWC_W4H8,
+HWC_C4W4H2.  GEMM layouts (inputs M x K): MK_K32, MK_M32, MK_M4K8.
+
+These are the layouts Layoutloop exhaustively enumerates when co-searching
+(dataflow, layout) pairs, plus the motivational layouts of Fig. 4.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.layout.layout import Layout, parse_layout
+
+
+_CONV_LAYOUT_NAMES = (
+    "HWC_C32",
+    "HWC_W32",
+    "HWC_H32",
+    "HWC_C4W8",
+    "HWC_C4H8",
+    "HWC_W4H8",
+    "HWC_C4W4H2",
+)
+
+_GEMM_LAYOUT_NAMES = (
+    "MK_K32",
+    "MK_M32",
+    "MK_M4K8",
+)
+
+_MOTIVATION_LAYOUT_NAMES = (
+    "HWC_W2C3",   # L1 / L3 channel-last in Fig. 4
+    "HCW_W8",     # L2 / L4 row-major in Fig. 4
+    "HWC_C4",     # channel-last used in the Fig. 11 walk-through
+    "CHW_W4",     # row-major used in the Fig. 11 walk-through
+)
+
+
+def conv_layout_library(line_size: int = None) -> List[Layout]:
+    """The seven convolution layouts of the paper's search space.
+
+    When ``line_size`` is given, each layout is resized so its line matches
+    the buffer's physical line width (the innermost intra dimension absorbs
+    the change), mirroring how Layoutloop adapts layouts to an architecture.
+    """
+    layouts = [parse_layout(name) for name in _CONV_LAYOUT_NAMES]
+    if line_size is not None:
+        layouts = [_try_resize(l, line_size) for l in layouts]
+    return layouts
+
+
+def gemm_layout_library(line_size: int = None) -> List[Layout]:
+    """The three GEMM input layouts of the paper's search space."""
+    layouts = [parse_layout(name) for name in _GEMM_LAYOUT_NAMES]
+    if line_size is not None:
+        layouts = [_try_resize(l, line_size) for l in layouts]
+    return layouts
+
+
+def motivation_layouts() -> List[Layout]:
+    """Layouts used in the motivation figures (Fig. 4 L1-L4 and Fig. 11)."""
+    return [parse_layout(name) for name in _MOTIVATION_LAYOUT_NAMES]
+
+
+def _try_resize(layout: Layout, line_size: int) -> Layout:
+    try:
+        return layout.with_line_size(line_size)
+    except ValueError:
+        return layout

@@ -1,0 +1,198 @@
+"""Reordering patterns and their capabilities (paper Fig. 5 and Table III).
+
+A reorder *pattern* is the functional capability (what permutations of the
+logical 2D buffer are reachable); an *implementation* is where/when that
+capability is exercised (off-chip, on-chip reorder-after-reduction, or
+FEATHER's reorder-in-reduction).  The cost model uses the pattern to decide
+which bank conflicts can be eliminated, and the implementation to decide what
+latency/energy the reordering itself costs.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+
+class ReorderPattern(enum.Enum):
+    """Functional reordering capability (Fig. 5a-e)."""
+
+    NONE = "fixed layout"
+    LINE_ROTATION = "line rotation"
+    TRANSPOSE = "transpose"
+    ROW_REORDER = "row reorder"
+    TRANSPOSE_ROW = "transpose + row reorder"
+    ARBITRARY = "arbitrary reorder"
+
+
+class ReorderImplementation(enum.Enum):
+    """Where the reordering happens (Fig. 6)."""
+
+    NONE = "no reordering"
+    OFF_CHIP = "off-chip (DRAM round trip)"
+    RAR = "on-chip reorder after reduction"
+    RIR = "reorder in reduction (FEATHER)"
+
+
+@dataclass(frozen=True)
+class ReorderCapability:
+    """What a pattern can do, used by the concordance analysis and cost model.
+
+    ``max_rows_per_bank`` — how many distinct rows of a single bank can be
+    served per cycle once the pattern has been applied (dual-port SRAM gives 2
+    for the fixed layout; line rotation effectively adds one by borrowing a
+    neighbouring bank's port).
+
+    ``intra_line_permute`` — data within a line can be re-ordered arbitrarily.
+
+    ``cross_line_permute`` — data can move between arbitrary lines (full 2D
+    permutation).  Only arbitrary reorder has this.
+
+    ``transpose`` — rows and columns of the 2D buffer can be swapped.
+    """
+
+    pattern: ReorderPattern
+    max_rows_per_bank: int
+    intra_line_permute: bool
+    cross_line_permute: bool
+    transpose: bool
+    extra_bandwidth_ports: int = 0
+    extra_copy_lines: int = 0
+
+    def removes_conflict(self, rows_needed: int, ports: int) -> bool:
+        """Whether this pattern alone can serve ``rows_needed`` rows of one bank
+        without a stall, given ``ports`` physical ports per bank."""
+        if self.cross_line_permute:
+            # Arbitrary reorder can always re-pack the needed data into <= ports lines.
+            return True
+        effective = ports + self.extra_bandwidth_ports
+        if self.transpose:
+            # Transposing lets a column read become a row read, so a request
+            # spanning many rows but a single column collapses to one row.
+            return True if rows_needed <= effective else False
+        return rows_needed <= effective
+
+
+_CAPABILITIES: Dict[ReorderPattern, ReorderCapability] = {
+    ReorderPattern.NONE: ReorderCapability(
+        ReorderPattern.NONE, max_rows_per_bank=2, intra_line_permute=False,
+        cross_line_permute=False, transpose=False),
+    ReorderPattern.LINE_ROTATION: ReorderCapability(
+        ReorderPattern.LINE_ROTATION, max_rows_per_bank=3, intra_line_permute=False,
+        cross_line_permute=False, transpose=False,
+        extra_bandwidth_ports=1, extra_copy_lines=1),
+    ReorderPattern.TRANSPOSE: ReorderCapability(
+        ReorderPattern.TRANSPOSE, max_rows_per_bank=2, intra_line_permute=False,
+        cross_line_permute=False, transpose=True),
+    ReorderPattern.ROW_REORDER: ReorderCapability(
+        ReorderPattern.ROW_REORDER, max_rows_per_bank=2, intra_line_permute=True,
+        cross_line_permute=False, transpose=False),
+    ReorderPattern.TRANSPOSE_ROW: ReorderCapability(
+        ReorderPattern.TRANSPOSE_ROW, max_rows_per_bank=2, intra_line_permute=True,
+        cross_line_permute=False, transpose=True),
+    ReorderPattern.ARBITRARY: ReorderCapability(
+        ReorderPattern.ARBITRARY, max_rows_per_bank=2, intra_line_permute=True,
+        cross_line_permute=True, transpose=True),
+}
+
+
+def capability(pattern: ReorderPattern) -> ReorderCapability:
+    """Return the capability record for a pattern."""
+    return _CAPABILITIES[pattern]
+
+
+def capability_table() -> List[ReorderCapability]:
+    """All patterns, ordered from least to most capable (Fig. 5f ordering)."""
+    order = [
+        ReorderPattern.NONE,
+        ReorderPattern.LINE_ROTATION,
+        ReorderPattern.TRANSPOSE,
+        ReorderPattern.ROW_REORDER,
+        ReorderPattern.TRANSPOSE_ROW,
+        ReorderPattern.ARBITRARY,
+    ]
+    return [_CAPABILITIES[p] for p in order]
+
+
+def concordant_dataflow_flexibility(pattern: ReorderPattern) -> Dict[str, float]:
+    """Relative T/O/P/S flexibility enabled by each pattern (Fig. 5f).
+
+    Values are normalised to 1.0 = full flexibility; they are qualitative (the
+    figure is a radar chart) but preserve the ordering the paper draws:
+    reordering enlarges O, P and S but cannot enlarge T.
+    """
+    cap = capability(pattern)
+    tiles = 0.5  # reordering by itself cannot increase tile flexibility
+    order = 1.0 if cap.intra_line_permute or cap.cross_line_permute else 0.4
+    if pattern is ReorderPattern.NONE:
+        order = 0.3
+    parallel = 0.3
+    if cap.transpose:
+        parallel = 0.6
+    if pattern is ReorderPattern.LINE_ROTATION:
+        parallel = 0.45
+    if cap.cross_line_permute:
+        parallel = 1.0
+    shape = 1.0 if cap.cross_line_permute else (0.6 if cap.transpose else 0.4)
+    return {"T": tiles, "O": order, "P": parallel, "S": shape}
+
+
+# --------------------------------------------------------------------------
+# Functional reference implementations of each pattern on a small 2D buffer.
+# These are used by the unit tests (and Fig. 5 reproduction) to check that a
+# pattern can/cannot realise a given target arrangement.
+# --------------------------------------------------------------------------
+
+def apply_line_rotation(buffer_rows: Sequence[Sequence[int]], src_row: int,
+                        dst_bank_rows: List[List[int]]) -> Tuple[list, list]:
+    """Copy ``src_row`` of a bank into another bank's free row (Fig. 5b).
+
+    Returns the (unchanged source bank, augmented destination bank).  The
+    source row is *copied*, matching Medusa's behaviour of duplicating a line
+    rather than moving it.
+    """
+    src = [list(r) for r in buffer_rows]
+    dst = [list(r) for r in dst_bank_rows]
+    dst.append(list(src[src_row]))
+    return src, dst
+
+
+def apply_transpose(buffer_rows: Sequence[Sequence[int]]) -> List[List[int]]:
+    """Swap rows with columns (Fig. 5c)."""
+    rows = [list(r) for r in buffer_rows]
+    if not rows:
+        return []
+    width = len(rows[0])
+    if any(len(r) != width for r in rows):
+        raise ValueError("transpose requires a rectangular buffer")
+    return [[rows[r][c] for r in range(len(rows))] for c in range(width)]
+
+
+def apply_row_reorder(buffer_rows: Sequence[Sequence[int]],
+                      permutations: Sequence[Sequence[int]]) -> List[List[int]]:
+    """Permute data within each row independently (Fig. 5d)."""
+    rows = [list(r) for r in buffer_rows]
+    if len(permutations) != len(rows):
+        raise ValueError("need one permutation per row")
+    out = []
+    for row, perm in zip(rows, permutations):
+        if sorted(perm) != list(range(len(row))):
+            raise ValueError("permutation must cover every column exactly once")
+        out.append([row[p] for p in perm])
+    return out
+
+
+def apply_arbitrary(buffer_rows: Sequence[Sequence[int]],
+                    placement: Dict[Tuple[int, int], Tuple[int, int]]) -> List[List[int]]:
+    """Arbitrary 2D permutation (Fig. 5e): placement maps (row, col) -> (row, col)."""
+    rows = [list(r) for r in buffer_rows]
+    out = [[None] * len(r) for r in rows]
+    for (sr, sc), (dr, dc) in placement.items():
+        out[dr][dc] = rows[sr][sc]
+    # Positions not named keep their original occupant if still empty.
+    for r, row in enumerate(rows):
+        for c, val in enumerate(row):
+            if out[r][c] is None and (r, c) not in placement:
+                out[r][c] = val
+    return out

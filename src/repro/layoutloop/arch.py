@@ -1,0 +1,114 @@
+"""Architecture specifications consumed by the Layoutloop cost model.
+
+An :class:`ArchSpec` captures what Table IV captures for every evaluated
+design: the PE array shape, which dataflow knobs (T/O/P/S) are runtime
+flexible, which data layouts the design can hold and whether/how it can
+reorder them, the physical on-chip buffer geometry (the paper's
+``num_line x line_size`` with ``conflict_depth`` and port counts), and the
+off-chip bandwidth used to price off-chip reordering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional, Sequence, Tuple
+
+from repro.layout.patterns import ReorderImplementation, ReorderPattern
+
+
+@dataclass(frozen=True)
+class BufferGeometry:
+    """Physical on-chip storage abstraction (paper §V-A)."""
+
+    num_lines: int = 2048
+    line_size: int = 32
+    banks: int = 32
+    ports_per_bank: int = 2
+    word_bits: int = 8
+
+    @property
+    def conflict_depth(self) -> int:
+        return max(1, self.num_lines // self.banks)
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self.num_lines * self.line_size * self.word_bits // 8
+
+    @property
+    def peak_words_per_cycle(self) -> int:
+        return self.banks * self.ports_per_bank
+
+
+@dataclass(frozen=True)
+class ArchSpec:
+    """One accelerator configuration for Layoutloop."""
+
+    name: str
+    pe_rows: int
+    pe_cols: int
+    # Dataflow flexibility (paper's T/O/P/S). Tiling is always flexible.
+    flexible_order: bool = True
+    flexible_parallelism: bool = True
+    flexible_shape: bool = True
+    allowed_parallel_dims: Optional[Tuple[str, ...]] = None
+    max_parallel_dims: int = 2
+    fixed_parallelism: Optional[Tuple[Tuple[str, int], ...]] = None
+    # Layout policy.
+    runtime_layout_flexible: bool = False
+    compile_time_layout_flexible: bool = True
+    fixed_layout: Optional[str] = None
+    reorder_pattern: ReorderPattern = ReorderPattern.NONE
+    reorder_implementation: ReorderImplementation = ReorderImplementation.NONE
+    # Storage and bandwidth.
+    buffer: BufferGeometry = field(default_factory=BufferGeometry)
+    offchip_bandwidth_gbps: float = 25.6
+    frequency_mhz: float = 1000.0
+    mac_bits: int = 8
+
+    @property
+    def num_pes(self) -> int:
+        return self.pe_rows * self.pe_cols
+
+    @property
+    def offchip_bytes_per_cycle(self) -> float:
+        cycles_per_second = self.frequency_mhz * 1e6
+        return self.offchip_bandwidth_gbps * 1e9 / cycles_per_second
+
+    def with_reorder(self, pattern: ReorderPattern,
+                     implementation: ReorderImplementation) -> "ArchSpec":
+        return replace(self, reorder_pattern=pattern,
+                       reorder_implementation=implementation)
+
+    def describe(self) -> str:
+        knobs = "T"
+        if self.flexible_order:
+            knobs += "O"
+        if self.flexible_parallelism:
+            knobs += "P"
+        if self.flexible_shape:
+            knobs += "S"
+        layout = "flexible" if self.runtime_layout_flexible else (
+            self.fixed_layout or "fixed")
+        return (f"{self.name}: {self.pe_rows}x{self.pe_cols} PEs, dataflow {knobs}, "
+                f"layout {layout}, reorder {self.reorder_pattern.value} "
+                f"via {self.reorder_implementation.value}")
+
+
+def feather_arch(rows: int = 16, cols: int = 16, **overrides) -> ArchSpec:
+    """FEATHER: fully flexible TOPS, arbitrary reorder in reduction."""
+    defaults = dict(
+        name="FEATHER",
+        pe_rows=rows,
+        pe_cols=cols,
+        flexible_order=True,
+        flexible_parallelism=True,
+        flexible_shape=True,
+        max_parallel_dims=2,
+        runtime_layout_flexible=True,
+        reorder_pattern=ReorderPattern.ARBITRARY,
+        reorder_implementation=ReorderImplementation.RIR,
+        buffer=BufferGeometry(num_lines=2048, line_size=cols, banks=cols,
+                              ports_per_bank=2),
+    )
+    defaults.update(overrides)
+    return ArchSpec(**defaults)

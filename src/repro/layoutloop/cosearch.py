@@ -1,0 +1,169 @@
+"""Dataflow-layout co-search over whole models (paper §V and §VI-A2).
+
+The paper searches the (dataflow, layout) pair with the best energy-delay
+product for every layer independently, then sums per-layer results for the
+whole model.  Because DNNs repeat layer shapes many times, the co-search
+deduplicates identical shapes and weights the per-shape result by its
+occurrence count — this is a pure speed optimisation with no effect on the
+totals.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.layoutloop.arch import ArchSpec
+from repro.layoutloop.energy import EnergyTable
+from repro.layoutloop.mapper import Mapper, SearchResult
+from repro.workloads.conv import ConvLayerSpec
+from repro.workloads.gemm import GemmSpec
+
+
+@dataclass
+class LayerChoice:
+    """The chosen (dataflow, layout) and its cost for one unique layer shape."""
+
+    result: SearchResult
+    count: int
+
+    @property
+    def cycles(self) -> float:
+        return self.result.best_report.total_cycles * self.count
+
+    @property
+    def energy_pj(self) -> float:
+        return self.result.best_report.total_energy_pj * self.count
+
+    @property
+    def macs(self) -> int:
+        return self.result.best_report.macs * self.count
+
+
+@dataclass
+class ModelCost:
+    """Aggregate cost of running a whole model on one architecture."""
+
+    arch: str
+    model: str
+    layer_choices: List[LayerChoice] = field(default_factory=list)
+
+    @property
+    def total_cycles(self) -> float:
+        return sum(c.cycles for c in self.layer_choices)
+
+    @property
+    def total_energy_pj(self) -> float:
+        return sum(c.energy_pj for c in self.layer_choices)
+
+    @property
+    def total_macs(self) -> int:
+        return sum(c.macs for c in self.layer_choices)
+
+    @property
+    def energy_per_mac_pj(self) -> float:
+        return self.total_energy_pj / self.total_macs if self.total_macs else 0.0
+
+    @property
+    def edp(self) -> float:
+        return self.total_energy_pj * self.total_cycles
+
+    @property
+    def avg_utilization(self) -> float:
+        """MAC-weighted steady-state utilization across layers."""
+        if not self.layer_choices:
+            return 0.0
+        total = sum(c.result.best_report.utilization * c.macs for c in self.layer_choices)
+        return total / self.total_macs if self.total_macs else 0.0
+
+    @property
+    def stall_fraction(self) -> float:
+        """Fraction of total cycles spent on bank-conflict stalls."""
+        stalls = sum(c.result.best_report.stall_cycles * c.count for c in self.layer_choices)
+        return stalls / self.total_cycles if self.total_cycles else 0.0
+
+    @property
+    def reorder_fraction(self) -> float:
+        """Fraction of total cycles exposed by layout reordering."""
+        reorder = sum(c.result.best_report.reorder_cycles_exposed * c.count
+                      for c in self.layer_choices)
+        return reorder / self.total_cycles if self.total_cycles else 0.0
+
+    def geomean_cycles(self) -> float:
+        values = [c.result.best_report.total_cycles for c in self.layer_choices]
+        return _geomean(values)
+
+    def geomean_energy_per_mac(self) -> float:
+        values = [c.result.best_report.energy_per_mac_pj for c in self.layer_choices]
+        return _geomean(values)
+
+    def layouts_used(self) -> List[str]:
+        return sorted({c.result.best_layout.name for c in self.layer_choices})
+
+
+def _geomean(values: Sequence[float]) -> float:
+    values = [v for v in values if v > 0]
+    if not values:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def unique_workloads(workloads: Sequence) -> List[Tuple[object, int]]:
+    """Group workloads by shape signature, preserving first-seen order."""
+    groups: "OrderedDict[Tuple, Tuple[object, int]]" = OrderedDict()
+    for wl in workloads:
+        sig = _signature(wl)
+        if sig in groups:
+            existing, count = groups[sig]
+            groups[sig] = (existing, count + 1)
+        else:
+            groups[sig] = (wl, 1)
+    return list(groups.values())
+
+
+def _signature(workload) -> Tuple:
+    if isinstance(workload, ConvLayerSpec):
+        return ("conv", workload.m, workload.c, workload.h, workload.w, workload.r,
+                workload.s, workload.stride, workload.padding, workload.groups)
+    if isinstance(workload, GemmSpec):
+        return ("gemm", workload.m, workload.k, workload.n)
+    raise TypeError(f"unsupported workload {type(workload)!r}")
+
+
+def cosearch_layer(arch: ArchSpec, workload, metric: str = "edp",
+                   max_mappings: int = 200, energy: Optional[EnergyTable] = None,
+                   mapper: Optional[Mapper] = None) -> SearchResult:
+    """Co-search the (dataflow, layout) pair for one layer on one architecture."""
+    mapper = mapper or Mapper(arch, energy=energy, metric=metric,
+                              max_mappings=max_mappings)
+    return mapper.search(workload)
+
+
+def evaluate_model(arch: ArchSpec, workloads: Sequence, model_name: str = "model",
+                   metric: str = "edp", max_mappings: int = 200,
+                   energy: Optional[EnergyTable] = None,
+                   mapper: Optional[Mapper] = None) -> ModelCost:
+    """Run the per-layer co-search over a whole model and aggregate the result."""
+    mapper = mapper or Mapper(arch, energy=energy, metric=metric,
+                              max_mappings=max_mappings)
+    cost = ModelCost(arch=arch.name, model=model_name)
+    for workload, count in unique_workloads(workloads):
+        result = mapper.search(workload)
+        cost.layer_choices.append(LayerChoice(result=result, count=count))
+    return cost
+
+
+def compare_architectures(arches: Sequence[ArchSpec], workloads: Sequence,
+                          model_name: str = "model", metric: str = "edp",
+                          max_mappings: int = 200,
+                          energy: Optional[EnergyTable] = None,
+                          ) -> Dict[str, ModelCost]:
+    """Evaluate several architectures on the same model (Fig. 13 style)."""
+    return {
+        arch.name: evaluate_model(arch, workloads, model_name=model_name,
+                                  metric=metric, max_mappings=max_mappings,
+                                  energy=energy)
+        for arch in arches
+    }

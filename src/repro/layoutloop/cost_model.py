@@ -1,0 +1,332 @@
+"""Layoutloop cost model: latency + energy of a (workload, mapping, layout) triple.
+
+This is the Timeloop-style analytical model the paper extends (§V).  For a
+given architecture it computes:
+
+* compute cycles and spatial utilization from the mapping (padded per-dimension
+  trip counts, exactly as a loop-nest model would),
+* the bank-conflict *slowdown* from reading the streaming tensor under the
+  given layout through the architecture's physical buffer geometry
+  (``max(lines_accessed / ports, 1)`` per §V-B), moderated by whatever on-chip
+  reordering pattern the architecture has,
+* the latency and energy cost of the architecture's reordering implementation
+  (off-chip DRAM round trip, on-chip reorder-after-reduction, or FEATHER's
+  free reorder-in-reduction),
+* an energy breakdown over MACs, registers, on-chip buffer, NoC and DRAM.
+
+The absolute pJ values come from a calibrated table; all experiments report
+results normalized to FEATHER, which is how the paper presents Fig. 13.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.dataflow.mapping import Mapping
+from repro.layout.concordance import analyze_concordance
+from repro.layout.layout import Layout
+from repro.layout.patterns import ReorderImplementation, ReorderPattern
+from repro.layoutloop.arch import ArchSpec
+from repro.layoutloop.energy import DEFAULT_ENERGY_TABLE, EnergyTable
+from repro.workloads.conv import ConvLayerSpec
+from repro.workloads.gemm import GemmSpec
+
+
+@dataclass
+class CostReport:
+    """Latency/energy estimate for one (workload, mapping, layout) on one arch."""
+
+    workload: str
+    arch: str
+    mapping: str
+    layout: str
+    macs: int
+    compute_cycles: float
+    slowdown: float
+    stall_cycles: float
+    reorder_cycles_exposed: float
+    total_cycles: float
+    utilization: float
+    practical_utilization: float
+    energy_breakdown_pj: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_energy_pj(self) -> float:
+        return sum(self.energy_breakdown_pj.values())
+
+    @property
+    def energy_per_mac_pj(self) -> float:
+        return self.total_energy_pj / self.macs if self.macs else 0.0
+
+    @property
+    def edp(self) -> float:
+        return self.total_energy_pj * self.total_cycles
+
+    def latency_seconds(self, frequency_mhz: float) -> float:
+        return self.total_cycles / (frequency_mhz * 1e6)
+
+
+# ---------------------------------------------------------------------------
+# Per-cycle access-coordinate generation for the streaming tensor.
+# ---------------------------------------------------------------------------
+
+_CONV_IACT_DIMS = ("C", "H", "W")
+_SAMPLE_BASES = ((0, 0, 0), (1, 1, 1), (2, 5, 3), (0, 3, 6))
+
+
+def _conv_iact_coords(layer: ConvLayerSpec, mapping: Mapping,
+                      base: Tuple[int, int, int]) -> List[Dict[str, int]]:
+    """Concurrent iAct coordinates demanded by the mapping's parallel dims."""
+    c0, h0, w0 = base
+    deg = mapping.parallel_dims
+    coords = [{"C": c0 % max(1, layer.c), "H": h0 % max(1, layer.h),
+               "W": w0 % max(1, layer.w)}]
+
+    def expand(dim_key: str, count: int, apply):
+        nonlocal coords
+        if count <= 1:
+            return
+        expanded = []
+        for coord in coords:
+            for idx in range(count):
+                new = dict(coord)
+                apply(new, idx)
+                expanded.append(new)
+        coords = expanded
+
+    expand("C", deg.get("C", 1), lambda c, i: c.update(C=(c["C"] + i) % max(1, layer.c)))
+    expand("P", deg.get("P", 1),
+           lambda c, i: c.update(H=(c["H"] + i * layer.stride) % max(1, layer.h)))
+    expand("Q", deg.get("Q", 1),
+           lambda c, i: c.update(W=(c["W"] + i * layer.stride) % max(1, layer.w)))
+    expand("R", deg.get("R", 1), lambda c, i: c.update(H=(c["H"] + i) % max(1, layer.h)))
+    expand("S", deg.get("S", 1), lambda c, i: c.update(W=(c["W"] + i) % max(1, layer.w)))
+    # M and N parallelism broadcasts the same iActs: no new coordinates.
+    return coords
+
+
+def _gemm_input_coords(gemm: GemmSpec, mapping: Mapping,
+                       base: Tuple[int, int, int]) -> List[Dict[str, int]]:
+    m0, k0, _ = base
+    deg = mapping.parallel_dims
+    coords = [{"M": m0 % max(1, gemm.m), "K": k0 % max(1, gemm.k)}]
+
+    def expand(dim: str, count: int, extent: int):
+        nonlocal coords
+        if count <= 1:
+            return
+        expanded = []
+        for coord in coords:
+            for idx in range(count):
+                new = dict(coord)
+                new[dim] = (coord[dim] + idx) % max(1, extent)
+                expanded.append(new)
+        coords = expanded
+
+    expand("M", deg.get("M", 1), gemm.m)
+    expand("K", deg.get("K", 1), gemm.k)
+    # N parallelism broadcasts the same input row: no new coordinates.
+    return coords
+
+
+def streaming_tensor_dims(workload) -> Dict[str, int]:
+    """Extents of the streaming (layout-bearing) tensor's dimensions."""
+    if isinstance(workload, ConvLayerSpec):
+        return {"C": workload.c, "H": workload.h, "W": workload.w}
+    if isinstance(workload, GemmSpec):
+        return {"M": workload.m, "K": workload.k}
+    raise TypeError(f"unsupported workload {type(workload)!r}")
+
+
+class CostModel:
+    """Analytical latency/energy model with layout awareness."""
+
+    def __init__(self, arch: ArchSpec, energy: Optional[EnergyTable] = None):
+        self.arch = arch
+        self.energy = energy or DEFAULT_ENERGY_TABLE
+
+    # ----------------------------------------------------------------- public
+    def evaluate(self, workload, mapping: Mapping, layout: Layout) -> CostReport:
+        macs = workload.macs
+        compute_cycles = mapping.compute_cycles(workload)
+        utilization = macs / (compute_cycles * self.arch.num_pes) if compute_cycles else 0.0
+
+        slowdown = self.estimate_slowdown(workload, mapping, layout)
+        stall_cycles = compute_cycles * (slowdown - 1.0)
+
+        reorder_exposed, reorder_energy = self._reorder_costs(workload, compute_cycles)
+
+        total_cycles = compute_cycles + stall_cycles + reorder_exposed
+        practical_utilization = macs / (total_cycles * self.arch.num_pes) if total_cycles else 0.0
+
+        breakdown = self._energy_breakdown(workload, mapping, slowdown)
+        if reorder_energy:
+            breakdown["reorder"] = breakdown.get("reorder", 0.0) + reorder_energy
+
+        return CostReport(
+            workload=getattr(workload, "name", str(workload)),
+            arch=self.arch.name,
+            mapping=mapping.name,
+            layout=layout.name,
+            macs=macs,
+            compute_cycles=compute_cycles,
+            slowdown=slowdown,
+            stall_cycles=stall_cycles,
+            reorder_cycles_exposed=reorder_exposed,
+            total_cycles=total_cycles,
+            utilization=utilization,
+            practical_utilization=practical_utilization,
+            energy_breakdown_pj=breakdown,
+        )
+
+    # -------------------------------------------------------------- slowdown
+    def estimate_slowdown(self, workload, mapping: Mapping, layout: Layout) -> float:
+        """Average bank-conflict slowdown of streaming-tensor reads under ``layout``."""
+        if self.arch.reorder_implementation is ReorderImplementation.RIR:
+            # FEATHER co-switches to a concordant layout; by construction the
+            # chosen dataflow never reads more lines than ports (§IV-B).
+            return 1.0
+        dims = streaming_tensor_dims(workload)
+        per_cycle = []
+        for base in _SAMPLE_BASES:
+            if isinstance(workload, ConvLayerSpec):
+                per_cycle.append(_conv_iact_coords(workload, mapping, base))
+            else:
+                per_cycle.append(_gemm_input_coords(workload, mapping, base))
+        report = analyze_concordance(
+            per_cycle, layout, dims,
+            ports_per_bank=self.arch.buffer.ports_per_bank,
+            lines_per_bank=self.arch.buffer.conflict_depth,
+            num_banks=self.arch.buffer.banks,
+            pattern=self.arch.reorder_pattern,
+        )
+        return report.avg_slowdown
+
+    # --------------------------------------------------------- reorder costs
+    def _reorder_costs(self, workload, compute_cycles: float) -> Tuple[float, float]:
+        """(exposed latency cycles, energy pJ) of the layout-reordering mechanism."""
+        impl = self.arch.reorder_implementation
+        oact_elems = self._oact_elems(workload)
+        oact_bytes = oact_elems * self.arch.mac_bits // 8
+        table = self.energy
+
+        if impl is ReorderImplementation.NONE:
+            return 0.0, 0.0
+        if impl is ReorderImplementation.OFF_CHIP:
+            # oActs go to DRAM, are reordered there by the CPU, and come back
+            # as the next layer's iActs (Fig. 6a): two extra DRAM transfers
+            # plus the CPU-side shuffle, all on the inter-layer critical path.
+            transfer_cycles = 2.0 * oact_bytes / max(1e-9, self.arch.offchip_bytes_per_cycle)
+            cpu_cycles = oact_elems / 8.0  # host reorders ~8 words per accelerator cycle
+            exposed = transfer_cycles + cpu_cycles
+            energy = 2.0 * oact_bytes * table.dram_access_per_byte_pj
+            return exposed, energy
+        if impl is ReorderImplementation.RAR:
+            # oActs are read from the buffer, pass through a reorder unit and
+            # are written back before the next layer can consume them.
+            line_size = max(1, self.arch.buffer.line_size)
+            reorder_cycles = 2.0 * oact_elems / (line_size * self.arch.buffer.ports_per_bank)
+            energy = oact_elems * (table.reorder_unit_per_word_pj
+                                   + table.buffer_read_per_word_pj
+                                   + table.buffer_write_per_word_pj)
+            return reorder_cycles, energy
+        if impl is ReorderImplementation.RIR:
+            # Reordering rides along the reduction: no exposed latency, only
+            # the (small) BIRRD traversal energy.
+            return 0.0, oact_elems * table.birrd_per_word_pj
+        raise ValueError(f"unknown reorder implementation {impl!r}")
+
+    # ----------------------------------------------------------------- energy
+    def _energy_breakdown(self, workload, mapping: Mapping, slowdown: float
+                          ) -> Dict[str, float]:
+        table = self.energy
+        macs = workload.macs
+        deg = mapping.parallel_dims
+
+        iact_elems, weight_elems, oact_elems = self._tensor_elems(workload)
+        bytes_per_elem = self.arch.mac_bits / 8.0
+
+        # Spatial reuse: dimensions whose parallelism does not index the tensor
+        # let one buffer read feed several PEs (multicast along the array).
+        if isinstance(workload, ConvLayerSpec):
+            iact_irrelevant = ("M",)
+            weight_irrelevant = ("P", "Q", "N")
+            reduction_extent = (workload.c // workload.groups) * workload.r * workload.s
+        else:
+            iact_irrelevant = ("N",)
+            weight_irrelevant = ("M",)
+            reduction_extent = workload.k
+
+        iact_spatial_reuse = math.prod(deg.get(d, 1) for d in iact_irrelevant)
+        weight_spatial_reuse = math.prod(deg.get(d, 1) for d in weight_irrelevant)
+
+        # Temporal (stationary) reuse from the innermost loops that do not
+        # index the tensor: bounded to keep the model sane.
+        iact_temporal = self._temporal_reuse(workload, mapping, iact_irrelevant)
+        weight_temporal = self._temporal_reuse(workload, mapping, weight_irrelevant)
+
+        iact_reads = max(iact_elems, macs / max(1, iact_spatial_reuse * iact_temporal))
+        weight_reads = max(weight_elems, macs / max(1, weight_spatial_reuse * weight_temporal))
+
+        # Partial-sum traffic: if the reduction is not completed back-to-back
+        # (reduction dims are not innermost), partial sums spill to the buffer.
+        spatial_red = max(1, mapping.spatial_reduction_size)
+        reduction_steps = math.ceil(reduction_extent / spatial_red)
+        reduction_innermost = any(d in mapping.reduction_dims for d in mapping.order[-2:])
+        if reduction_innermost or reduction_steps <= 1:
+            psum_writes = oact_elems
+            psum_reads = 0
+        else:
+            spill_factor = min(reduction_steps, 8)
+            psum_writes = oact_elems * spill_factor
+            psum_reads = oact_elems * (spill_factor - 1)
+
+        buffer_reads = iact_reads + weight_reads + psum_reads
+        buffer_writes = psum_writes + iact_elems + weight_elems  # fills from DRAM
+
+        dram_bytes = (iact_elems + weight_elems + oact_elems) * bytes_per_elem
+
+        return {
+            "mac": macs * table.mac_int8_pj,
+            "register": 2.0 * macs * table.register_access_pj,
+            "buffer_read": buffer_reads * table.buffer_read_per_word_pj * slowdown,
+            "buffer_write": buffer_writes * table.buffer_write_per_word_pj,
+            "noc": (iact_reads + weight_reads + psum_writes) * table.noc_hop_per_word_pj,
+            "dram": dram_bytes * table.dram_access_per_byte_pj,
+        }
+
+    # ---------------------------------------------------------------- helpers
+    @staticmethod
+    def _tensor_elems(workload) -> Tuple[int, int, int]:
+        if isinstance(workload, ConvLayerSpec):
+            return workload.iact_elems, workload.weight_elems, workload.oact_elems
+        return workload.input_elems, workload.weight_elems, workload.output_elems
+
+    @staticmethod
+    def _oact_elems(workload) -> int:
+        if isinstance(workload, ConvLayerSpec):
+            return workload.oact_elems
+        return workload.output_elems
+
+    def _temporal_reuse(self, workload, mapping: Mapping,
+                        irrelevant_dims: Sequence[str]) -> float:
+        """Reuse from innermost temporal loops over dims that do not index the tensor."""
+        reuse = 1.0
+        inner = mapping.order[-2:] if len(mapping.order) >= 2 else mapping.order
+        for dim in inner:
+            if dim in irrelevant_dims:
+                extent = self._dim_extent(workload, dim)
+                degree = mapping.parallel_degree(dim)
+                reuse *= min(64, max(1, extent // max(1, degree)))
+        return reuse
+
+    @staticmethod
+    def _dim_extent(workload, dim: str) -> int:
+        if isinstance(workload, ConvLayerSpec):
+            return workload.dim(dim) if dim in "NMCHWPQRS" else 1
+        try:
+            return workload.dim(dim)
+        except KeyError:
+            return 1

@@ -1,0 +1,44 @@
+"""Per-access energy table for the Layoutloop energy model.
+
+Values are pJ per access at a 28nm-class node, following the relative
+ordering every accelerator paper (Eyeriss, Timeloop/Accelergy) reports:
+a register access costs about as much as a MAC, an on-chip SRAM access is
+roughly an order of magnitude more, and a DRAM access is roughly two orders
+of magnitude more.  Absolute values are documented as calibrated; the
+experiments report normalized pJ/MAC, so only the ratios matter for the
+reproduced trends.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class EnergyTable:
+    """pJ costs of the actions the cost model counts."""
+
+    mac_int8_pj: float = 0.3
+    register_access_pj: float = 0.15
+    buffer_read_per_word_pj: float = 3.0
+    buffer_write_per_word_pj: float = 3.3
+    noc_hop_per_word_pj: float = 0.35
+    dram_access_per_byte_pj: float = 60.0
+    reorder_unit_per_word_pj: float = 0.9
+    birrd_per_word_pj: float = 0.45
+
+    def scale(self, factor: float) -> "EnergyTable":
+        """Uniformly scale the table (e.g. for a different technology node)."""
+        return EnergyTable(
+            mac_int8_pj=self.mac_int8_pj * factor,
+            register_access_pj=self.register_access_pj * factor,
+            buffer_read_per_word_pj=self.buffer_read_per_word_pj * factor,
+            buffer_write_per_word_pj=self.buffer_write_per_word_pj * factor,
+            noc_hop_per_word_pj=self.noc_hop_per_word_pj * factor,
+            dram_access_per_byte_pj=self.dram_access_per_byte_pj * factor,
+            reorder_unit_per_word_pj=self.reorder_unit_per_word_pj * factor,
+            birrd_per_word_pj=self.birrd_per_word_pj * factor,
+        )
+
+
+DEFAULT_ENERGY_TABLE = EnergyTable()

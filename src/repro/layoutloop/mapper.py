@@ -1,0 +1,230 @@
+"""Dataflow (and layout) search on top of the Layoutloop cost model.
+
+Timeloop's hybrid mapper combines pruned random sampling with exhaustive
+enumeration of small subspaces; the paper uses that search (§VI-A2) with a
+bound on the number of evaluated mappings.  :class:`Mapper` mirrors this: it
+derives the structured mapping space allowed by an architecture's declared
+flexibility (fixed-parallelism designs collapse to a handful of mappings,
+fully flexible designs enumerate parallelism assignments and loop orders),
+optionally samples it, and scores every candidate with the cost model under
+each candidate layout.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.dataflow.mapping import (
+    CONV_REDUCTION_DIMS,
+    GEMM_REDUCTION_DIMS,
+    Mapping,
+    ParallelSpec,
+    TileLevel,
+)
+from repro.dataflow.space import MappingSpace
+from repro.layout.layout import Layout, parse_layout
+from repro.layout.library import conv_layout_library, gemm_layout_library
+from repro.layoutloop.arch import ArchSpec
+from repro.layoutloop.cost_model import CostModel, CostReport
+from repro.layoutloop.energy import EnergyTable
+from repro.workloads.conv import ConvLayerSpec
+from repro.workloads.gemm import GemmSpec
+
+_METRICS = ("edp", "latency", "energy")
+
+
+@dataclass
+class SearchResult:
+    """Best (mapping, layout) found for one workload on one architecture."""
+
+    workload: str
+    arch: str
+    best_report: CostReport
+    best_mapping: Mapping
+    best_layout: Layout
+    evaluated: int
+    metric: str
+
+    @property
+    def best_value(self) -> float:
+        return _metric_value(self.best_report, self.metric)
+
+
+def _metric_value(report: CostReport, metric: str) -> float:
+    if metric == "edp":
+        return report.edp
+    if metric == "latency":
+        return report.total_cycles
+    if metric == "energy":
+        return report.total_energy_pj
+    raise ValueError(f"unknown metric {metric!r}")
+
+
+class Mapper:
+    """Search dataflows (and layouts) for an architecture."""
+
+    def __init__(self, arch: ArchSpec, energy: Optional[EnergyTable] = None,
+                 metric: str = "edp", max_mappings: int = 200, seed: int = 0):
+        if metric not in _METRICS:
+            raise ValueError(f"metric must be one of {_METRICS}")
+        self.arch = arch
+        self.cost_model = CostModel(arch, energy)
+        self.metric = metric
+        self.max_mappings = max_mappings
+        self.seed = seed
+        self._cache: Dict[Tuple, SearchResult] = {}
+
+    # ------------------------------------------------------------- candidates
+    def candidate_mappings(self, workload) -> List[Mapping]:
+        """Mappings the architecture can actually run."""
+        arch = self.arch
+        if arch.fixed_parallelism is not None:
+            return self._fixed_parallelism_mappings(workload)
+
+        allowed_orders = None
+        if not arch.flexible_order:
+            # A single canonical weight-stationary order (innermost loops do
+            # not index the weights).
+            if isinstance(workload, ConvLayerSpec):
+                allowed_orders = (("N", "M", "C", "R", "S", "P", "Q"),)
+            else:
+                allowed_orders = (("M", "K", "N"),)
+
+        space = MappingSpace(
+            workload=workload,
+            array_rows=arch.pe_rows,
+            array_cols=arch.pe_cols,
+            max_parallel_dims=arch.max_parallel_dims if arch.flexible_parallelism else 1,
+            allowed_parallel_dims=arch.allowed_parallel_dims,
+            allowed_orders=allowed_orders,
+        )
+        mappings = space.sample(self.max_mappings, seed=self.seed)
+        # Include the canonical weight-stationary mapping so the search never
+        # misses the obvious baseline — but only when the architecture is
+        # allowed to parallelise those dimensions.
+        canonical = self._fixed_parallelism_mappings(
+            workload, rows=arch.pe_rows, cols=arch.pe_cols)
+        allowed = (set(d.upper() for d in arch.allowed_parallel_dims)
+                   if arch.allowed_parallel_dims else None)
+        for mapping in canonical:
+            if allowed is None or all(p.dim in allowed for p in mapping.parallel):
+                mappings.append(mapping)
+        return mappings
+
+    def _fixed_parallelism_mappings(self, workload, rows: Optional[int] = None,
+                                    cols: Optional[int] = None) -> List[Mapping]:
+        arch = self.arch
+        rows = rows or arch.pe_rows
+        cols = cols or arch.pe_cols
+        is_conv = isinstance(workload, ConvLayerSpec)
+        reduction = CONV_REDUCTION_DIMS if is_conv else GEMM_REDUCTION_DIMS
+        if is_conv:
+            order = ("N", "M", "C", "R", "S", "P", "Q")
+        else:
+            order = ("M", "K", "N")
+
+        if arch.fixed_parallelism is not None:
+            parallel = tuple(ParallelSpec(d, n) for d, n in arch.fixed_parallelism
+                             if self._dim_exists(workload, d))
+            tile = TileLevel.of(**{p.dim: p.degree for p in parallel})
+            return [Mapping(name=f"{arch.name}_fixed", array_rows=rows, array_cols=cols,
+                            parallel=parallel, tile=tile, order=order,
+                            reduction_dims=reduction)]
+
+        # Canonical MxC (or MxK) weight-stationary assignment filling the array.
+        dim_a = "M"
+        dim_b = "C" if is_conv else "K"
+        deg_a = min(rows, self._dim_extent(workload, dim_a)) or 1
+        deg_b = min(cols, self._dim_extent(workload, dim_b)) or 1
+        parallel = (ParallelSpec(dim_a, max(1, deg_a)), ParallelSpec(dim_b, max(1, deg_b)))
+        tile = TileLevel.of(**{p.dim: p.degree for p in parallel})
+        return [Mapping(name="canonical_ws", array_rows=rows, array_cols=cols,
+                        parallel=parallel, tile=tile, order=order,
+                        reduction_dims=reduction)]
+
+    def candidate_layouts(self, workload) -> List[Layout]:
+        """Layouts the architecture can hold for the streaming tensor.
+
+        A fixed-layout architecture uses the workload-appropriate member of
+        its family: conv layouts name C/H/W dimensions, GEMM layouts name
+        M/K (the paper's BERT chart lists MK_K32 for the fixed-layout designs).
+        """
+        arch = self.arch
+        if arch.fixed_layout:
+            layout = parse_layout(arch.fixed_layout)
+            needed = ("C", "H", "W") if isinstance(workload, ConvLayerSpec) else ("M", "K")
+            if any(d in layout.intra_dims or d in layout.inter_order for d in needed):
+                return [layout]
+            fallback = "HWC_C32" if isinstance(workload, ConvLayerSpec) else "MK_K32"
+            return [parse_layout(fallback)]
+        if isinstance(workload, ConvLayerSpec):
+            return conv_layout_library()
+        return gemm_layout_library()
+
+    # ----------------------------------------------------------------- search
+    def search(self, workload, layouts: Optional[Sequence[Layout]] = None,
+               ) -> SearchResult:
+        """Find the best (mapping, layout) pair under the configured metric."""
+        key = (getattr(workload, "name", str(workload)), self._workload_signature(workload),
+               self.metric, self.max_mappings,
+               tuple(l.name for l in layouts) if layouts else None)
+        if key in self._cache:
+            return self._cache[key]
+
+        layouts = list(layouts) if layouts else self.candidate_layouts(workload)
+        mappings = self.candidate_mappings(workload)
+
+        best: Optional[CostReport] = None
+        best_mapping: Optional[Mapping] = None
+        best_layout: Optional[Layout] = None
+        evaluated = 0
+        for mapping in mappings:
+            for layout in layouts:
+                report = self.cost_model.evaluate(workload, mapping, layout)
+                evaluated += 1
+                if best is None or _metric_value(report, self.metric) < _metric_value(best, self.metric):
+                    best, best_mapping, best_layout = report, mapping, layout
+
+        result = SearchResult(
+            workload=getattr(workload, "name", str(workload)),
+            arch=self.arch.name,
+            best_report=best,
+            best_mapping=best_mapping,
+            best_layout=best_layout,
+            evaluated=evaluated,
+            metric=self.metric,
+        )
+        self._cache[key] = result
+        return result
+
+    # ---------------------------------------------------------------- helpers
+    @staticmethod
+    def _dim_exists(workload, dim: str) -> bool:
+        try:
+            return Mapper._dim_extent(workload, dim) > 0
+        except KeyError:
+            return False
+
+    @staticmethod
+    def _dim_extent(workload, dim: str) -> int:
+        if isinstance(workload, ConvLayerSpec):
+            try:
+                return workload.dim(dim)
+            except KeyError:
+                return 0
+        if isinstance(workload, GemmSpec):
+            try:
+                return workload.dim(dim)
+            except KeyError:
+                return 0
+        raise TypeError(f"unsupported workload {type(workload)!r}")
+
+    @staticmethod
+    def _workload_signature(workload) -> Tuple:
+        if isinstance(workload, ConvLayerSpec):
+            return ("conv", workload.m, workload.c, workload.h, workload.w,
+                    workload.r, workload.s, workload.stride, workload.padding,
+                    workload.groups)
+        return ("gemm", workload.m, workload.k, workload.n)

@@ -1,0 +1,11 @@
+"""NEST: FEATHER's neural engine with spatial forwarding and temporal reduction."""
+
+from repro.nest.pe import ProcessingElement
+from repro.nest.array import NestArray, NestTiming, RowResult
+
+__all__ = [
+    "ProcessingElement",
+    "NestArray",
+    "NestTiming",
+    "RowResult",
+]

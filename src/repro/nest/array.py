@@ -1,0 +1,213 @@
+"""NEST array: 2D PE grid with local temporal reduction and time-multiplexed
+spatial reduction (paper §III-A and Fig. 9).
+
+The array is ``AH`` rows by ``AW`` columns.  Computation proceeds in two
+interleaved phases:
+
+* **Phase 1 — local temporal reduction.**  Every PE multiplies streaming
+  iActs with its locally held weights and accumulates into a local register.
+* **Phase 2 — interleaved spatial forwarding/reduction.**  One row at a time
+  drains its ``AW`` locally reduced partial sums onto the column output buses
+  (one bus per column) and hands them to BIRRD for spatial reduction.  While
+  a row occupies the buses, the other rows keep doing Phase 1, so in steady
+  state every PE is busy every cycle and the single BIRRD instance serves the
+  whole 2D array.
+
+:class:`NestArray` provides a functional GEMM executor (which the FEATHER
+top-level uses for both GEMMs and im2col'd convolutions) plus the
+:class:`NestTiming` model that reproduces the paper's cycle accounting
+(``AH^2`` weight-load latency hidden behind computation, one row of global
+reduction per cycle in steady state).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.nest.pe import ProcessingElement
+
+
+@dataclass(frozen=True)
+class RowResult:
+    """Partial sums drained by one row during one Phase-2 turn."""
+
+    cycle: int
+    row: int
+    partial_sums: Tuple[int, ...]
+    temporal_tile: Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class NestTiming:
+    """Cycle accounting for running one stationary tile on the array."""
+
+    warmup_cycles: int
+    steady_cycles: int
+    drain_cycles: int
+    weight_load_cycles_hidden: int
+    total_macs: int
+
+    @property
+    def total_cycles(self) -> int:
+        return self.warmup_cycles + self.steady_cycles + self.drain_cycles
+
+    @property
+    def achieved_macs_per_cycle(self) -> float:
+        return self.total_macs / self.total_cycles if self.total_cycles else 0.0
+
+
+class NestArray:
+    """Functional + timing model of an ``AH x AW`` NEST.
+
+    The functional executor targets GEMMs of the form
+    ``out[M, N] = sum_K  w[M, K] * x[K, N]`` with the weight matrix held
+    stationary: rows of the array carry distinct ``M`` indices, columns carry
+    ``(K, M)`` sub-tiles (``col_k`` reduction lanes times ``col_m`` output
+    lanes), and the K reduction beyond the column lanes is performed
+    temporally inside each PE — exactly the structure of the Fig. 9
+    walk-through (there ``col_k = 2`` channels and ``col_m = 2`` kernels).
+    """
+
+    def __init__(self, rows: int, cols: int, weight_capacity: int = 64):
+        if rows < 1 or cols < 1:
+            raise ValueError("array must have at least one row and one column")
+        self.rows = rows
+        self.cols = cols
+        self.pes = [
+            [ProcessingElement(r, c, weight_capacity=weight_capacity) for c in range(cols)]
+            for r in range(rows)
+        ]
+        self.total_row_drains = 0
+
+    # ---------------------------------------------------------------- geometry
+    @property
+    def num_pes(self) -> int:
+        return self.rows * self.cols
+
+    def pe(self, row: int, col: int) -> ProcessingElement:
+        return self.pes[row][col]
+
+    # ------------------------------------------------------------------ timing
+    def timing_for_tile(self, temporal_steps: int, macs_per_pe_per_step: int,
+                        utilization: float = 1.0) -> NestTiming:
+        """Cycle count for one stationary tile.
+
+        ``temporal_steps`` is the number of Phase-1/Phase-2 rounds (each round
+        every PE accumulates ``macs_per_pe_per_step`` products and then each
+        row takes one bus turn).  Steady state issues one row drain per cycle,
+        so a round costs ``max(macs_per_pe_per_step, rows)`` cycles once the
+        pipeline is full; warm-up costs one full local-reduction phase, and
+        the tail drains the last ``rows`` bus turns.
+        """
+        if temporal_steps < 0 or macs_per_pe_per_step < 0:
+            raise ValueError("temporal_steps and macs_per_pe_per_step must be >= 0")
+        if temporal_steps == 0:
+            return NestTiming(0, 0, 0, 0, 0)
+        per_round = max(macs_per_pe_per_step, self.rows)
+        warmup = macs_per_pe_per_step
+        steady = per_round * max(0, temporal_steps - 1)
+        drain = self.rows
+        macs = int(temporal_steps * macs_per_pe_per_step * self.num_pes * utilization)
+        return NestTiming(
+            warmup_cycles=warmup,
+            steady_cycles=steady,
+            drain_cycles=drain,
+            weight_load_cycles_hidden=self.rows * self.rows,
+            total_macs=macs,
+        )
+
+    # --------------------------------------------------------------- execution
+    def run_gemm_tile(self, weights: np.ndarray, iacts: np.ndarray,
+                      col_k: Optional[int] = None) -> Iterator[RowResult]:
+        """Execute ``out = weights @ iacts`` with weights stationary.
+
+        ``weights`` is ``(M, K)``, ``iacts`` is ``(K, N)``; ``M`` must not
+        exceed ``rows * (cols // col_k)`` for a single stationary tile — the
+        FEATHER top level tiles larger problems before calling this.
+
+        ``col_k`` is the number of reduction lanes per row (the spatial
+        reduction group size BIRRD will see).  The remaining ``cols // col_k``
+        lanes carry distinct M values within the row.  K beyond ``col_k`` is
+        reduced temporally inside the PEs.
+
+        Yields one :class:`RowResult` per (output column, row) drain — i.e.
+        the raw vectors that feed BIRRD, ordered exactly as Phase 2 emits
+        them.  Each partial-sum vector contains, for every column lane, the
+        local temporal reduction of that lane's K sub-slice.
+        """
+        weights = np.asarray(weights)
+        iacts = np.asarray(iacts)
+        if weights.ndim != 2 or iacts.ndim != 2:
+            raise ValueError("weights and iacts must be 2D")
+        m_total, k_total = weights.shape
+        k_check, n_total = iacts.shape
+        if k_check != k_total:
+            raise ValueError(f"K mismatch: weights K={k_total}, iacts K={k_check}")
+
+        if col_k is None:
+            col_k = min(self.cols, 2 ** int(math.log2(max(k_total, 1))) or 1)
+            col_k = max(1, min(col_k, self.cols))
+        if self.cols % col_k != 0:
+            raise ValueError(f"col_k={col_k} must divide array cols={self.cols}")
+        col_m = self.cols // col_k
+
+        m_per_tile = self.rows * col_m
+        if m_total > m_per_tile:
+            raise ValueError(
+                f"stationary tile supports at most {m_per_tile} output rows, got {m_total}")
+
+        # Distribute K across col_k lanes; each lane reduces its slice temporally.
+        k_per_lane = math.ceil(k_total / col_k)
+
+        # Load weights: PE (r, c) with c = m_lane * col_k + k_lane holds the
+        # weights of output row (r * col_m + m_lane) for K slice k_lane.
+        for r in range(self.rows):
+            for m_lane in range(col_m):
+                m_idx = r * col_m + m_lane
+                for k_lane in range(col_k):
+                    pe = self.pes[r][m_lane * col_k + k_lane]
+                    if m_idx < m_total:
+                        k_slice = weights[m_idx, k_lane * k_per_lane:(k_lane + 1) * k_per_lane]
+                        pe.load_weights([int(v) for v in k_slice], into_shadow=False)
+                    else:
+                        pe.load_weights([], into_shadow=False)
+
+        cycle = 0
+        for n_idx in range(n_total):
+            # Phase 1: every PE accumulates its K slice for this output column.
+            for r in range(self.rows):
+                for m_lane in range(col_m):
+                    m_idx = r * col_m + m_lane
+                    for k_lane in range(col_k):
+                        pe = self.pes[r][m_lane * col_k + k_lane]
+                        if m_idx >= m_total:
+                            continue
+                        k_start = k_lane * k_per_lane
+                        for local_idx, k_idx in enumerate(
+                                range(k_start, min(k_start + k_per_lane, k_total))):
+                            pe.multiply_accumulate(int(iacts[k_idx, n_idx]), local_idx)
+                            cycle += 1 if r == 0 and m_lane == 0 and k_lane == 0 else 0
+            # Phase 2: rows drain one after another onto the column buses.
+            for r in range(self.rows):
+                sums = tuple(self.pes[r][c].drain() for c in range(self.cols))
+                self.total_row_drains += 1
+                yield RowResult(cycle=cycle + r, row=r, partial_sums=sums,
+                                temporal_tile=(n_idx,))
+            cycle += self.rows
+
+    # ------------------------------------------------------------------- stats
+    def total_macs(self) -> int:
+        return sum(pe.macs_performed for row in self.pes for pe in row)
+
+    def reset(self) -> None:
+        """Clear accumulators and statistics (start of a new layer)."""
+        for row in self.pes:
+            for pe in row:
+                pe.reset()
+                pe.macs_performed = 0
+                pe.weight_loads = 0
+        self.total_row_drains = 0

@@ -1,0 +1,92 @@
+"""Processing element of the NEST array.
+
+Each PE (Fig. 8) holds a small ping-pong weight register file, multiplies an
+incoming (zero-point-corrected) iAct with a locally held weight, and
+accumulates the product into a local 32-bit register — the *local temporal
+reduction* of Phase 1.  When its row's turn on the shared column output bus
+arrives (Phase 2), the PE drains the accumulated partial sum and resets.
+
+The ping-pong weight registers let the next tile's weights stream in while
+the current tile is still computing, which is how FEATHER hides the AH^2
+weight-loading latency mentioned in Fig. 9.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+
+@dataclass
+class ProcessingElement:
+    """One multiply-accumulate PE with ping-pong weight registers."""
+
+    row: int
+    col: int
+    weight_capacity: int = 16
+    iact_zero_point: int = 0
+    weight_zero_point: int = 0
+
+    def __post_init__(self) -> None:
+        self._weights: List[List[int]] = [[], []]
+        self._active_bank = 0
+        self.accumulator: int = 0
+        self.macs_performed: int = 0
+        self.weight_loads: int = 0
+
+    # ----------------------------------------------------------------- weights
+    @property
+    def weights(self) -> List[int]:
+        """The weights currently used for computation (active bank)."""
+        return list(self._weights[self._active_bank])
+
+    @property
+    def shadow_weights(self) -> List[int]:
+        return list(self._weights[1 - self._active_bank])
+
+    def load_weights(self, values: Sequence[int], into_shadow: bool = True) -> None:
+        """Load a weight vector into the shadow (or active) register bank."""
+        values = list(values)
+        if len(values) > self.weight_capacity:
+            raise ValueError(
+                f"PE({self.row},{self.col}): {len(values)} weights exceed capacity "
+                f"{self.weight_capacity}")
+        bank = 1 - self._active_bank if into_shadow else self._active_bank
+        self._weights[bank] = values
+        self.weight_loads += len(values)
+
+    def swap_weight_banks(self) -> None:
+        """Make the shadow bank active (start of a new stationary tile)."""
+        self._active_bank = 1 - self._active_bank
+
+    # ----------------------------------------------------------------- compute
+    def multiply_accumulate(self, iact: int, weight_index: int = 0) -> int:
+        """Phase 1 step: acc += (iact - zp_i) * (w - zp_w); returns the product."""
+        weights = self._weights[self._active_bank]
+        if not 0 <= weight_index < len(weights):
+            raise IndexError(
+                f"PE({self.row},{self.col}): weight index {weight_index} out of range "
+                f"({len(weights)} loaded)")
+        product = (int(iact) - self.iact_zero_point) * (
+            int(weights[weight_index]) - self.weight_zero_point)
+        self.accumulator += product
+        self.macs_performed += 1
+        return product
+
+    def drain(self) -> int:
+        """Phase 2 step: emit the locally reduced partial sum and clear it."""
+        value = self.accumulator
+        self.accumulator = 0
+        return value
+
+    def reset(self) -> None:
+        self.accumulator = 0
+
+    # ------------------------------------------------------------------- stats
+    def stats(self) -> dict:
+        return {
+            "row": self.row,
+            "col": self.col,
+            "macs": self.macs_performed,
+            "weight_loads": self.weight_loads,
+        }

@@ -1,0 +1,45 @@
+"""Networks-on-chip: the BIRRD reduction/reordering network and reference networks."""
+
+from repro.noc.birrd import (
+    BirrdNetwork,
+    BirrdTopology,
+    EggConfig,
+    reverse_bits,
+)
+from repro.noc.routing import (
+    BirrdRouter,
+    ReductionRequest,
+    RoutingResult,
+    contiguous_reduction_requests,
+)
+from repro.noc.reference_networks import (
+    AdderTree,
+    ForwardingAdderNetwork,
+    LinearReductionChain,
+)
+from repro.noc.area_models import (
+    NetworkAreaModel,
+    art_area_power,
+    birrd_area_power,
+    fan_area_power,
+    reduction_network_comparison,
+)
+
+__all__ = [
+    "BirrdNetwork",
+    "BirrdTopology",
+    "EggConfig",
+    "reverse_bits",
+    "BirrdRouter",
+    "ReductionRequest",
+    "RoutingResult",
+    "contiguous_reduction_requests",
+    "AdderTree",
+    "ForwardingAdderNetwork",
+    "LinearReductionChain",
+    "NetworkAreaModel",
+    "art_area_power",
+    "birrd_area_power",
+    "fan_area_power",
+    "reduction_network_comparison",
+]

@@ -1,0 +1,148 @@
+"""Analytical area/power models for reduction networks (paper Fig. 14a).
+
+The paper reports post-layout numbers at TSMC 28nm; without the PDK we use a
+component-count model with per-component constants calibrated so that the
+reported relationships hold: an AW-input BIRRD has ``2*log2(AW)`` stages of
+``AW/2`` switches, each switch carrying an int32 adder plus mux/config logic,
+and comes out roughly 1.43x / 2.21x larger (1.17x / 2.07x more power) than
+SIGMA's FAN / MAERI's ART at the same input count — yet a *single* BIRRD
+instance serves the whole 2D array, which is where FEATHER's overall saving
+comes from (§VI-D1).
+
+FAN and ART are distributed across the 1D PE array in their host accelerators
+and therefore pay a wire-length penalty (``wire_length_factor``), whereas
+BIRRD sits outside the array as a compact standalone block — this is the
+structural reason the ratios are far smaller than the raw switch-count ratio.
+
+Constants are calibrated, not measured; the experiments compare the *shape*
+of the scaling curves and the cross-network ratios, not absolute micrometres.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict
+
+# Calibrated per-component constants (TSMC 28nm-like, int32 datapath).
+INT32_ADDER_AREA_UM2 = 60.0
+INT32_ADDER_POWER_MW = 0.022
+MUX2_32B_AREA_UM2 = 14.0
+MUX2_32B_POWER_MW = 0.004
+PIPE_REG_32B_AREA_UM2 = 28.0
+PIPE_REG_32B_POWER_MW = 0.009
+CONFIG_BIT_AREA_UM2 = 1.2
+WIRE_TRACK_AREA_UM2 = 1.8
+WIRE_TRACK_POWER_MW = 0.0007
+
+
+@dataclass(frozen=True)
+class NetworkAreaModel:
+    """Area/power estimate for one reduction network instance."""
+
+    name: str
+    inputs: int
+    adders: int
+    muxes: int
+    registers: int
+    config_bits: int
+    wire_tracks: int
+    wire_length_factor: float = 1.0
+
+    @property
+    def area_um2(self) -> float:
+        return (self.adders * INT32_ADDER_AREA_UM2
+                + self.muxes * MUX2_32B_AREA_UM2
+                + self.registers * PIPE_REG_32B_AREA_UM2
+                + self.config_bits * CONFIG_BIT_AREA_UM2
+                + self.wire_tracks * self.wire_length_factor * WIRE_TRACK_AREA_UM2)
+
+    @property
+    def power_mw(self) -> float:
+        return (self.adders * INT32_ADDER_POWER_MW
+                + self.muxes * MUX2_32B_POWER_MW
+                + self.registers * PIPE_REG_32B_POWER_MW
+                + self.wire_tracks * self.wire_length_factor * WIRE_TRACK_POWER_MW)
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "name": self.name,
+            "inputs": self.inputs,
+            "adders": self.adders,
+            "area_um2": self.area_um2,
+            "power_mw": self.power_mw,
+        }
+
+
+def _log2(n: int) -> int:
+    if n < 2 or n & (n - 1):
+        raise ValueError(f"inputs must be a power of two >= 2, got {n}")
+    return int(math.log2(n))
+
+
+def birrd_area_power(inputs: int) -> NetworkAreaModel:
+    """BIRRD: 2*log2(N) stages of N/2 Eggs; each Egg = adder + 2 muxes + 2 cfg bits.
+
+    Every stage is pipelined (one 32-bit register per port per stage) and the
+    block is placed as a compact standalone macro, so wires stay short.
+    """
+    stages = 3 if inputs == 4 else (1 if inputs == 2 else 2 * _log2(inputs))
+    switches = stages * inputs // 2
+    return NetworkAreaModel(
+        name="BIRRD",
+        inputs=inputs,
+        adders=switches,
+        muxes=2 * switches,
+        registers=stages * inputs,
+        config_bits=2 * switches,
+        wire_tracks=stages * inputs * 2,
+        wire_length_factor=1.0,
+    )
+
+
+def fan_area_power(inputs: int) -> NetworkAreaModel:
+    """FAN (SIGMA): adder tree + forwarding links and VN-boundary comparators.
+
+    Fewer adders than BIRRD, but each node carries forwarding muxes and the
+    network is stretched across the 1D PE array (long wires).
+    """
+    levels = _log2(inputs)
+    adders = inputs - 1
+    return NetworkAreaModel(
+        name="FAN",
+        inputs=inputs,
+        adders=adders,
+        muxes=4 * adders,
+        registers=2 * inputs + levels * inputs // 2,
+        config_bits=8 * adders,
+        wire_tracks=levels * inputs * 4,
+        wire_length_factor=9.0,
+    )
+
+
+def art_area_power(inputs: int) -> NetworkAreaModel:
+    """ART (MAERI): augmented reduction tree with per-node bypass links."""
+    levels = _log2(inputs)
+    adders = inputs - 1
+    return NetworkAreaModel(
+        name="ART",
+        inputs=inputs,
+        adders=adders,
+        muxes=2 * adders,
+        registers=inputs + levels * inputs // 4,
+        config_bits=4 * adders,
+        wire_tracks=levels * inputs * 3,
+        wire_length_factor=7.5,
+    )
+
+
+def reduction_network_comparison(sizes=(16, 32, 64, 128, 256)) -> Dict[int, Dict[str, NetworkAreaModel]]:
+    """Fig. 14a data: area/power of ART, FAN and BIRRD across input counts."""
+    out: Dict[int, Dict[str, NetworkAreaModel]] = {}
+    for n in sizes:
+        out[n] = {
+            "ART": art_area_power(n),
+            "FAN": fan_area_power(n),
+            "BIRRD": birrd_area_power(n),
+        }
+    return out

@@ -1,0 +1,158 @@
+"""Reference reduction networks the paper compares BIRRD against.
+
+* :class:`LinearReductionChain` — the systolic-style linear accumulation used
+  by Xilinx DPU / Gemmini (Table I: "linear reduction"), which needs O(N)
+  cycles to reduce N values.
+* :class:`AdderTree` — MAERI's ART, a binary adder tree augmented with the
+  ability to produce partial results at intermediate levels (modelled here as
+  a plain tree that can emit any aligned power-of-two subgroup sum).
+* :class:`ForwardingAdderNetwork` — SIGMA's FAN, a tree with forwarding links
+  that supports arbitrary *contiguous* group sizes in logarithmic depth.
+
+These exist (a) so the baselines in the evaluation actually execute their
+reduction strategy in the functional simulators, and (b) to give the area
+model concrete component counts.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+@dataclass
+class ReductionOutcome:
+    """Result of reducing one vector of partial sums."""
+
+    outputs: List
+    cycles: int
+    adds: int
+
+
+class LinearReductionChain:
+    """Accumulate N inputs one per cycle, as a systolic column does."""
+
+    def __init__(self, width: int):
+        if width < 1:
+            raise ValueError("width must be >= 1")
+        self.width = width
+
+    def reduce(self, values: Sequence, group_size: int) -> ReductionOutcome:
+        """Reduce contiguous groups of ``group_size`` by sequential accumulation."""
+        _check_groups(len(values), group_size)
+        outputs = []
+        adds = 0
+        for start in range(0, len(values), group_size):
+            total = values[start]
+            for v in values[start + 1:start + group_size]:
+                total = total + v
+                adds += 1
+            outputs.append(total)
+        # One cycle per accumulation step per group, groups run back-to-back
+        # through the same chain (the column bus serialises them).
+        cycles = max(1, group_size) * (len(values) // group_size)
+        return ReductionOutcome(outputs, cycles, adds)
+
+    @property
+    def adder_count(self) -> int:
+        return self.width
+
+    @property
+    def depth(self) -> int:
+        return self.width
+
+
+class AdderTree:
+    """Binary adder tree (MAERI ART-like): log-depth, aligned power-of-2 groups."""
+
+    def __init__(self, width: int):
+        if width < 1 or width & (width - 1):
+            raise ValueError("width must be a power of two")
+        self.width = width
+
+    def reduce(self, values: Sequence, group_size: int) -> ReductionOutcome:
+        if group_size & (group_size - 1):
+            raise ValueError("adder tree only supports power-of-two group sizes")
+        _check_groups(len(values), group_size)
+        outputs = []
+        adds = 0
+        for start in range(0, len(values), group_size):
+            level = list(values[start:start + group_size])
+            while len(level) > 1:
+                nxt = []
+                for i in range(0, len(level), 2):
+                    nxt.append(level[i] + level[i + 1])
+                    adds += 1
+                level = nxt
+            outputs.append(level[0])
+        cycles = max(1, int(math.log2(max(group_size, 1))) or 1)
+        return ReductionOutcome(outputs, cycles, adds)
+
+    @property
+    def adder_count(self) -> int:
+        return self.width - 1
+
+    @property
+    def depth(self) -> int:
+        return int(math.log2(self.width))
+
+
+class ForwardingAdderNetwork:
+    """FAN (SIGMA): log-depth reduction of arbitrary contiguous groups.
+
+    The forwarding links let adders skip levels so that group boundaries need
+    not be aligned to powers of two; functionally we reduce each contiguous
+    group in ceil(log2(group)) levels.
+    """
+
+    def __init__(self, width: int):
+        if width < 1 or width & (width - 1):
+            raise ValueError("width must be a power of two")
+        self.width = width
+
+    def reduce_groups(self, values: Sequence, boundaries: Sequence[int]) -> ReductionOutcome:
+        """Reduce groups delimited by ``boundaries`` (list of group start indices)."""
+        starts = list(boundaries)
+        if not starts or starts[0] != 0:
+            raise ValueError("boundaries must start at 0")
+        starts.append(len(values))
+        outputs = []
+        adds = 0
+        max_group = 1
+        for a, b in zip(starts, starts[1:]):
+            if b <= a:
+                raise ValueError("group boundaries must be increasing")
+            group = list(values[a:b])
+            max_group = max(max_group, len(group))
+            while len(group) > 1:
+                nxt = []
+                for i in range(0, len(group) - 1, 2):
+                    nxt.append(group[i] + group[i + 1])
+                    adds += 1
+                if len(group) % 2:
+                    nxt.append(group[-1])
+                group = nxt
+            outputs.append(group[0])
+        cycles = max(1, math.ceil(math.log2(max_group)) if max_group > 1 else 1)
+        return ReductionOutcome(outputs, cycles, adds)
+
+    def reduce(self, values: Sequence, group_size: int) -> ReductionOutcome:
+        _check_groups(len(values), group_size)
+        boundaries = list(range(0, len(values), group_size))
+        return self.reduce_groups(values, boundaries)
+
+    @property
+    def adder_count(self) -> int:
+        return self.width - 1
+
+    @property
+    def depth(self) -> int:
+        return int(math.log2(self.width))
+
+
+def _check_groups(total: int, group_size: int) -> None:
+    if group_size < 1:
+        raise ValueError("group_size must be >= 1")
+    if total % group_size != 0:
+        raise ValueError(f"group_size {group_size} must divide input width {total}")

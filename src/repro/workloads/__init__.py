@@ -1,0 +1,41 @@
+"""Workload specifications: convolution layers, GEMMs and DNN model tables."""
+
+from repro.workloads.conv import (
+    CONV_DIMS,
+    IACT_DIMS,
+    OACT_DIMS,
+    WEIGHT_DIMS,
+    ConvLayerSpec,
+    LayerKind,
+)
+from repro.workloads.gemm import GemmSpec, fig10_workloads
+from repro.workloads.resnet50 import (
+    resnet50_layer,
+    resnet50_layers,
+    resnet50_motivation_layers,
+)
+from repro.workloads.mobilenet_v3 import (
+    mobilenet_v3_layer,
+    mobilenet_v3_layers,
+    mobilenet_v3_motivation_layers,
+)
+from repro.workloads.bert import bert_base_gemms, bert_unique_gemms
+
+__all__ = [
+    "CONV_DIMS",
+    "IACT_DIMS",
+    "OACT_DIMS",
+    "WEIGHT_DIMS",
+    "ConvLayerSpec",
+    "LayerKind",
+    "GemmSpec",
+    "fig10_workloads",
+    "resnet50_layer",
+    "resnet50_layers",
+    "resnet50_motivation_layers",
+    "mobilenet_v3_layer",
+    "mobilenet_v3_layers",
+    "mobilenet_v3_motivation_layers",
+    "bert_base_gemms",
+    "bert_unique_gemms",
+]

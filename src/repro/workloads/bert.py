@@ -1,0 +1,50 @@
+"""BERT-base GEMM table.
+
+The paper evaluates BERT as a cloud workload in Layoutloop.  A BERT-base
+encoder layer with hidden size 768, 12 heads and FFN size 3072 at sequence
+length 512 decomposes into the GEMMs below; the model has 12 identical
+encoder layers.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.gemm import GemmSpec
+
+HIDDEN = 768
+FFN = 3072
+HEADS = 12
+HEAD_DIM = HIDDEN // HEADS
+
+
+def bert_base_gemms(seq_len: int = 512, layers: int = 12, per_layer: bool = False) -> list:
+    """Return the GEMMs of BERT-base.
+
+    ``per_layer=True`` returns one encoder layer's GEMMs only (useful for
+    quick tests); otherwise each GEMM's name carries the encoder index so the
+    full model is covered.
+    """
+    one_layer = [
+        GemmSpec("bert_qkv_proj", m=seq_len, k=HIDDEN, n=3 * HIDDEN),
+        GemmSpec("bert_attn_scores", m=seq_len * HEADS, k=HEAD_DIM, n=seq_len),
+        GemmSpec("bert_attn_context", m=seq_len * HEADS, k=seq_len, n=HEAD_DIM),
+        GemmSpec("bert_attn_out", m=seq_len, k=HIDDEN, n=HIDDEN),
+        GemmSpec("bert_ffn_up", m=seq_len, k=HIDDEN, n=FFN),
+        GemmSpec("bert_ffn_down", m=seq_len, k=FFN, n=HIDDEN),
+    ]
+    if per_layer:
+        return one_layer
+
+    gemms = []
+    for layer in range(layers):
+        for g in one_layer:
+            gemms.append(GemmSpec(f"{g.name}_L{layer}", m=g.m, k=g.k, n=g.n, bits=g.bits))
+    return gemms
+
+
+def bert_unique_gemms(seq_len: int = 512) -> list:
+    """The six distinct GEMM shapes of a BERT-base encoder layer.
+
+    Because all 12 encoder layers share shapes, cost-model sweeps only need to
+    evaluate these and weight the results by 12.
+    """
+    return bert_base_gemms(seq_len=seq_len, per_layer=True)

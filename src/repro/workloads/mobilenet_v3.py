@@ -1,0 +1,96 @@
+"""MobileNet-V3 (Large) layer table.
+
+MobileNet-V3-Large alternates pointwise expansions, depthwise convolutions
+(3x3 or 5x5, some strided) and pointwise projections.  The table below follows
+the architecture of Howard et al. (2019) for a 224x224 input; squeeze-excite
+FC layers are omitted because they contribute a negligible MAC count and the
+paper's evaluation treats the network as its conv layers.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.workloads.conv import ConvLayerSpec, LayerKind
+
+
+# (expansion channels, out channels, kernel, stride) per bottleneck, with the
+# input resolution tracked as we go.  From the MobileNetV3-Large paper table.
+_BNECK_CFG = [
+    # exp, out, k, s
+    (16, 16, 3, 1),
+    (64, 24, 3, 2),
+    (72, 24, 3, 1),
+    (72, 40, 5, 2),
+    (120, 40, 5, 1),
+    (120, 40, 5, 1),
+    (240, 80, 3, 2),
+    (200, 80, 3, 1),
+    (184, 80, 3, 1),
+    (184, 80, 3, 1),
+    (480, 112, 3, 1),
+    (672, 112, 3, 1),
+    (672, 160, 5, 2),
+    (960, 160, 5, 1),
+    (960, 160, 5, 1),
+]
+
+
+@lru_cache(maxsize=1)
+def _build() -> tuple:
+    layers = []
+    idx = 1
+
+    def add(spec):
+        nonlocal idx
+        layers.append(spec)
+        idx += 1
+
+    # Stem: 3x3/2, 3 -> 16.
+    h = 224
+    add(ConvLayerSpec(f"mobilenet_v3_layer{idx}", m=16, c=3, h=h, w=h, r=3, s=3,
+                      stride=2, padding=1))
+    h //= 2
+    c_in = 16
+
+    for exp, out, k, stride in _BNECK_CFG:
+        if exp != c_in:
+            add(ConvLayerSpec(f"mobilenet_v3_layer{idx}", m=exp, c=c_in, h=h, w=h,
+                              r=1, s=1, kind=LayerKind.POINTWISE))
+        add(ConvLayerSpec(f"mobilenet_v3_layer{idx}", m=exp, c=exp, h=h, w=h,
+                          r=k, s=k, stride=stride, padding=k // 2,
+                          kind=LayerKind.DEPTHWISE))
+        h //= stride
+        add(ConvLayerSpec(f"mobilenet_v3_layer{idx}", m=out, c=exp, h=h, w=h,
+                          r=1, s=1, kind=LayerKind.POINTWISE))
+        c_in = out
+
+    # Head: 1x1 160 -> 960, pool, 1x1 960 -> 1280, FC 1280 -> 1000.
+    add(ConvLayerSpec(f"mobilenet_v3_layer{idx}", m=960, c=c_in, h=h, w=h, r=1, s=1,
+                      kind=LayerKind.POINTWISE))
+    add(ConvLayerSpec(f"mobilenet_v3_layer{idx}", m=1280, c=960, h=1, w=1, r=1, s=1,
+                      kind=LayerKind.FC))
+    add(ConvLayerSpec("mobilenet_v3_fc", m=1000, c=1280, h=1, w=1, r=1, s=1,
+                      kind=LayerKind.FC))
+    return tuple(layers)
+
+
+def mobilenet_v3_layers(include_fc: bool = True) -> list:
+    """Return MobileNet-V3-Large conv layers in execution order."""
+    layers = list(_build())
+    if not include_fc:
+        layers = [l for l in layers if l.kind is not LayerKind.FC]
+    return layers
+
+
+def mobilenet_v3_layer(index: int) -> ConvLayerSpec:
+    """1-based lookup into the layer table (FC layers excluded)."""
+    main = [l for l in _build() if l.kind is not LayerKind.FC]
+    if not 1 <= index <= len(main):
+        raise IndexError(f"MobileNet-V3 has {len(main)} conv layers, got index {index}")
+    return main[index - 1]
+
+
+def mobilenet_v3_motivation_layers() -> dict:
+    """Layers 7, 25 and 40 used in the paper's Fig. 2 motivation study."""
+    return {i: mobilenet_v3_layer(i) for i in (7, 25, 40)}

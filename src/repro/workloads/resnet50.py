@@ -1,0 +1,95 @@
+"""ResNet-50 layer table.
+
+The table lists every convolution layer of ResNet-50 (ImageNet, 224x224 input)
+in execution order, including the 1x1 projection shortcuts.  Layer indices
+follow the paper's numbering (conv1 is layer 1, the final 1x1 of the last
+bottleneck is layer 53).  The FC layer is included as a 1x1 convolution so
+full-model sweeps cover all MACs.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.workloads.conv import ConvLayerSpec, LayerKind
+
+
+def _bottleneck(layers, idx, c_in, width, h, stride, project):
+    """Append the three (or four, with projection) convs of one bottleneck block."""
+    # 1x1 reduce
+    layers.append(ConvLayerSpec(f"resnet50_layer{idx}", m=width, c=c_in, h=h, w=h,
+                                r=1, s=1, stride=1, padding=0, kind=LayerKind.POINTWISE))
+    idx += 1
+    # 3x3 (may be strided)
+    h_out = h // stride
+    layers.append(ConvLayerSpec(f"resnet50_layer{idx}", m=width, c=width, h=h, w=h,
+                                r=3, s=3, stride=stride, padding=1))
+    idx += 1
+    # 1x1 expand
+    layers.append(ConvLayerSpec(f"resnet50_layer{idx}", m=4 * width, c=width, h=h_out,
+                                w=h_out, r=1, s=1, stride=1, padding=0,
+                                kind=LayerKind.POINTWISE))
+    idx += 1
+    if project:
+        layers.append(ConvLayerSpec(f"resnet50_layer{idx}_proj", m=4 * width, c=c_in,
+                                    h=h, w=h, r=1, s=1, stride=stride, padding=0,
+                                    kind=LayerKind.POINTWISE))
+        idx += 1
+    return idx, 4 * width, h_out
+
+
+@lru_cache(maxsize=1)
+def _build() -> tuple:
+    layers = []
+    # conv1: 7x7/2, 3 -> 64 channels on 224x224 input.
+    layers.append(ConvLayerSpec("resnet50_layer1", m=64, c=3, h=224, w=224,
+                                r=7, s=7, stride=2, padding=3))
+    idx = 2
+    c_in, h = 64, 56  # after 3x3/2 max-pool
+
+    stage_cfg = [
+        (64, 3, 1),    # conv2_x
+        (128, 4, 2),   # conv3_x
+        (256, 6, 2),   # conv4_x
+        (512, 3, 2),   # conv5_x
+    ]
+    for width, blocks, first_stride in stage_cfg:
+        for b in range(blocks):
+            stride = first_stride if b == 0 else 1
+            project = b == 0
+            idx, c_in, h = _bottleneck(layers, idx, c_in, width, h, stride, project)
+
+    # Final FC 2048 -> 1000 expressed as a 1x1 conv on a 1x1 feature map.
+    layers.append(ConvLayerSpec("resnet50_fc", m=1000, c=2048, h=1, w=1,
+                                r=1, s=1, stride=1, padding=0, kind=LayerKind.FC))
+    return tuple(layers)
+
+
+def resnet50_layers(include_fc: bool = True) -> list:
+    """Return the ResNet-50 convolution layers in execution order."""
+    layers = list(_build())
+    if not include_fc:
+        layers = [l for l in layers if l.kind is not LayerKind.FC]
+    return layers
+
+
+def resnet50_layer(index: int) -> ConvLayerSpec:
+    """Layer lookup by the paper's 1-based index (shortcut projections excluded)."""
+    main = [l for l in _build() if not l.name.endswith("_proj") and l.kind is not LayerKind.FC]
+    if not 1 <= index <= len(main):
+        raise IndexError(f"ResNet-50 has {len(main)} main conv layers, got index {index}")
+    return main[index - 1]
+
+
+def resnet50_motivation_layers() -> dict:
+    """Layers highlighted by the paper's motivation figures (Fig. 2 and Fig. 4).
+
+    Fig. 2 uses layers 1, 14 and 41; Fig. 4 additionally analyses layer 47
+    (a late 3x3 with many channels on a 7x7 feature map).
+    """
+    return {
+        1: resnet50_layer(1),
+        14: resnet50_layer(14),
+        41: resnet50_layer(41),
+        47: resnet50_layer(47),
+    }

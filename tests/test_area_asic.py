@@ -1,0 +1,88 @@
+"""Tests for the full-accelerator area/power models (Fig. 14b, Table V)."""
+
+import pytest
+
+from repro.area.asic import (
+    PAPER_TABLE_V,
+    eyeriss_like_breakdown,
+    feather_breakdown,
+    feather_post_pnr,
+    nvdla_like_breakdown,
+    sigma_like_breakdown,
+    table_v,
+)
+
+
+class TestBreakdowns:
+    def test_feather_components_present(self):
+        b = feather_breakdown(16, 16)
+        names = {k for k, _ in b.components_um2}
+        assert {"MAC", "local_mem", "Redn_NoC", "Dist_NoC", "Controller"} <= names
+
+    def test_feather_close_to_eyeriss(self):
+        # Paper: FEATHER costs only ~6% more area than a fixed-dataflow
+        # Eyeriss-like design.  Allow a band around that.
+        feather = feather_breakdown(16, 16).total_area_um2
+        eyeriss = eyeriss_like_breakdown(256).total_area_um2
+        assert 0.95 < feather / eyeriss < 1.3
+
+    def test_sigma_much_larger_than_feather(self):
+        # Paper: ~2.4x (2.93x resource reduction including the NoCs).
+        sigma = sigma_like_breakdown(256).total_area_um2
+        feather = feather_breakdown(16, 16).total_area_um2
+        assert sigma / feather > 1.8
+
+    def test_birrd_is_small_fraction_of_die(self):
+        # Paper: BIRRD is ~4% of FEATHER's post-layout area.
+        b = feather_breakdown(16, 16)
+        assert b.area_fraction("Redn_NoC") < 0.10
+
+    def test_birrd_much_smaller_than_sigma_reduction_network(self):
+        # §VI-D1: one BIRRD instance for the whole 2D array saves ~94% of the
+        # reduction-NoC area compared to SIGMA's full-width FAN.
+        feather_redn = dict(feather_breakdown(16, 16).components_um2)["Redn_NoC"]
+        sigma_redn = dict(sigma_like_breakdown(256).components_um2)["Redn_NoC"]
+        assert feather_redn / sigma_redn < 0.25
+
+    def test_nvdla_breakdown(self):
+        b = nvdla_like_breakdown(256)
+        assert b.total_area_um2 > 0
+        assert b.total_power_mw > 0
+
+    def test_as_dict(self):
+        d = feather_breakdown(8, 8).as_dict()
+        assert "total_area_um2" in d and d["total_area_um2"] > 0
+
+    def test_power_positive_and_scales(self):
+        small = feather_breakdown(8, 8).total_power_mw
+        big = feather_breakdown(32, 32).total_power_mw
+        assert big > small * 4
+
+
+class TestTableV:
+    def test_all_paper_shapes_present(self):
+        rows = table_v()
+        shapes = {r["shape"] for r in rows}
+        assert shapes == {f"{r}x{c}" for r, c in PAPER_TABLE_V}
+
+    def test_area_monotonic_in_pe_count(self):
+        rows = {r["shape"]: r["model_area_um2"] for r in table_v()}
+        assert rows["4x4"] < rows["8x8"] < rows["16x16"] < rows["32x32"] < rows["64x64"]
+
+    def test_model_within_order_of_magnitude_of_paper(self):
+        for row in table_v():
+            if "paper_area_um2" in row:
+                ratio = row["model_area_um2"] / row["paper_area_um2"]
+                assert 0.1 < ratio < 10.0, f"{row['shape']} model diverges"
+
+    def test_frequency_reported_as_1ghz(self):
+        assert all(r["frequency_ghz"] == 1.0 for r in table_v())
+
+    def test_single_shape_entry(self):
+        entry = feather_post_pnr(16, 16)
+        assert entry["shape"] == "16x16"
+        assert entry["paper_area_um2"] == pytest.approx(475897.19)
+
+    def test_unknown_shape_has_no_paper_column(self):
+        entry = feather_post_pnr(8, 16)
+        assert "paper_area_um2" not in entry

@@ -1,0 +1,150 @@
+"""Tests for the baseline registry, systolic array and device models."""
+
+import pytest
+
+from repro.baselines.devices import (
+    edge_tpu_device,
+    feather_fpga_device,
+    gemmini_device,
+    xilinx_dpu_device,
+)
+from repro.baselines.registry import (
+    eyeriss_like,
+    feather_layoutloop,
+    feature_table,
+    fig13_arch_suite,
+    medusa_like,
+    mtia_like,
+    nvdla_like,
+    reorder_support_table,
+    sigma_like,
+    tpu_like,
+)
+from repro.baselines.systolic import SystolicArray
+from repro.layout.patterns import ReorderImplementation, ReorderPattern
+from repro.workloads.conv import ConvLayerSpec
+from repro.workloads.gemm import GemmSpec
+from repro.workloads.resnet50 import resnet50_layer
+
+
+class TestRegistry:
+    def test_nvdla_is_fixed_everything(self):
+        arch = nvdla_like()
+        assert not arch.flexible_parallelism
+        assert arch.fixed_layout == "HWC_C32"
+        assert arch.reorder_implementation is ReorderImplementation.NONE
+
+    def test_eyeriss_no_channel_parallelism(self):
+        arch = eyeriss_like()
+        assert "C" not in arch.allowed_parallel_dims
+
+    def test_sigma_variants(self):
+        assert sigma_like(reorder="none").fixed_layout == "HWC_C32"
+        assert sigma_like(reorder="offchip").reorder_implementation is \
+            ReorderImplementation.OFF_CHIP
+        assert medusa_like().reorder_pattern is ReorderPattern.LINE_ROTATION
+        assert mtia_like().reorder_pattern is ReorderPattern.TRANSPOSE
+        assert tpu_like().reorder_pattern is ReorderPattern.TRANSPOSE_ROW
+
+    def test_sigma_invalid_reorder(self):
+        with pytest.raises(ValueError):
+            sigma_like(reorder="quantum")
+
+    def test_feather_config(self):
+        arch = feather_layoutloop()
+        assert arch.reorder_implementation is ReorderImplementation.RIR
+        assert arch.num_pes == 256
+
+    def test_fig13_suite_conv(self):
+        suite = fig13_arch_suite()
+        names = [a.name for a in suite]
+        assert len(suite) == 9
+        assert names[0] == "NVDLA-like" and names[-1] == "FEATHER"
+
+    def test_fig13_suite_gemm(self):
+        suite = fig13_arch_suite(gemm=True)
+        assert len(suite) == 4
+
+    def test_all_suite_archs_have_256_pes(self):
+        for arch in fig13_arch_suite():
+            assert arch.num_pes == 256
+
+    def test_feature_tables(self):
+        rows = feature_table()
+        assert any(r.work == "FEATHER" and r.implementation == "RIR" for r in rows)
+        assert any(r.work == "NVDLA" and not r.dataflow_switching for r in rows)
+        reorder_rows = reorder_support_table()
+        assert [r.work for r in reorder_rows][-1] == "FEATHER"
+
+
+class TestSystolicArray:
+    def test_regular_gemm_full_utilization(self):
+        sa = SystolicArray(4, 4)
+        gemm = GemmSpec("g", m=8, k=8, n=64)
+        report = sa.run_gemm(gemm)
+        assert report.utilization > 0.6
+
+    def test_ragged_gemm_low_utilization(self):
+        sa = SystolicArray(16, 16)
+        gemm = GemmSpec("g", m=3, k=3, n=64)
+        report = sa.run_gemm(gemm)
+        assert report.utilization < 0.2
+
+    def test_steady_state_utilization_gemm(self):
+        sa = SystolicArray(4, 4)
+        assert sa.steady_state_utilization_gemm(GemmSpec("a", 8, 8, 4)) == 1.0
+        assert sa.steady_state_utilization_gemm(GemmSpec("d", 4, 16, 1)) == 0.25
+
+    def test_conv_lowering(self):
+        sa = SystolicArray(16, 16)
+        layer = resnet50_layer(1)
+        report = sa.run_conv(layer)
+        assert report.macs == layer.macs
+        assert 0 < report.utilization <= 1
+
+    def test_steady_state_utilization_conv(self):
+        sa = SystolicArray(16, 16)
+        layer = ConvLayerSpec("c3", m=64, c=3, h=32, w=32, r=1, s=1)
+        assert sa.steady_state_utilization(layer) == pytest.approx(3 / 16)
+
+    def test_extra_parallel_lanes(self):
+        base = SystolicArray(12, 12)
+        lanes = SystolicArray(12, 12, extra_parallel=8)
+        layer = resnet50_layer(10)
+        assert lanes.run_conv(layer).cycles < base.run_conv(layer).cycles
+
+    def test_invalid_shape(self):
+        with pytest.raises(ValueError):
+            SystolicArray(0, 4)
+
+
+class TestDeviceModels:
+    LAYERS = [resnet50_layer(i) for i in (1, 5, 20, 45)]
+
+    def test_all_devices_run_layers(self):
+        for device in (gemmini_device(), xilinx_dpu_device(), edge_tpu_device(),
+                       feather_fpga_device()):
+            for layer in self.LAYERS:
+                result = device.run_layer(layer)
+                assert result.cycles > 0
+                assert 0 < result.utilization <= 1.0
+
+    def test_normalized_throughput_equals_utilization(self):
+        device = gemmini_device()
+        result = device.run_layer(self.LAYERS[0])
+        assert result.normalized_throughput_per_pe == pytest.approx(result.utilization)
+
+    def test_feather_beats_gemmini_on_small_channel_layer(self):
+        layer = resnet50_layer(1)  # C = 3 starves Gemmini's fixed C=16 lanes
+        feather = feather_fpga_device().run_layer(layer)
+        gemmini = gemmini_device().run_layer(layer)
+        assert feather.normalized_throughput_per_pe > gemmini.normalized_throughput_per_pe
+
+    def test_run_model_returns_all_layers(self):
+        results = gemmini_device().run_model(self.LAYERS)
+        assert len(results) == len(self.LAYERS)
+
+    def test_device_pe_counts(self):
+        assert gemmini_device().num_pes == 1024
+        assert xilinx_dpu_device().num_pes == 1152
+        assert feather_fpga_device().num_pes == 1296

@@ -1,0 +1,144 @@
+"""Tests for the logical 2D buffer and ping-pong buffer."""
+
+import pytest
+
+from repro.buffer.buffer import Buffer2D, BufferSpec, PingPongBuffer
+
+
+class TestBufferSpec:
+    def test_conflict_depth_line_interleaved(self):
+        spec = BufferSpec(num_lines=64, line_size=8, banks=4)
+        assert spec.conflict_depth == 16
+
+    def test_conflict_depth_word_interleaved(self):
+        spec = BufferSpec(num_lines=64, line_size=8, banks=8, interleaving="word")
+        assert spec.conflict_depth == 64
+
+    def test_capacity(self):
+        spec = BufferSpec(num_lines=64, line_size=8, banks=4, word_bits=8)
+        assert spec.capacity_words == 512
+        assert spec.capacity_bytes == 512
+
+    def test_word_interleaving_requires_matching_banks(self):
+        with pytest.raises(ValueError):
+            BufferSpec(num_lines=64, line_size=8, banks=4, interleaving="word")
+
+    def test_invalid_interleaving(self):
+        with pytest.raises(ValueError):
+            BufferSpec(num_lines=64, line_size=8, banks=4, interleaving="diagonal")
+
+    def test_peak_words_per_cycle(self):
+        # Line-interleaved: each port delivers a whole line of words.
+        spec = BufferSpec(num_lines=64, line_size=8, banks=4, ports_per_bank=2)
+        assert spec.peak_words_per_cycle == 64
+        # Word-interleaved (FEATHER StaB): one word per bank port.
+        word = BufferSpec(num_lines=64, line_size=8, banks=8, ports_per_bank=2,
+                          interleaving="word")
+        assert word.peak_words_per_cycle == 16
+
+
+class TestBuffer2DLineInterleaved:
+    def _buf(self):
+        return Buffer2D(BufferSpec(num_lines=16, line_size=4, banks=4))
+
+    def test_write_read_line(self):
+        buf = self._buf()
+        buf.write_line(3, [1, 2, 3, 4])
+        assert buf.read_line(3) == [1, 2, 3, 4]
+
+    def test_write_read_word(self):
+        buf = self._buf()
+        buf.write_word(5, 2, 77)
+        assert buf.read_word(5, 2) == 77
+
+    def test_out_of_range_line(self):
+        buf = self._buf()
+        with pytest.raises(IndexError):
+            buf.read_line(16)
+
+    def test_out_of_range_offset(self):
+        buf = self._buf()
+        with pytest.raises(IndexError):
+            buf.write_word(0, 4, 1)
+
+    def test_cycle_cost_same_bank(self):
+        buf = self._buf()  # conflict_depth = 4: lines 0-3 share bank 0
+        assert buf.cycle_cost([0, 1, 2, 3]) == pytest.approx(2.0)
+
+    def test_cycle_cost_different_banks(self):
+        buf = self._buf()
+        assert buf.cycle_cost([0, 4, 8, 12]) == pytest.approx(1.0)
+
+    def test_cycle_cost_single_line(self):
+        buf = self._buf()
+        assert buf.cycle_cost([7]) == 1.0
+
+    def test_access_stats(self):
+        buf = self._buf()
+        buf.write_line(0, [1, 2, 3, 4])
+        buf.read_line(0)
+        assert buf.total_writes == 4  # one write per word
+        assert buf.total_reads == 1
+
+
+class TestBuffer2DWordInterleaved:
+    def _buf(self):
+        return Buffer2D(BufferSpec(num_lines=16, line_size=4, banks=4,
+                                   interleaving="word"))
+
+    def test_each_word_lands_in_its_bank(self):
+        buf = self._buf()
+        buf.write_line(0, [10, 11, 12, 13])
+        for offset in range(4):
+            assert buf.banks[offset].peek(0)[0] == 10 + offset
+
+    def test_independent_line_addresses_per_bank(self):
+        # The FEATHER StaB property: different banks can be written at
+        # different line addresses in the same cycle.
+        buf = self._buf()
+        buf.write_word(3, 0, 1)
+        buf.write_word(7, 1, 2)
+        buf.write_word(11, 2, 3)
+        assert buf.read_word(3, 0) == 1
+        assert buf.read_word(7, 1) == 2
+        assert buf.read_word(11, 2) == 3
+
+    def test_cycle_cost_counts_distinct_lines(self):
+        buf = self._buf()
+        assert buf.cycle_cost([0, 1, 2, 3]) == pytest.approx(2.0)
+        assert buf.cycle_cost([0, 1]) == 1.0
+
+    def test_read_line_gathers_from_all_banks(self):
+        buf = self._buf()
+        buf.write_line(5, [5, 6, 7, 8])
+        assert buf.read_line(5) == [5, 6, 7, 8]
+
+
+class TestPingPongBuffer:
+    def _pp(self):
+        return PingPongBuffer(BufferSpec(num_lines=8, line_size=4, banks=4))
+
+    def test_roles_distinct(self):
+        pp = self._pp()
+        assert pp.read_half is not pp.write_half
+
+    def test_swap_exchanges_roles(self):
+        pp = self._pp()
+        read_before = pp.read_half
+        pp.swap()
+        assert pp.write_half is read_before
+        assert pp.swaps == 1
+
+    def test_inter_layer_pattern(self):
+        # Write oActs to the write half, swap, and read them as iActs.
+        pp = self._pp()
+        pp.write_half.write_line(0, [1, 2, 3, 4])
+        pp.swap()
+        assert pp.read_half.read_line(0) == [1, 2, 3, 4]
+
+    def test_stats_aggregate_both_halves(self):
+        pp = self._pp()
+        pp.write_half.write_word(0, 0, 1)
+        pp.swap()
+        pp.write_half.write_word(0, 0, 2)
+        assert pp.total_writes == 2

@@ -1,0 +1,98 @@
+"""Tests for the SRAM bank model."""
+
+import pytest
+
+from repro.buffer.sram import BankConflictError, SramBank
+
+
+class TestSramBank:
+    def test_write_then_read(self):
+        bank = SramBank(entries=8, io_width=4)
+        bank.write(0, [1, 2, 3, 4])
+        assert bank.read(0) == [1, 2, 3, 4]
+
+    def test_partial_line_write(self):
+        bank = SramBank(entries=8, io_width=4)
+        bank.write(2, [9, 9])
+        assert bank.read(2) == [9, 9, None, None]
+
+    def test_write_word(self):
+        bank = SramBank(entries=8, io_width=4)
+        bank.write_word(1, 3, 42)
+        assert bank.read(1)[3] == 42
+
+    def test_oversized_line_raises(self):
+        bank = SramBank(entries=8, io_width=2)
+        with pytest.raises(ValueError):
+            bank.write(0, [1, 2, 3])
+
+    def test_out_of_range_entry(self):
+        bank = SramBank(entries=4, io_width=2)
+        with pytest.raises(IndexError):
+            bank.read(4)
+
+    def test_out_of_range_offset(self):
+        bank = SramBank(entries=4, io_width=2)
+        with pytest.raises(ValueError):
+            bank.write_word(0, 5, 1)
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            SramBank(entries=0)
+
+    def test_access_counting(self):
+        bank = SramBank(entries=8, io_width=2)
+        bank.write(0, [1, 2])
+        bank.read(0)
+        bank.read(0)
+        assert bank.total_writes == 1
+        assert bank.total_reads == 2
+        assert bank.total_accesses == 3
+
+    def test_reset_stats(self):
+        bank = SramBank(entries=8, io_width=2)
+        bank.write(0, [1, 2])
+        bank.reset_stats()
+        assert bank.total_accesses == 0
+
+    def test_port_budget_within_cycle(self):
+        bank = SramBank(entries=8, io_width=2, ports=2)
+        bank.read(0)
+        bank.read(1)
+        assert bank.ports_available == 0
+        assert bank.conflict_stalls == 0
+
+    def test_conflict_detected_non_strict(self):
+        bank = SramBank(entries=8, io_width=2, ports=2)
+        bank.read(0)
+        bank.read(1)
+        bank.read(2)  # third access in the same cycle
+        assert bank.conflict_stalls == 1
+
+    def test_conflict_raises_in_strict_mode(self):
+        bank = SramBank(entries=8, io_width=2, ports=1)
+        bank.read(0, strict=True)
+        with pytest.raises(BankConflictError):
+            bank.read(1, strict=True)
+
+    def test_tick_resets_port_usage(self):
+        bank = SramBank(entries=8, io_width=2, ports=1)
+        bank.read(0, strict=True)
+        bank.tick()
+        bank.read(1, strict=True)  # no error after the cycle boundary
+        assert bank.conflict_stalls == 0
+
+    def test_peek_does_not_consume_ports(self):
+        bank = SramBank(entries=8, io_width=2, ports=1)
+        bank.write(0, [5, 6])
+        bank.tick()
+        for _ in range(10):
+            assert bank.peek(0) == [5, 6]
+        assert bank.ports_available == 1
+
+    def test_occupancy(self):
+        bank = SramBank(entries=8, io_width=2)
+        assert bank.occupancy() == 0
+        bank.write(0, [1, 2])
+        bank.write(5, [3])
+        assert bank.occupancy() == 2

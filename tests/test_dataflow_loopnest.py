@@ -1,0 +1,109 @@
+"""Tests for factorization helpers and the tiled loop nest."""
+
+import math
+
+import pytest
+
+from repro.dataflow.loopnest import (
+    LoopNest,
+    balanced_factor_pair,
+    divisors_at_most,
+    factor_splits,
+    factors,
+    padded_parallel_sizes,
+    tile_counts,
+)
+
+
+class TestFactors:
+    def test_factors_of_12(self):
+        assert factors(12) == (1, 2, 3, 4, 6, 12)
+
+    def test_factors_of_prime(self):
+        assert factors(13) == (1, 13)
+
+    def test_factors_of_one(self):
+        assert factors(1) == (1,)
+
+    def test_factors_invalid(self):
+        with pytest.raises(ValueError):
+            factors(0)
+
+    def test_balanced_pair(self):
+        assert balanced_factor_pair(12) == (3, 4)
+        assert balanced_factor_pair(16) == (4, 4)
+        assert balanced_factor_pair(7) == (1, 7)
+
+    def test_factor_splits_two_parts(self):
+        splits = factor_splits(8, 2)
+        assert (2, 4) in splits and (8, 1) in splits
+        for a, b in splits:
+            assert a * b == 8
+
+    def test_factor_splits_three_parts(self):
+        splits = factor_splits(12, 3)
+        for combo in splits:
+            assert math.prod(combo) == 12
+
+    def test_factor_splits_one_part(self):
+        assert factor_splits(5, 1) == [(5,)]
+
+    def test_tile_counts(self):
+        assert tile_counts(10, 3) == 4
+        assert tile_counts(9, 3) == 3
+
+    def test_tile_counts_invalid(self):
+        with pytest.raises(ValueError):
+            tile_counts(10, 0)
+
+    def test_divisors_at_most(self):
+        assert divisors_at_most(12, 4) == (1, 2, 3, 4)
+
+    def test_padded_parallel_sizes_include_powers_of_two(self):
+        sizes = padded_parallel_sizes(12, 16)
+        assert 8 in sizes      # power of two that does not divide 12
+        assert 12 in sizes     # the extent itself
+        assert max(sizes) <= 16
+
+
+class TestLoopNest:
+    def _nest(self):
+        return LoopNest(
+            bounds=(("M", 8), ("C", 6), ("Q", 4)),
+            tiles=(("M", 4), ("C", 2)),
+            order=("M", "C", "Q"),
+        )
+
+    def test_trip_counts(self):
+        nest = self._nest()
+        assert nest.trip_counts() == {"M": 2, "C": 3, "Q": 4}
+
+    def test_total_tiles(self):
+        assert self._nest().total_tiles() == 24
+
+    def test_iter_tiles_count(self):
+        assert len(list(self._nest().iter_tiles())) == 24
+
+    def test_iter_tiles_bases_are_multiples(self):
+        nest = self._nest()
+        for tile in nest.iter_tiles():
+            assert tile["M"] % 4 == 0
+            assert tile["C"] % 2 == 0
+
+    def test_iter_tiles_order(self):
+        nest = self._nest()
+        tiles = list(nest.iter_tiles())
+        # Innermost loop is Q: the first few tiles advance Q only.
+        assert tiles[0]["Q"] == 0 and tiles[1]["Q"] == 1
+        assert tiles[0]["M"] == tiles[1]["M"]
+
+    def test_tile_volume(self):
+        assert self._nest().tile_volume() == 8
+
+    def test_unknown_tile_dim_raises(self):
+        with pytest.raises(ValueError):
+            LoopNest(bounds=(("M", 8),), tiles=(("Z", 2),), order=("M",))
+
+    def test_unknown_order_dim_raises(self):
+        with pytest.raises(ValueError):
+            LoopNest(bounds=(("M", 8),), tiles=(), order=("Z",))

@@ -1,0 +1,130 @@
+"""Tests for the Mapping (TOPS dataflow) abstraction."""
+
+import pytest
+
+from repro.dataflow.mapping import (
+    Mapping,
+    ParallelSpec,
+    TileLevel,
+    output_stationary_mapping,
+    weight_stationary_mapping,
+)
+from repro.workloads.conv import ConvLayerSpec
+from repro.workloads.gemm import GemmSpec
+
+LAYER = ConvLayerSpec("layer", m=32, c=64, h=16, w=16, r=3, s=3, stride=1, padding=1)
+GEMM = GemmSpec("gemm", m=32, k=64, n=48)
+
+
+def _mapping(parallel, rows=16, cols=16, order=("N", "M", "C", "R", "S", "P", "Q")):
+    return Mapping(
+        name="test",
+        array_rows=rows,
+        array_cols=cols,
+        parallel=tuple(ParallelSpec(d, n) for d, n in parallel),
+        tile=TileLevel.of(**{d: n for d, n in parallel}),
+        order=order,
+    )
+
+
+class TestMappingBasics:
+    def test_total_parallelism(self):
+        m = _mapping([("M", 16), ("C", 16)])
+        assert m.total_parallelism == 256
+
+    def test_parallelism_cannot_exceed_array(self):
+        with pytest.raises(ValueError):
+            _mapping([("M", 32), ("C", 16)])
+
+    def test_parallel_degree_lookup(self):
+        m = _mapping([("M", 16), ("C", 4)])
+        assert m.parallel_degree("M") == 16
+        assert m.parallel_degree("Q") == 1
+
+    def test_spatial_reduction_size(self):
+        m = _mapping([("M", 16), ("C", 8)])
+        assert m.spatial_reduction_size == 8
+
+    def test_spatial_reduction_only_counts_reduction_dims(self):
+        m = _mapping([("M", 16), ("Q", 8)])
+        assert m.spatial_reduction_size == 1
+
+    def test_outputs_per_cycle(self):
+        m = _mapping([("M", 16), ("C", 8)])
+        assert m.outputs_per_cycle == 16
+
+    def test_invalid_array_shape(self):
+        with pytest.raises(ValueError):
+            Mapping("bad", 0, 4, (), TileLevel.of(), ("M",))
+
+    def test_describe_mentions_parallelism(self):
+        m = _mapping([("M", 16), ("C", 8)])
+        assert "Mx16" in m.describe()
+
+
+class TestUtilizationAndCycles:
+    def test_full_utilization(self):
+        m = _mapping([("M", 16), ("C", 16)])
+        assert m.spatial_utilization(LAYER) == pytest.approx(1.0)
+
+    def test_partial_array_utilization(self):
+        m = _mapping([("M", 8), ("C", 16)])
+        assert m.spatial_utilization(LAYER) == pytest.approx(0.5)
+
+    def test_ragged_edge_utilization(self):
+        layer = ConvLayerSpec("odd", m=24, c=64, h=8, w=8, r=1, s=1)
+        m = _mapping([("M", 16), ("C", 16)])
+        # M=24 on degree 16 pads to 32 -> 0.75 efficiency.
+        assert m.spatial_utilization(layer) == pytest.approx(0.75)
+
+    def test_compute_cycles_match_macs_at_full_util(self):
+        m = _mapping([("M", 16), ("C", 16)])
+        cycles = m.compute_cycles(LAYER)
+        assert cycles * 256 == LAYER.macs
+
+    def test_compute_cycles_serial(self):
+        m = _mapping([])
+        assert m.compute_cycles(LAYER) == LAYER.macs
+
+    def test_gemm_cycles(self):
+        m = Mapping("g", 16, 16, (ParallelSpec("M", 16), ParallelSpec("K", 16)),
+                    TileLevel.of(M=16, K=16), ("M", "K", "N"),
+                    reduction_dims=frozenset({"K"}))
+        assert m.compute_cycles(GEMM) == (32 // 16) * (64 // 16) * 48
+
+
+class TestConvenienceConstructors:
+    def test_weight_stationary_conv(self):
+        m = weight_stationary_mapping(LAYER, 16, 16)
+        assert m.parallel_degree("M") == 16
+        assert m.parallel_degree("C") == 16
+        # Innermost loops must not index the weights (that is what makes the
+        # weights stationary).
+        assert set(m.order[-2:]) <= {"P", "Q", "N"}
+
+    def test_weight_stationary_gemm(self):
+        m = weight_stationary_mapping(GEMM, 16, 16)
+        assert m.parallel_degree("K") == 16
+        assert m.reduction_dims == frozenset({"K"})
+
+    def test_output_stationary_conv(self):
+        m = output_stationary_mapping(LAYER, 16, 16)
+        assert m.parallel_degree("P") == 16
+        assert m.parallel_degree("Q") == 16
+        # Innermost loops are the reduction dims.
+        assert set(m.order[-2:]) <= {"C", "R", "S"}
+
+    def test_output_stationary_gemm(self):
+        m = output_stationary_mapping(GEMM, 16, 16)
+        assert m.parallel_degree("M") == 16
+        assert m.parallel_degree("N") == 16
+
+    def test_weight_stationary_small_layer_clamps(self):
+        layer = ConvLayerSpec("small", m=4, c=2, h=4, w=4)
+        m = weight_stationary_mapping(layer, 16, 16)
+        assert m.parallel_degree("M") == 4
+        assert m.parallel_degree("C") == 2
+
+    def test_with_array(self):
+        m = weight_stationary_mapping(LAYER, 16, 16).with_array(32, 32)
+        assert m.array_rows == 32 and m.array_cols == 32

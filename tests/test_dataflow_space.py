@@ -1,0 +1,97 @@
+"""Tests for mapping-space enumeration."""
+
+import pytest
+
+from repro.dataflow.space import MappingSpace, enumerate_parallelisms
+from repro.workloads.conv import ConvLayerSpec
+from repro.workloads.gemm import GemmSpec
+
+LAYER = ConvLayerSpec("layer", m=32, c=64, h=16, w=16, r=3, s=3, stride=1, padding=1)
+GEMM = GemmSpec("gemm", m=32, k=64, n=48)
+
+
+class TestEnumerateParallelisms:
+    def test_includes_serial(self):
+        cands = list(enumerate_parallelisms({"M": 32, "C": 64}, ("M", "C"), 4, 4))
+        assert tuple() in cands
+
+    def test_single_dim_degrees_bounded_by_array(self):
+        cands = list(enumerate_parallelisms({"M": 32}, ("M",), 4, 4))
+        for cand in cands:
+            for spec in cand:
+                assert spec.degree <= 16
+
+    def test_two_dim_degrees_bounded_by_axes(self):
+        cands = list(enumerate_parallelisms({"M": 32, "C": 64}, ("M", "C"), 4, 8))
+        for cand in cands:
+            if len(cand) == 2:
+                assert cand[0].degree * cand[1].degree <= 32
+
+    def test_no_duplicates(self):
+        cands = list(enumerate_parallelisms({"M": 32, "C": 64}, ("M", "C"), 4, 4))
+        keys = [tuple((s.dim, s.degree) for s in c) for c in cands]
+        assert len(keys) == len(set(keys))
+
+    def test_skips_trivial_dims(self):
+        cands = list(enumerate_parallelisms({"M": 32, "R": 1}, ("M", "R"), 4, 4))
+        assert all(all(s.dim != "R" for s in c) for c in cands)
+
+
+class TestMappingSpace:
+    def test_iterates_valid_mappings(self):
+        space = MappingSpace(LAYER, 8, 8)
+        mappings = list(space.iter_mappings())
+        assert mappings
+        for m in mappings[:50]:
+            assert m.total_parallelism <= 64
+
+    def test_size_matches_iteration(self):
+        space = MappingSpace(LAYER, 4, 4)
+        assert space.size() == len(list(space.iter_mappings()))
+
+    def test_sample_is_subset(self):
+        space = MappingSpace(LAYER, 8, 8)
+        sample = space.sample(10, seed=3)
+        assert len(sample) == 10
+
+    def test_sample_larger_than_space_returns_all(self):
+        space = MappingSpace(LAYER, 2, 2, max_parallel_dims=1)
+        sample = space.sample(10_000)
+        assert len(sample) == space.size()
+
+    def test_sample_deterministic(self):
+        space = MappingSpace(LAYER, 8, 8)
+        assert [m.name for m in space.sample(5, seed=7)] == \
+               [m.name for m in space.sample(5, seed=7)]
+
+    def test_allowed_parallel_dims_respected(self):
+        space = MappingSpace(LAYER, 8, 8, allowed_parallel_dims=("P", "Q"))
+        for m in space.iter_mappings():
+            assert all(p.dim in ("P", "Q") for p in m.parallel)
+
+    def test_max_parallel_dims_one(self):
+        space = MappingSpace(LAYER, 8, 8, max_parallel_dims=1)
+        for m in space.iter_mappings():
+            assert len(m.parallel) <= 1
+
+    def test_gemm_space(self):
+        space = MappingSpace(GEMM, 8, 8)
+        mappings = list(space.iter_mappings())
+        assert mappings
+        dims_used = {p.dim for m in mappings for p in m.parallel}
+        assert dims_used <= {"M", "N", "K"}
+
+    def test_gemm_reduction_dims(self):
+        space = MappingSpace(GEMM, 8, 8)
+        mapping = next(space.iter_mappings())
+        assert mapping.reduction_dims == frozenset({"K"})
+
+    def test_unsupported_workload_raises(self):
+        with pytest.raises(TypeError):
+            MappingSpace("not a workload", 4, 4)
+
+    def test_orders_respected(self):
+        orders = (("N", "M", "C", "R", "S", "P", "Q"),)
+        space = MappingSpace(LAYER, 4, 4, allowed_orders=orders)
+        for m in space.iter_mappings():
+            assert m.order == tuple(d for d in orders[0])

@@ -1,0 +1,168 @@
+"""Functional and timing tests for the FEATHER accelerator top level."""
+
+import numpy as np
+import pytest
+
+from repro.feather.accelerator import FeatherAccelerator, im2col, reference_conv
+from repro.feather.config import FeatherConfig
+from repro.feather.quantize import QuantizationModule
+from repro.layout.layout import parse_layout
+from repro.workloads.conv import ConvLayerSpec
+
+
+def _random_gemm(rng, m, k, n):
+    return (rng.integers(-5, 6, (m, k)), rng.integers(-5, 6, (k, n)))
+
+
+class TestRunGemm:
+    def test_matches_numpy(self, rng, small_feather_config):
+        weights, iacts = _random_gemm(rng, 12, 16, 9)
+        acc = FeatherAccelerator(small_feather_config)
+        out, stats = acc.run_gemm(weights, iacts)
+        assert np.array_equal(out, weights @ iacts)
+        assert stats.macs == 12 * 16 * 9
+
+    def test_matches_numpy_tall_gemm(self, rng, small_feather_config):
+        weights, iacts = _random_gemm(rng, 40, 8, 6)
+        acc = FeatherAccelerator(small_feather_config)
+        out, stats = acc.run_gemm(weights, iacts)
+        assert np.array_equal(out, weights @ iacts)
+
+    def test_matches_numpy_small_k(self, rng, small_feather_config):
+        weights, iacts = _random_gemm(rng, 6, 2, 7)
+        acc = FeatherAccelerator(small_feather_config)
+        out, _ = acc.run_gemm(weights, iacts)
+        assert np.array_equal(out, weights @ iacts)
+
+    def test_birrd_routed_on_small_arrays(self, rng, small_feather_config):
+        weights, iacts = _random_gemm(rng, 8, 16, 4)
+        acc = FeatherAccelerator(small_feather_config, route_birrd="auto")
+        _, stats = acc.run_gemm(weights, iacts)
+        assert stats.birrd_cycles > 0
+        assert stats.routed_fraction == 1.0
+
+    def test_route_never_mode(self, rng, small_feather_config):
+        weights, iacts = _random_gemm(rng, 8, 16, 4)
+        acc = FeatherAccelerator(small_feather_config, route_birrd="never")
+        out, stats = acc.run_gemm(weights, iacts)
+        assert np.array_equal(out, weights @ iacts)
+        assert stats.birrd_routed_cycles == 0
+
+    def test_invalid_route_mode(self, small_feather_config):
+        with pytest.raises(ValueError):
+            FeatherAccelerator(small_feather_config, route_birrd="sometimes")
+
+    def test_stats_utilization_bounded(self, rng, small_feather_config):
+        weights, iacts = _random_gemm(rng, 16, 32, 20)
+        acc = FeatherAccelerator(small_feather_config)
+        _, stats = acc.run_gemm(weights, iacts)
+        assert 0 < stats.utilization <= 1.0
+
+    def test_quantizer_applied_to_stab_writes(self, rng, small_feather_config):
+        weights, iacts = _random_gemm(rng, 4, 8, 4)
+        acc = FeatherAccelerator(small_feather_config)
+        qm = QuantizationModule(scale=0.01, zero_point=0)
+        out, _ = acc.run_gemm(weights, iacts, quantizer=qm)
+        # The returned accumulator values are unquantized; QM only affects StaB.
+        assert np.array_equal(out, weights @ iacts)
+        assert qm.values_quantized > 0
+
+    def test_dimension_mismatch_raises(self, rng, small_feather_config):
+        acc = FeatherAccelerator(small_feather_config)
+        with pytest.raises(ValueError):
+            acc.run_gemm(np.ones((4, 5)), np.ones((6, 3)))
+
+    def test_stats_merge(self, rng, small_feather_config):
+        weights, iacts = _random_gemm(rng, 8, 8, 4)
+        acc = FeatherAccelerator(small_feather_config)
+        _, s1 = acc.run_gemm(weights, iacts)
+        _, s2 = acc.run_gemm(weights, iacts)
+        merged = s1.merge(s2)
+        assert merged.macs == s1.macs + s2.macs
+        assert merged.cycles == s1.cycles + s2.cycles
+
+
+class TestRunConv:
+    def test_matches_reference(self, rng, small_feather_config, small_conv_layer):
+        layer = small_conv_layer
+        iacts = rng.integers(-5, 6, (layer.c, layer.h, layer.w))
+        weights = rng.integers(-3, 4, (layer.m, layer.c, layer.r, layer.s))
+        acc = FeatherAccelerator(small_feather_config)
+        out, _ = acc.run_conv(layer, iacts, weights)
+        assert np.array_equal(out, reference_conv(iacts, weights, layer))
+
+    def test_strided_conv(self, rng, small_feather_config, strided_conv_layer):
+        layer = strided_conv_layer
+        iacts = rng.integers(-5, 6, (layer.c, layer.h, layer.w))
+        weights = rng.integers(-3, 4, (layer.m, layer.c, layer.r, layer.s))
+        acc = FeatherAccelerator(small_feather_config)
+        out, _ = acc.run_conv(layer, iacts, weights)
+        assert np.array_equal(out, reference_conv(iacts, weights, layer))
+
+    def test_shape_validation(self, rng, small_feather_config, small_conv_layer):
+        acc = FeatherAccelerator(small_feather_config)
+        with pytest.raises(ValueError):
+            acc.run_conv(small_conv_layer, np.ones((1, 2, 3)), np.ones((1, 1, 1, 1)))
+
+    def test_rir_layout_switch_conflict_free(self, rng, tiny_feather_config):
+        """The Fig. 11 property: channel-last in, row-major out, no conflicts."""
+        layer = ConvLayerSpec("rir", m=4, c=4, h=4, w=4, r=2, s=2)
+        iacts = rng.integers(-4, 5, (layer.c, layer.h, layer.w))
+        weights = rng.integers(-3, 4, (layer.m, layer.c, layer.r, layer.s))
+        acc = FeatherAccelerator(tiny_feather_config)
+        out, stats = acc.run_conv(
+            layer, iacts, weights,
+            output_layout=parse_layout("MPQ_Q4"),
+            input_layout=parse_layout("HWC_C4"))
+        assert np.array_equal(out, reference_conv(iacts, weights, layer))
+        assert stats.read_slowdown == pytest.approx(1.0)
+        assert stats.write_serialization == pytest.approx(1.0)
+
+    def test_discordant_input_layout_reports_slowdown(self, rng, tiny_feather_config):
+        """Row-major iActs with a channel-parallel read pattern stalls (Fig. 4)."""
+        layer = ConvLayerSpec("discordant", m=4, c=16, h=4, w=8, r=1, s=1)
+        iacts = rng.integers(-4, 5, (layer.c, layer.h, layer.w))
+        weights = rng.integers(-3, 4, (layer.m, layer.c, layer.r, layer.s))
+        acc = FeatherAccelerator(tiny_feather_config)
+        out, stats = acc.run_conv(
+            layer, iacts, weights, input_layout=parse_layout("HCW_W8"))
+        assert np.array_equal(out, reference_conv(iacts, weights, layer))
+        assert stats.read_slowdown > 1.0
+
+    def test_oacts_written_to_stab(self, rng, tiny_feather_config):
+        layer = ConvLayerSpec("stab", m=4, c=2, h=4, w=4, r=2, s=2)
+        iacts = rng.integers(-4, 5, (layer.c, layer.h, layer.w))
+        weights = rng.integers(-3, 4, (layer.m, layer.c, layer.r, layer.s))
+        acc = FeatherAccelerator(tiny_feather_config)
+        _, stats = acc.run_conv(layer, iacts, weights)
+        assert stats.stab_writes == layer.oact_elems
+        assert acc.stab_pong.total_writes == layer.oact_elems
+
+
+class TestIm2col:
+    def test_shape(self, small_conv_layer):
+        layer = small_conv_layer
+        iacts = np.arange(layer.c * layer.h * layer.w).reshape(layer.c, layer.h, layer.w)
+        cols = im2col(iacts, layer)
+        assert cols.shape == (layer.c * layer.r * layer.s, layer.p * layer.q)
+
+    def test_no_padding_case(self):
+        layer = ConvLayerSpec("np", m=1, c=1, h=3, w=3, r=2, s=2)
+        iacts = np.arange(9).reshape(1, 3, 3)
+        cols = im2col(iacts, layer)
+        # First output position covers the top-left 2x2 patch.
+        assert list(cols[:, 0]) == [0, 1, 3, 4]
+
+    def test_padding_introduces_zeros(self):
+        layer = ConvLayerSpec("pad", m=1, c=1, h=3, w=3, r=3, s=3, padding=1)
+        iacts = np.ones((1, 3, 3), dtype=int)
+        cols = im2col(iacts, layer)
+        # The corner output position reads 4 padded zeros.
+        assert (cols[:, 0] == 0).sum() == 5
+
+    def test_reference_conv_identity_kernel(self):
+        layer = ConvLayerSpec("id", m=1, c=1, h=4, w=4, r=1, s=1)
+        iacts = np.arange(16).reshape(1, 4, 4)
+        weights = np.ones((1, 1, 1, 1), dtype=int)
+        out = reference_conv(iacts, weights, layer)
+        assert np.array_equal(out[0], iacts[0])

@@ -1,0 +1,179 @@
+"""Tests for FEATHER's configuration, quantization module, RIR planner and controller."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.feather.config import FeatherConfig
+from repro.feather.controller import generate_instruction_stream, pack_configuration
+from repro.feather.quantize import QuantizationModule
+from repro.feather.rir import RirPlanner
+from repro.layout.layout import parse_layout
+from repro.noc.birrd import EggConfig
+
+
+class TestFeatherConfig:
+    def test_defaults(self):
+        cfg = FeatherConfig()
+        assert cfg.num_pes == 256
+        assert cfg.birrd_topology.aw == 16
+
+    def test_aw_must_be_power_of_two(self):
+        with pytest.raises(ValueError):
+            FeatherConfig(array_rows=4, array_cols=6)
+
+    def test_stab_is_word_interleaved(self):
+        cfg = FeatherConfig(array_rows=4, array_cols=8)
+        spec = cfg.stab_spec
+        assert spec.interleaving == "word"
+        assert spec.banks == 8
+
+    def test_strb_is_single_bank(self):
+        cfg = FeatherConfig(array_rows=4, array_cols=8)
+        assert cfg.strb_spec.banks == 1
+        assert cfg.strb_spec.line_size == 8
+
+    def test_instruction_width_matches_fig8(self):
+        # AW*(2*log(AW)-1)... the paper's formula counts switch bits plus a
+        # write address; ours is 2 bits per switch plus log2(depth).
+        cfg = FeatherConfig(array_rows=4, array_cols=8, stab_lines=1024)
+        expected = 2 * cfg.birrd_topology.num_switches + 10
+        assert cfg.instruction_bits_per_entry == expected
+
+    def test_peak_throughput(self):
+        cfg = FeatherConfig(array_rows=16, array_cols=16, frequency_mhz=1000)
+        assert cfg.peak_throughput_gmacs() == pytest.approx(256.0)
+
+
+class TestQuantizationModule:
+    def test_identity_scale(self):
+        qm = QuantizationModule(scale=1.0, zero_point=0)
+        assert qm.quantize(5) == 5
+
+    def test_clipping(self):
+        qm = QuantizationModule(scale=1.0, zero_point=0, out_bits=8)
+        assert qm.quantize(1000) == 127
+        assert qm.quantize(-1000) == -128
+
+    def test_zero_point_shift(self):
+        qm = QuantizationModule(scale=1.0, zero_point=10)
+        assert qm.quantize(5) == 15
+
+    def test_scale_applied(self):
+        qm = QuantizationModule(scale=0.5, zero_point=0)
+        assert qm.quantize(10) == 5
+
+    def test_array_matches_scalar(self):
+        qm = QuantizationModule(scale=0.031, zero_point=3)
+        values = [-500, -17, 0, 19, 400]
+        arr = qm.quantize_array(values)
+        qm2 = QuantizationModule(scale=0.031, zero_point=3)
+        assert list(arr) == [qm2.quantize(v) for v in values]
+
+    def test_calibrated_covers_range(self):
+        accs = [-1000, -5, 0, 900, 1200]
+        qm = QuantizationModule.calibrated(accs)
+        quantized = qm.quantize_array(accs)
+        assert quantized.max() <= 127 and quantized.min() >= -128
+        assert quantized.max() == 127 or quantized.min() == -128
+
+    def test_unsigned_range(self):
+        qm = QuantizationModule(scale=1.0, zero_point=0, signed=False)
+        assert qm.qmin == 0 and qm.qmax == 255
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            QuantizationModule(scale=0.0)
+
+
+class TestRirPlanner:
+    def _planner(self):
+        layout = parse_layout("MPQ_Q4")
+        return RirPlanner(aw=4, output_layout=layout,
+                          output_dims={"M": 4, "P": 4, "Q": 4}, ports_per_bank=2)
+
+    def test_destination_uses_layout(self):
+        planner = self._planner()
+        line0, bank0 = planner.destination({"M": 0, "P": 0, "Q": 0})
+        line1, bank1 = planner.destination({"M": 0, "P": 0, "Q": 1})
+        assert line0 == line1          # same row-major line
+        assert bank1 == (bank0 + 1) % 4
+
+    def test_plan_cycle_conflict_free(self):
+        planner = self._planner()
+        # Four outputs with distinct Q land in four distinct banks.
+        coords = [{"M": 0, "P": 0, "Q": q} for q in range(4)]
+        plan = planner.plan_cycle([[i] for i in range(4)], coords)
+        assert plan.conflict_free
+        assert len({w.bank for w in plan.writes}) == 4
+
+    def test_plan_cycle_detects_overload(self):
+        planner = self._planner()
+        # Four outputs with the same Q all target the same bank: exceeds 2 ports.
+        coords = [{"M": m, "P": 0, "Q": 0} for m in range(4)]
+        plan = planner.plan_cycle([[i] for i in range(4)], coords)
+        assert not plan.conflict_free
+        assert plan.serialization_factor == pytest.approx(2.0)
+
+    def test_requests_have_distinct_ports(self):
+        planner = self._planner()
+        coords = [{"M": m, "P": 0, "Q": 0} for m in range(4)]
+        plan = planner.plan_cycle([[i] for i in range(4)], coords)
+        ports = [r.output_port for r in plan.requests]
+        assert len(set(ports)) == len(ports)
+
+    def test_mismatched_lengths_raise(self):
+        planner = self._planner()
+        with pytest.raises(ValueError):
+            planner.plan_cycle([[0]], [])
+
+    def test_audit_layer_conflict_free(self):
+        planner = self._planner()
+        cycles = [[{"M": 0, "P": p, "Q": q} for q in range(4)] for p in range(4)]
+        audit = planner.audit_layer(cycles)
+        assert audit["conflict_free_fraction"] == 1.0
+
+    def test_audit_layer_empty(self):
+        audit = self._planner().audit_layer([])
+        assert audit["cycles"] == 0
+
+
+class TestController:
+    def test_pack_configuration_distinct(self):
+        from repro.noc.birrd import BirrdTopology
+        topo = BirrdTopology(4)
+        cfg_a = [[EggConfig.PASS] * 2] * 3
+        cfg_b = [[EggConfig.SWAP] * 2] * 3
+        word_a = pack_configuration(cfg_a, topo, [0, 0, 0, 0], 64)
+        word_b = pack_configuration(cfg_b, topo, [0, 0, 0, 0], 64)
+        assert word_a != word_b
+
+    def test_instruction_stream_sizing(self):
+        config = FeatherConfig(array_rows=4, array_cols=4, stab_lines=64)
+        layout = parse_layout("MPQ_Q4")
+        planner = RirPlanner(4, layout, {"M": 4, "P": 2, "Q": 4})
+        plans = [planner.plan_cycle([[0], [1]], [{"M": 0, "P": 0, "Q": 0},
+                                                 {"M": 1, "P": 0, "Q": 1}])
+                 for _ in range(10)]
+        stream = generate_instruction_stream(plans, config)
+        assert stream.num_words == 10
+        assert stream.total_bits == 10 * stream.bits_per_word
+        assert stream.total_bytes < 1024  # per-layer reconfig stays tiny
+
+    def test_instruction_stream_reconfig_cycles(self):
+        config = FeatherConfig(array_rows=4, array_cols=4, stab_lines=64)
+        layout = parse_layout("MPQ_Q4")
+        planner = RirPlanner(4, layout, {"M": 4, "P": 2, "Q": 4})
+        plans = [planner.plan_cycle([[0]], [{"M": 0, "P": 0, "Q": 0}])]
+        stream = generate_instruction_stream(plans, config)
+        assert stream.reconfiguration_cycles(fetch_width_bits=32) >= 1
+
+    def test_unrouted_cycles_counted_for_large_aw(self):
+        config = FeatherConfig(array_rows=4, array_cols=32, stab_lines=64)
+        layout = parse_layout("MPQ_Q4")
+        planner = RirPlanner(32, layout, {"M": 4, "P": 2, "Q": 4})
+        plans = [planner.plan_cycle([[0]], [{"M": 0, "P": 0, "Q": 0}])]
+        stream = generate_instruction_stream(plans, config)
+        # AW=32 routing is skipped (brute-force fallback), so it is reported.
+        assert stream.unrouted_cycles == 1

@@ -1,0 +1,147 @@
+"""Tests for the post-processing engines and the whole-model runner."""
+
+import numpy as np
+import pytest
+
+from repro.feather.config import FeatherConfig
+from repro.feather.model_runner import (
+    ConvStage,
+    ModelRunner,
+    PoolStage,
+    reference_model,
+)
+from repro.feather.postproc import (
+    IntegerBatchNorm,
+    avg_pool_layer,
+    avg_pool_reference,
+    max_pool,
+    relu,
+)
+from repro.feather.accelerator import FeatherAccelerator, reference_conv
+from repro.workloads.conv import ConvLayerSpec
+
+
+class TestPostProcessing:
+    def test_relu(self):
+        acts = np.array([[[-3, 2], [0, -1]]])
+        assert np.array_equal(relu(acts), [[[0, 2], [0, 0]]])
+
+    def test_batch_norm_identity(self):
+        bn = IntegerBatchNorm.identity(2)
+        acts = np.arange(8).reshape(2, 2, 2)
+        assert np.array_equal(bn.apply(acts), acts)
+
+    def test_batch_norm_scale_and_bias(self):
+        bn = IntegerBatchNorm(scale_num=(2, 4), scale_shift=1, bias=(1, -1))
+        acts = np.ones((2, 1, 1), dtype=np.int64) * 4
+        out = bn.apply(acts)
+        assert out[0, 0, 0] == 4 * 2 // 2 + 1
+        assert out[1, 0, 0] == 4 * 4 // 2 - 1
+
+    def test_batch_norm_channel_mismatch(self):
+        bn = IntegerBatchNorm.identity(2)
+        with pytest.raises(ValueError):
+            bn.apply(np.ones((3, 2, 2)))
+
+    def test_max_pool(self):
+        acts = np.array([[[1, 2, 3, 4],
+                          [5, 6, 7, 8],
+                          [9, 10, 11, 12],
+                          [13, 14, 15, 16]]])
+        out = max_pool(acts, kernel=2)
+        assert np.array_equal(out, [[[6, 8], [14, 16]]])
+
+    def test_max_pool_stride(self):
+        acts = np.arange(16).reshape(1, 4, 4)
+        out = max_pool(acts, kernel=2, stride=1)
+        assert out.shape == (1, 3, 3)
+
+    def test_max_pool_window_too_large(self):
+        with pytest.raises(ValueError):
+            max_pool(np.ones((1, 2, 2)), kernel=4)
+
+    def test_avg_pool_as_depthwise_conv(self, rng):
+        """Average pooling lowered to a depthwise conv on FEATHER matches the
+        integer reference (the paper's §III-A transformation)."""
+        channels, h = 4, 6
+        acts = rng.integers(0, 16, (channels, h, h))
+        layer = avg_pool_layer(channels, h, h, kernel=2)
+        weights = np.ones((channels, 1, 2, 2), dtype=np.int64)
+        acc = FeatherAccelerator(FeatherConfig(array_rows=4, array_cols=4,
+                                               stab_lines=512))
+        # Run each channel's 2x2 box filter as its own tiny conv (depthwise).
+        out = np.zeros((channels, layer.p, layer.q), dtype=np.int64)
+        for c in range(channels):
+            sub = ConvLayerSpec(f"ap{c}", m=1, c=1, h=h, w=h, r=2, s=2, stride=2)
+            result, _ = acc.run_conv(sub, acts[c:c + 1], weights[c:c + 1].reshape(1, 1, 2, 2))
+            out[c] = result[0]
+        assert np.array_equal(out // 4, avg_pool_reference(acts, 2))
+
+
+class TestModelRunner:
+    def _mini_cnn(self, rng):
+        conv1 = ConvLayerSpec("conv1", m=8, c=3, h=12, w=12, r=3, s=3, padding=1)
+        conv2 = ConvLayerSpec("conv2", m=4, c=8, h=6, w=6, r=3, s=3, padding=1)
+        stages = [
+            ConvStage(conv1, rng.integers(-3, 4, (8, 3, 3, 3)), apply_relu=True,
+                      batch_norm=IntegerBatchNorm.identity(8)),
+            PoolStage(kernel=2),
+            ConvStage(conv2, rng.integers(-3, 4, (4, 8, 3, 3)), apply_relu=True),
+        ]
+        iacts = rng.integers(-4, 5, (3, 12, 12))
+        return stages, iacts
+
+    def test_mini_cnn_matches_reference(self, rng):
+        stages, iacts = self._mini_cnn(rng)
+        runner = ModelRunner(FeatherConfig(array_rows=4, array_cols=8,
+                                           stab_lines=4096))
+        result = runner.run(stages, iacts)
+        assert np.array_equal(result.outputs, reference_model(stages, iacts))
+
+    def test_per_layer_stats_collected(self, rng):
+        stages, iacts = self._mini_cnn(rng)
+        runner = ModelRunner(FeatherConfig(array_rows=4, array_cols=8,
+                                           stab_lines=4096))
+        result = runner.run(stages, iacts)
+        assert len(result.per_layer_stats) == 2   # pooling has no conv stats
+        assert result.total_cycles > 0
+        assert result.total_stats.macs == sum(
+            s.layer.macs for s in stages if isinstance(s, ConvStage))
+
+    def test_layouts_co_switched_per_layer(self, rng):
+        stages, iacts = self._mini_cnn(rng)
+        runner = ModelRunner(FeatherConfig(array_rows=4, array_cols=8,
+                                           stab_lines=4096))
+        result = runner.run(stages, iacts)
+        assert all(result.layouts_used)
+
+    def test_depthwise_stage(self, rng):
+        dw = ConvLayerSpec("dw", m=8, c=8, h=8, w=8, r=3, s=3, padding=1, groups=8)
+        stages = [ConvStage(dw, rng.integers(-2, 3, (8, 1, 3, 3)))]
+        iacts = rng.integers(-4, 5, (8, 8, 8))
+        runner = ModelRunner(FeatherConfig(array_rows=4, array_cols=4,
+                                           stab_lines=2048))
+        result = runner.run(stages, iacts)
+        assert np.array_equal(result.outputs, reference_model(stages, iacts))
+
+    def test_shape_mismatch_raises(self, rng):
+        conv = ConvLayerSpec("bad", m=4, c=3, h=8, w=8, r=3, s=3, padding=1)
+        stages = [ConvStage(conv, rng.integers(-2, 3, (4, 3, 3, 3)))]
+        runner = ModelRunner()
+        with pytest.raises(ValueError):
+            runner.run(stages, rng.integers(0, 4, (3, 6, 6)))
+
+    def test_bad_weight_shape_raises(self, rng):
+        conv = ConvLayerSpec("bad_w", m=4, c=3, h=8, w=8, r=3, s=3, padding=1)
+        with pytest.raises(ValueError):
+            ConvStage(conv, rng.integers(-2, 3, (4, 3, 2, 2)))
+
+    def test_custom_layout_policy(self, rng):
+        from repro.layout.layout import parse_layout
+        stages, iacts = self._mini_cnn(rng)
+        runner = ModelRunner(
+            FeatherConfig(array_rows=4, array_cols=8, stab_lines=4096),
+            layout_for=lambda layer: parse_layout("MPQ_Q4"))
+        result = runner.run(stages, iacts)
+        assert np.array_equal(result.outputs, reference_model(stages, iacts))
+        assert set(result.layouts_used) == {"MPQ_Q4"}

@@ -1,0 +1,127 @@
+"""Tests for the concordance (bank conflict) analysis."""
+
+import pytest
+
+from repro.layout.concordance import (
+    analyze_concordance,
+    cycle_slowdown,
+    lines_touched,
+    required_parallel_coords,
+    sliding_window_coords,
+)
+from repro.layout.layout import parse_layout
+from repro.layout.patterns import ReorderPattern
+
+DIMS = {"C": 16, "H": 8, "W": 8}
+
+
+class TestCoordHelpers:
+    def test_required_parallel_coords_single_dim(self):
+        coords = required_parallel_coords({"C": 4})
+        assert len(coords) == 4
+        assert {c["C"] for c in coords} == {0, 1, 2, 3}
+
+    def test_required_parallel_coords_cross_product(self):
+        coords = required_parallel_coords({"C": 2, "W": 3})
+        assert len(coords) == 6
+
+    def test_required_parallel_coords_base_offset(self):
+        coords = required_parallel_coords({"C": 2}, base={"C": 4, "H": 1})
+        assert {c["C"] for c in coords} == {4, 5}
+        assert all(c["H"] == 1 for c in coords)
+
+    def test_sliding_window_coords_stride(self):
+        coords = sliding_window_coords({"H": 0, "W": 0, "C": 0}, 4, stride=2)
+        assert [c["W"] for c in coords] == [0, 2, 4, 6]
+
+
+class TestCycleSlowdown:
+    def test_no_conflict(self):
+        assert cycle_slowdown(2, ports=2) == 1.0
+
+    def test_conflict_scales_linearly(self):
+        assert cycle_slowdown(4, ports=2) == 2.0
+        assert cycle_slowdown(6, ports=2) == 3.0
+
+    def test_line_rotation_gains_a_port(self):
+        assert cycle_slowdown(3, ports=2, pattern=ReorderPattern.LINE_ROTATION) == 1.0
+        assert cycle_slowdown(6, ports=2, pattern=ReorderPattern.LINE_ROTATION) == 2.0
+
+    def test_arbitrary_reorder_never_stalls(self):
+        assert cycle_slowdown(16, ports=2, pattern=ReorderPattern.ARBITRARY) == 1.0
+
+
+class TestLinesTouched:
+    def test_channel_last_single_line(self):
+        layout = parse_layout("HWC_C16")
+        coords = required_parallel_coords({"C": 4})
+        assert len(lines_touched(coords, layout, DIMS)) == 1
+
+    def test_row_major_many_lines(self):
+        layout = parse_layout("HCW_W8")
+        coords = required_parallel_coords({"C": 4})
+        assert len(lines_touched(coords, layout, DIMS)) == 4
+
+
+class TestAnalyzeConcordance:
+    def test_concordant_pair(self):
+        layout = parse_layout("HWC_C16")
+        trace = [required_parallel_coords({"C": 4}, base={"W": w}) for w in range(4)]
+        report = analyze_concordance(trace, layout, DIMS, ports_per_bank=2,
+                                     num_banks=1)
+        assert report.concordant
+        assert report.avg_slowdown == 1.0
+        assert report.conflict_cycles == 0
+
+    def test_discordant_pair(self):
+        layout = parse_layout("HCW_W8")
+        trace = [required_parallel_coords({"C": 4}, base={"W": w}) for w in range(4)]
+        report = analyze_concordance(trace, layout, DIMS, ports_per_bank=2,
+                                     num_banks=1)
+        assert not report.concordant
+        assert report.avg_slowdown == 2.0
+
+    def test_effective_utilization(self):
+        layout = parse_layout("HCW_W8")
+        trace = [required_parallel_coords({"C": 4})]
+        report = analyze_concordance(trace, layout, DIMS, ports_per_bank=2,
+                                     num_banks=1)
+        assert report.effective_utilization(1.0) == pytest.approx(0.5)
+
+    def test_reorder_pattern_eliminates_conflicts(self):
+        layout = parse_layout("HCW_W8")
+        trace = [required_parallel_coords({"C": 4})]
+        report = analyze_concordance(trace, layout, DIMS, ports_per_bank=2,
+                                     num_banks=1, pattern=ReorderPattern.ARBITRARY)
+        assert report.concordant
+
+    def test_line_rotation_handles_three_lines(self):
+        layout = parse_layout("HCW_W8")
+        trace = [required_parallel_coords({"C": 3})]
+        base = analyze_concordance(trace, layout, DIMS, ports_per_bank=2, num_banks=1)
+        rotated = analyze_concordance(trace, layout, DIMS, ports_per_bank=2,
+                                      num_banks=1,
+                                      pattern=ReorderPattern.LINE_ROTATION)
+        assert base.avg_slowdown > 1.0
+        assert rotated.avg_slowdown == 1.0
+
+    def test_bank_striping_spreads_conflicts(self):
+        # With many banks the conflicting lines land in different banks.
+        layout = parse_layout("HCW_W8")
+        trace = [required_parallel_coords({"C": 4})]
+        many_banks = analyze_concordance(trace, layout, DIMS, ports_per_bank=2,
+                                         lines_per_bank=1, num_banks=64)
+        assert many_banks.avg_slowdown == 1.0
+
+    def test_trace_kept_when_requested(self):
+        layout = parse_layout("HWC_C16")
+        trace = [required_parallel_coords({"C": 4})]
+        report = analyze_concordance(trace, layout, DIMS, keep_trace=True)
+        assert len(report.trace) == 1
+        assert report.trace[0].num_lines == 1
+
+    def test_empty_trace(self):
+        layout = parse_layout("HWC_C16")
+        report = analyze_concordance([], layout, DIMS)
+        assert report.concordant
+        assert report.cycles == 0

@@ -1,0 +1,107 @@
+"""Tests for reorder patterns, their capabilities and reference implementations."""
+
+import pytest
+
+from repro.layout.patterns import (
+    ReorderCapability,
+    ReorderPattern,
+    apply_arbitrary,
+    apply_line_rotation,
+    apply_row_reorder,
+    apply_transpose,
+    capability,
+    capability_table,
+    concordant_dataflow_flexibility,
+)
+
+
+class TestCapabilities:
+    def test_table_covers_all_patterns(self):
+        table = capability_table()
+        assert {c.pattern for c in table} == set(ReorderPattern)
+
+    def test_fixed_layout_limited_to_ports(self):
+        cap = capability(ReorderPattern.NONE)
+        assert not cap.removes_conflict(rows_needed=3, ports=2)
+        assert cap.removes_conflict(rows_needed=2, ports=2)
+
+    def test_line_rotation_adds_one_row(self):
+        cap = capability(ReorderPattern.LINE_ROTATION)
+        assert cap.removes_conflict(rows_needed=3, ports=2)
+        assert not cap.removes_conflict(rows_needed=5, ports=2)
+
+    def test_line_rotation_costs_bandwidth_and_storage(self):
+        cap = capability(ReorderPattern.LINE_ROTATION)
+        assert cap.extra_bandwidth_ports == 1
+        assert cap.extra_copy_lines == 1
+
+    def test_arbitrary_removes_all_conflicts(self):
+        cap = capability(ReorderPattern.ARBITRARY)
+        assert cap.removes_conflict(rows_needed=100, ports=2)
+
+    def test_ordering_of_capability(self):
+        # Fig. 5f: arbitrary reorder dominates every other pattern on P and S.
+        flex = {p: concordant_dataflow_flexibility(p) for p in ReorderPattern}
+        for p in ReorderPattern:
+            if p is ReorderPattern.ARBITRARY:
+                continue
+            assert flex[ReorderPattern.ARBITRARY]["P"] >= flex[p]["P"]
+            assert flex[ReorderPattern.ARBITRARY]["S"] >= flex[p]["S"]
+
+    def test_reordering_does_not_grow_tiles(self):
+        # Fig. 5 caption: reordering by itself cannot enlarge T flexibility.
+        flex = concordant_dataflow_flexibility(ReorderPattern.ARBITRARY)
+        fixed = concordant_dataflow_flexibility(ReorderPattern.NONE)
+        assert flex["T"] == fixed["T"]
+
+
+class TestReferenceImplementations:
+    BUFFER = [[0, 1, 2, 3], [4, 5, 6, 7], [8, 9, 10, 11], [12, 13, 14, 15]]
+
+    def test_transpose(self):
+        out = apply_transpose(self.BUFFER)
+        assert out[0] == [0, 4, 8, 12]
+        assert out[3] == [3, 7, 11, 15]
+
+    def test_transpose_requires_rectangular(self):
+        with pytest.raises(ValueError):
+            apply_transpose([[1, 2], [3]])
+
+    def test_transpose_involution(self):
+        assert apply_transpose(apply_transpose(self.BUFFER)) == self.BUFFER
+
+    def test_row_reorder(self):
+        perms = [[3, 2, 1, 0]] * 4
+        out = apply_row_reorder(self.BUFFER, perms)
+        assert out[0] == [3, 2, 1, 0]
+        assert out[2] == [11, 10, 9, 8]
+
+    def test_row_reorder_bad_permutation(self):
+        with pytest.raises(ValueError):
+            apply_row_reorder(self.BUFFER, [[0, 0, 1, 2]] * 4)
+
+    def test_row_reorder_wrong_count(self):
+        with pytest.raises(ValueError):
+            apply_row_reorder(self.BUFFER, [[0, 1, 2, 3]])
+
+    def test_line_rotation_copies_row(self):
+        src, dst = apply_line_rotation(self.BUFFER, 3, [[99, 98, 97, 96]])
+        assert src[3] == [12, 13, 14, 15]   # source keeps its copy
+        assert dst[-1] == [12, 13, 14, 15]  # destination bank gains a copy
+
+    def test_arbitrary_reorder_moves_everything(self):
+        placement = {(0, 0): (3, 3), (3, 3): (0, 0)}
+        out = apply_arbitrary(self.BUFFER, placement)
+        assert out[3][3] == 0
+        assert out[0][0] == 15
+        assert out[1][1] == 5  # untouched positions stay
+
+    def test_arbitrary_full_permutation(self):
+        placement = {}
+        rows, cols = 4, 4
+        for r in range(rows):
+            for c in range(cols):
+                placement[(r, c)] = ((r + 1) % rows, (c + 2) % cols)
+        out = apply_arbitrary(self.BUFFER, placement)
+        flattened = sorted(v for row in out for v in row)
+        assert flattened == list(range(16))

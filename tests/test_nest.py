@@ -1,0 +1,149 @@
+"""Tests for the NEST PE and array."""
+
+import numpy as np
+import pytest
+
+from repro.nest.array import NestArray
+from repro.nest.pe import ProcessingElement
+
+
+class TestProcessingElement:
+    def test_mac_accumulates(self):
+        pe = ProcessingElement(0, 0)
+        pe.load_weights([2, 3], into_shadow=False)
+        pe.multiply_accumulate(5, 0)
+        pe.multiply_accumulate(1, 1)
+        assert pe.accumulator == 10 + 3
+
+    def test_zero_points_applied(self):
+        pe = ProcessingElement(0, 0, iact_zero_point=1, weight_zero_point=2)
+        pe.load_weights([5], into_shadow=False)
+        assert pe.multiply_accumulate(4, 0) == (4 - 1) * (5 - 2)
+
+    def test_drain_clears(self):
+        pe = ProcessingElement(0, 0)
+        pe.load_weights([1], into_shadow=False)
+        pe.multiply_accumulate(7, 0)
+        assert pe.drain() == 7
+        assert pe.accumulator == 0
+
+    def test_ping_pong_weight_banks(self):
+        pe = ProcessingElement(0, 0)
+        pe.load_weights([1, 1], into_shadow=False)
+        pe.load_weights([9, 9])  # shadow bank
+        assert pe.weights == [1, 1]
+        pe.swap_weight_banks()
+        assert pe.weights == [9, 9]
+        assert pe.shadow_weights == [1, 1]
+
+    def test_capacity_enforced(self):
+        pe = ProcessingElement(0, 0, weight_capacity=2)
+        with pytest.raises(ValueError):
+            pe.load_weights([1, 2, 3])
+
+    def test_weight_index_bounds(self):
+        pe = ProcessingElement(0, 0)
+        pe.load_weights([1], into_shadow=False)
+        with pytest.raises(IndexError):
+            pe.multiply_accumulate(1, 3)
+
+    def test_stats(self):
+        pe = ProcessingElement(1, 2)
+        pe.load_weights([1], into_shadow=False)
+        pe.multiply_accumulate(1, 0)
+        stats = pe.stats()
+        assert stats["macs"] == 1 and stats["row"] == 1 and stats["col"] == 2
+
+
+class TestNestArrayGemm:
+    def _run(self, rows, cols, m, k, n, col_k=None, seed=0):
+        rng = np.random.default_rng(seed)
+        weights = rng.integers(-4, 5, (m, k))
+        iacts = rng.integers(-4, 5, (k, n))
+        array = NestArray(rows, cols)
+        results = list(array.run_gemm_tile(weights, iacts, col_k=col_k))
+        return weights, iacts, array, results
+
+    def _reconstruct(self, results, rows, cols, col_k, m, n):
+        col_m = cols // col_k
+        out = np.zeros((m, n), dtype=np.int64)
+        for rr in results:
+            n_idx = rr.temporal_tile[0]
+            for m_lane in range(col_m):
+                m_idx = rr.row * col_m + m_lane
+                if m_idx >= m:
+                    continue
+                lanes = range(m_lane * col_k, (m_lane + 1) * col_k)
+                out[m_idx, n_idx] = sum(rr.partial_sums[l] for l in lanes)
+        return out
+
+    def test_matches_numpy_single_lane_group(self):
+        weights, iacts, _, results = self._run(4, 4, 4, 8, 5, col_k=4)
+        out = self._reconstruct(results, 4, 4, 4, 4, 5)
+        assert np.array_equal(out, weights @ iacts)
+
+    def test_matches_numpy_two_outputs_per_row(self):
+        weights, iacts, _, results = self._run(4, 4, 8, 6, 3, col_k=2)
+        out = self._reconstruct(results, 4, 4, 2, 8, 3)
+        assert np.array_equal(out, weights @ iacts)
+
+    def test_row_drain_count(self):
+        _, _, array, results = self._run(4, 4, 4, 8, 5, col_k=4)
+        # One drain per row per output column.
+        assert array.total_row_drains == 4 * 5
+        assert len(results) == 20
+
+    def test_too_many_output_rows_rejected(self):
+        array = NestArray(2, 2)
+        with pytest.raises(ValueError):
+            list(array.run_gemm_tile(np.ones((5, 2)), np.ones((2, 2)), col_k=2))
+
+    def test_col_k_must_divide_cols(self):
+        array = NestArray(2, 4)
+        with pytest.raises(ValueError):
+            list(array.run_gemm_tile(np.ones((2, 4)), np.ones((4, 2)), col_k=3))
+
+    def test_k_mismatch_rejected(self):
+        array = NestArray(2, 2)
+        with pytest.raises(ValueError):
+            list(array.run_gemm_tile(np.ones((2, 3)), np.ones((4, 2))))
+
+    def test_macs_counted(self):
+        _, _, array, _ = self._run(4, 4, 4, 8, 5, col_k=4)
+        assert array.total_macs() == 4 * 8 * 5
+
+    def test_reset(self):
+        _, _, array, _ = self._run(2, 2, 2, 2, 2)
+        array.reset()
+        assert array.total_macs() == 0
+        assert array.total_row_drains == 0
+
+
+class TestNestTiming:
+    def test_zero_steps(self):
+        array = NestArray(4, 4)
+        timing = array.timing_for_tile(0, 4)
+        assert timing.total_cycles == 0
+
+    def test_steady_state_dominated_by_rows_or_macs(self):
+        array = NestArray(4, 4)
+        timing = array.timing_for_tile(temporal_steps=10, macs_per_pe_per_step=2)
+        # Per round cost is max(macs_per_step, rows) = 4.
+        assert timing.steady_cycles == 4 * 9
+
+    def test_weight_load_hidden_latency(self):
+        array = NestArray(8, 8)
+        timing = array.timing_for_tile(4, 4)
+        assert timing.weight_load_cycles_hidden == 64
+
+    def test_full_utilization_in_steady_state(self):
+        array = NestArray(4, 4)
+        # Long run with macs_per_step >= rows: achieved MACs/cycle approaches
+        # the PE count (the Fig. 9 "all PEs busy" claim).
+        timing = array.timing_for_tile(temporal_steps=1000, macs_per_pe_per_step=8)
+        assert timing.achieved_macs_per_cycle > 0.95 * array.num_pes
+
+    def test_negative_inputs_rejected(self):
+        array = NestArray(2, 2)
+        with pytest.raises(ValueError):
+            array.timing_for_tile(-1, 2)

@@ -1,0 +1,148 @@
+"""Tests for the BIRRD topology (Alg. 1) and the functional network simulator."""
+
+import pytest
+
+from repro.noc.birrd import BirrdNetwork, BirrdTopology, EggConfig, reverse_bits
+
+
+class TestReverseBits:
+    def test_full_reversal(self):
+        assert reverse_bits(0b001, 3) == 0b100
+        assert reverse_bits(0b110, 3) == 0b011
+
+    def test_partial_reversal_preserves_high_bits(self):
+        # Only the low 2 bits are reversed; bit 2 stays.
+        assert reverse_bits(0b101, 2) == 0b110
+
+    def test_zero_range_is_identity(self):
+        assert reverse_bits(0b1011, 0) == 0b1011
+
+    def test_involution(self):
+        for value in range(16):
+            for width in range(5):
+                assert reverse_bits(reverse_bits(value, width), width) == value
+
+
+class TestBirrdTopology:
+    def test_stage_count_general(self):
+        assert BirrdTopology(8).num_stages == 6
+        assert BirrdTopology(16).num_stages == 8
+        assert BirrdTopology(32).num_stages == 10
+
+    def test_stage_count_special_cases(self):
+        # Footnote 1: a 4-input BIRRD merges the middle stages (3 total);
+        # a 2-input network is a single switch.
+        assert BirrdTopology(4).num_stages == 3
+        assert BirrdTopology(2).num_stages == 1
+
+    def test_switches_per_stage(self):
+        assert BirrdTopology(8).switches_per_stage == 4
+        assert BirrdTopology(16).num_switches == 8 * 8
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ValueError):
+            BirrdTopology(6)
+
+    def test_inter_stage_connection_is_permutation(self):
+        for aw in (4, 8, 16):
+            topo = BirrdTopology(aw)
+            for stage in range(topo.num_stages):
+                dests = [topo.inter_stage_dest(stage, p) for p in range(aw)]
+                assert sorted(dests) == list(range(aw)), (
+                    f"stage {stage} of AW={aw} wiring is not a permutation")
+
+    def test_bit_range_grows_then_shrinks(self):
+        topo = BirrdTopology(16)
+        ranges = [topo.stage_bit_range(s) for s in range(topo.num_stages)]
+        assert ranges[0] == 2
+        assert max(ranges) == 4
+        assert ranges[-1] == 1
+
+    def test_connectivity_table_shape(self):
+        topo = BirrdTopology(8)
+        table = topo.connectivity()
+        assert len(table) == topo.num_stages
+        assert all(len(row) == 8 for row in table)
+
+    def test_config_bits(self):
+        topo = BirrdTopology(8)
+        assert topo.config_bits_per_cycle == 2 * topo.num_switches
+
+
+class TestEggConfig:
+    def test_four_distinct_control_words(self):
+        words = {cfg.control_bits for cfg in EggConfig}
+        assert words == {0, 1, 2, 3}
+
+
+class TestBirrdNetworkEvaluate:
+    def test_identity_config_preserves_multiset(self):
+        net = BirrdNetwork(8)
+        inputs = list(range(8))
+        outputs = net.evaluate(inputs, net.identity_configuration())
+        assert sorted(outputs) == inputs
+
+    def test_swap_exchanges_pair(self):
+        net = BirrdNetwork(2)
+        out_pass = net.evaluate([10, 20], [[EggConfig.PASS]])
+        out_swap = net.evaluate([10, 20], [[EggConfig.SWAP]])
+        assert sorted(out_pass) == [10, 20]
+        assert sorted(out_swap) == [10, 20]
+        assert out_pass != out_swap
+
+    def test_add_left_sums(self):
+        net = BirrdNetwork(2)
+        out = net.evaluate([3, 4], [[EggConfig.ADD_LEFT]])
+        assert 7 in out and 4 in out
+
+    def test_add_right_sums(self):
+        net = BirrdNetwork(2)
+        out = net.evaluate([3, 4], [[EggConfig.ADD_RIGHT]])
+        assert 7 in out and 3 in out
+
+    def test_none_inputs_propagate(self):
+        net = BirrdNetwork(4)
+        outputs = net.evaluate([5, None, None, None], net.identity_configuration())
+        assert outputs.count(None) == 3
+        assert 5 in outputs
+
+    def test_add_with_none_is_identity(self):
+        net = BirrdNetwork(2)
+        out = net.evaluate([None, 9], [[EggConfig.ADD_LEFT]])
+        assert 9 in out
+
+    def test_wrong_input_count_raises(self):
+        net = BirrdNetwork(4)
+        with pytest.raises(ValueError):
+            net.evaluate([1, 2], net.identity_configuration())
+
+    def test_wrong_stage_count_raises(self):
+        net = BirrdNetwork(4)
+        with pytest.raises(ValueError):
+            net.evaluate([1, 2, 3, 4], [[EggConfig.PASS] * 2])
+
+    def test_missing_switch_configs_default_to_pass(self):
+        net = BirrdNetwork(4)
+        configs = [[] for _ in range(net.topology.num_stages)]
+        outputs = net.evaluate([1, 2, 3, 4], configs)
+        assert sorted(outputs) == [1, 2, 3, 4]
+
+    def test_symbolic_evaluation_tracks_indices(self):
+        net = BirrdNetwork(4)
+        outputs = net.evaluate_symbolic([0, 1, 2, 3], net.identity_configuration())
+        union = frozenset().union(*outputs)
+        assert union == frozenset({0, 1, 2, 3})
+
+    def test_custom_add_operator(self):
+        net = BirrdNetwork(2)
+        out = net.evaluate(["a", "b"], [[EggConfig.ADD_LEFT]],
+                           add=lambda x, y: x + y)
+        assert "ab" in out
+
+    def test_verify_helper(self):
+        net = BirrdNetwork(2)
+        configs = [[EggConfig.ADD_LEFT]]
+        outputs = net.evaluate([3, 4], configs)
+        port = outputs.index(7)
+        assert net.verify([3, 4], configs, {port: 7})
+        assert not net.verify([3, 4], configs, {port: 8})

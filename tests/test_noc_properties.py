@@ -1,0 +1,112 @@
+"""Property-based tests (hypothesis) for BIRRD routing and the layout addressing."""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.layout.layout import IntraLineDim, Layout
+from repro.noc.birrd import BirrdNetwork, BirrdTopology, reverse_bits
+from repro.noc.routing import BirrdRouter, ReductionRequest
+
+
+# --------------------------------------------------------------------------- BIRRD
+@settings(max_examples=60, deadline=None)
+@given(value=st.integers(min_value=0, max_value=255),
+       width=st.integers(min_value=0, max_value=8))
+def test_reverse_bits_is_involution(value, width):
+    assert reverse_bits(reverse_bits(value, width), width) == value
+
+
+@settings(max_examples=30, deadline=None)
+@given(aw_exp=st.integers(min_value=1, max_value=5))
+def test_topology_wiring_is_permutation(aw_exp):
+    topo = BirrdTopology(2 ** aw_exp)
+    for stage in range(topo.num_stages):
+        dests = [topo.inter_stage_dest(stage, p) for p in range(topo.aw)]
+        assert sorted(dests) == list(range(topo.aw))
+
+
+@settings(max_examples=20, deadline=None)
+@given(perm=st.permutations(list(range(8))))
+def test_unicast_permutations_route_on_aw8(perm):
+    """Rearrangeable non-blocking for unicast: random permutations must route."""
+    router = BirrdRouter(8, node_budget=200_000)
+    mapping = {src: dst for src, dst in enumerate(perm)}
+    result = router.route_permutation(mapping)
+    assert result.routed
+    # Numerically verify the permutation.
+    net = BirrdNetwork(8)
+    outputs = net.evaluate([100 + i for i in range(8)], result.configs)
+    for src, dst in mapping.items():
+        assert outputs[dst] == 100 + src
+
+
+@settings(max_examples=12, deadline=None)
+@given(data=st.data())
+def test_random_reduction_groups_route_on_aw8(data):
+    """Random disjoint reduction groups with random destinations route and sum correctly."""
+    aw = 8
+    inputs = list(range(aw))
+    # Partition the inputs into contiguous groups of random sizes.
+    sizes = []
+    remaining = aw
+    while remaining:
+        size = data.draw(st.integers(min_value=1, max_value=remaining))
+        sizes.append(size)
+        remaining -= size
+    destinations = data.draw(st.permutations(list(range(aw))))
+    requests = []
+    start = 0
+    for idx, size in enumerate(sizes):
+        requests.append(ReductionRequest(destinations[idx], tuple(inputs[start:start + size])))
+        start += size
+
+    router = BirrdRouter(aw, node_budget=300_000)
+    result = router.route(requests)
+    assert result.routed
+    net = BirrdNetwork(aw)
+    values = [(i + 1) * 7 for i in range(aw)]
+    outputs = net.evaluate(values, result.configs)
+    for req in requests:
+        assert outputs[req.output_port] == sum(values[i] for i in req.inputs)
+
+
+# --------------------------------------------------------------------------- layout
+_DIM_NAMES = ("C", "H", "W")
+
+
+@st.composite
+def _layouts_and_dims(draw):
+    intra_dims = draw(st.permutations(list(_DIM_NAMES)))
+    intra = tuple(IntraLineDim(d, draw(st.sampled_from([1, 2, 4])))
+                  for d in intra_dims[:draw(st.integers(1, 3))])
+    inter = tuple(draw(st.permutations(list(_DIM_NAMES))))
+    dims = {d: draw(st.sampled_from([2, 4, 8])) for d in _DIM_NAMES}
+    return Layout(inter, intra), dims
+
+
+@settings(max_examples=60, deadline=None)
+@given(layout_dims=_layouts_and_dims())
+def test_layout_addressing_is_injective(layout_dims):
+    """No two tensor elements may share a (line, offset) slot."""
+    layout, dims = layout_dims
+    seen = set()
+    for c in range(dims["C"]):
+        for h in range(dims["H"]):
+            for w in range(dims["W"]):
+                addr = layout.address({"C": c, "H": h, "W": w}, dims)
+                assert addr not in seen
+                seen.add(addr)
+
+
+@settings(max_examples=60, deadline=None)
+@given(layout_dims=_layouts_and_dims())
+def test_layout_addresses_stay_in_bounds(layout_dims):
+    layout, dims = layout_dims
+    num_lines = layout.num_lines(dims)
+    for c in range(dims["C"]):
+        for h in range(dims["H"]):
+            for w in range(dims["W"]):
+                line, offset = layout.address({"C": c, "H": h, "W": w}, dims)
+                assert 0 <= line < num_lines
+                assert 0 <= offset < layout.line_size

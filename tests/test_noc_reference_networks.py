@@ -1,0 +1,123 @@
+"""Tests for the reference reduction networks (linear chain, ART, FAN) and area models."""
+
+import pytest
+
+from repro.noc.area_models import (
+    art_area_power,
+    birrd_area_power,
+    fan_area_power,
+    reduction_network_comparison,
+)
+from repro.noc.reference_networks import (
+    AdderTree,
+    ForwardingAdderNetwork,
+    LinearReductionChain,
+)
+
+VALUES = [1, 2, 3, 4, 5, 6, 7, 8]
+
+
+class TestLinearReductionChain:
+    def test_full_reduction(self):
+        chain = LinearReductionChain(8)
+        out = chain.reduce(VALUES, 8)
+        assert out.outputs == [36]
+        assert out.adds == 7
+
+    def test_grouped_reduction(self):
+        chain = LinearReductionChain(8)
+        out = chain.reduce(VALUES, 4)
+        assert out.outputs == [10, 26]
+
+    def test_linear_latency(self):
+        chain = LinearReductionChain(8)
+        assert chain.reduce(VALUES, 8).cycles == 8
+
+    def test_group_must_divide(self):
+        with pytest.raises(ValueError):
+            LinearReductionChain(8).reduce(VALUES, 3)
+
+
+class TestAdderTree:
+    def test_full_reduction(self):
+        tree = AdderTree(8)
+        assert tree.reduce(VALUES, 8).outputs == [36]
+
+    def test_log_depth(self):
+        tree = AdderTree(8)
+        assert tree.reduce(VALUES, 8).cycles == 3
+
+    def test_grouped(self):
+        tree = AdderTree(8)
+        assert tree.reduce(VALUES, 2).outputs == [3, 7, 11, 15]
+
+    def test_power_of_two_groups_only(self):
+        with pytest.raises(ValueError):
+            AdderTree(8).reduce(VALUES, 3)
+
+    def test_adder_count(self):
+        assert AdderTree(16).adder_count == 15
+
+
+class TestForwardingAdderNetwork:
+    def test_uniform_groups(self):
+        fan = ForwardingAdderNetwork(8)
+        assert fan.reduce(VALUES, 4).outputs == [10, 26]
+
+    def test_arbitrary_contiguous_groups(self):
+        fan = ForwardingAdderNetwork(8)
+        out = fan.reduce_groups(VALUES, [0, 3, 5])
+        assert out.outputs == [1 + 2 + 3, 4 + 5, 6 + 7 + 8]
+
+    def test_log_depth_for_largest_group(self):
+        fan = ForwardingAdderNetwork(8)
+        assert fan.reduce_groups(VALUES, [0]).cycles == 3
+
+    def test_bad_boundaries(self):
+        fan = ForwardingAdderNetwork(8)
+        with pytest.raises(ValueError):
+            fan.reduce_groups(VALUES, [1, 3])
+        with pytest.raises(ValueError):
+            fan.reduce_groups(VALUES, [0, 3, 3])
+
+
+class TestAreaModels:
+    def test_birrd_bigger_than_fan_and_art_at_equal_size(self):
+        # Paper §VI-D1: ~1.43x FAN and ~2.21x ART in area.
+        for n in (16, 64, 256):
+            birrd = birrd_area_power(n).area_um2
+            fan = fan_area_power(n).area_um2
+            art = art_area_power(n).area_um2
+            assert 1.1 < birrd / fan < 1.9
+            assert 1.7 < birrd / art < 2.9
+
+    def test_power_relationship(self):
+        for n in (64, 256):
+            birrd = birrd_area_power(n).power_mw
+            fan = fan_area_power(n).power_mw
+            art = art_area_power(n).power_mw
+            assert birrd > fan > 0
+            assert birrd / art > 1.5
+
+    def test_area_grows_with_size(self):
+        areas = [birrd_area_power(n).area_um2 for n in (16, 32, 64, 128, 256)]
+        assert areas == sorted(areas)
+        assert areas[-1] > areas[0] * 10
+
+    def test_switch_count_matches_topology(self):
+        model = birrd_area_power(16)
+        assert model.adders == 8 * 8  # 8 stages x 8 switches
+
+    def test_comparison_table(self):
+        table = reduction_network_comparison((16, 32))
+        assert set(table) == {16, 32}
+        assert set(table[16]) == {"ART", "FAN", "BIRRD"}
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            birrd_area_power(12)
+
+    def test_as_dict(self):
+        d = birrd_area_power(16).as_dict()
+        assert d["name"] == "BIRRD"
+        assert d["area_um2"] > 0

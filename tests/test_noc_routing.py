@@ -1,0 +1,139 @@
+"""Tests for the BIRRD router: reductions and reorderings route correctly."""
+
+import pytest
+
+from repro.noc.birrd import BirrdNetwork
+from repro.noc.routing import (
+    BirrdRouter,
+    ReductionRequest,
+    contiguous_reduction_requests,
+)
+
+
+def _check_numeric(aw, requests, result):
+    """Verify a routed configuration numerically against the requested sums."""
+    assert result.routed
+    net = BirrdNetwork(aw)
+    inputs = [(i + 1) * 10 for i in range(aw)]
+    active = {i for r in requests for i in r.inputs}
+    masked = [v if i in active else None for i, v in enumerate(inputs)]
+    outputs = net.evaluate(masked, result.configs)
+    for req in requests:
+        expected = sum(inputs[i] for i in req.inputs)
+        assert outputs[req.output_port] == expected
+
+
+class TestValidation:
+    def test_duplicate_output_port_rejected(self):
+        router = BirrdRouter(4)
+        with pytest.raises(ValueError):
+            router.route([ReductionRequest(0, (0,)), ReductionRequest(0, (1,))])
+
+    def test_duplicate_input_rejected(self):
+        router = BirrdRouter(4)
+        with pytest.raises(ValueError):
+            router.route([ReductionRequest(0, (0, 1)), ReductionRequest(1, (1,))])
+
+    def test_out_of_range_ports_rejected(self):
+        router = BirrdRouter(4)
+        with pytest.raises(ValueError):
+            router.route([ReductionRequest(7, (0,))])
+        with pytest.raises(ValueError):
+            router.route([ReductionRequest(0, (9,))])
+
+    def test_empty_group_rejected(self):
+        with pytest.raises(ValueError):
+            ReductionRequest(0, ())
+
+
+class TestReductionRouting:
+    @pytest.mark.parametrize("aw,group", [(4, 2), (4, 4), (8, 2), (8, 4), (8, 8)])
+    def test_contiguous_groups_default_destinations(self, aw, group):
+        router = BirrdRouter(aw)
+        requests = contiguous_reduction_requests(group, aw)
+        _check_numeric(aw, requests, router.route(requests))
+
+    def test_scattered_destinations(self):
+        router = BirrdRouter(8)
+        requests = contiguous_reduction_requests(4, 8, destinations=[6, 1])
+        _check_numeric(8, requests, router.route(requests))
+
+    def test_uneven_groups(self):
+        router = BirrdRouter(8)
+        requests = [
+            ReductionRequest(0, (0, 1, 2)),
+            ReductionRequest(5, (3,)),
+            ReductionRequest(3, (4, 5, 6, 7)),
+        ]
+        _check_numeric(8, requests, router.route(requests))
+
+    def test_single_full_reduction(self):
+        router = BirrdRouter(8)
+        requests = [ReductionRequest(4, tuple(range(8)))]
+        _check_numeric(8, requests, router.route(requests))
+
+    def test_partial_inputs_used(self):
+        router = BirrdRouter(8)
+        requests = [ReductionRequest(2, (1, 5)), ReductionRequest(6, (3,))]
+        _check_numeric(8, requests, router.route(requests))
+
+    def test_aw4_fig9_style_4_to_2(self):
+        # The Fig. 9 walk-through: four partial sums reduce to two outputs.
+        router = BirrdRouter(4)
+        requests = [ReductionRequest(0, (0, 1)), ReductionRequest(2, (2, 3))]
+        _check_numeric(4, requests, router.route(requests))
+
+    def test_result_reports_nodes(self):
+        router = BirrdRouter(8)
+        result = router.route(contiguous_reduction_requests(2, 8))
+        assert result.nodes_explored > 0
+        assert result.config_bits == 2 * 24  # 6 stages x 4 switches x 2 bits
+
+
+class TestReorderRouting:
+    def test_identity_permutation(self):
+        router = BirrdRouter(8)
+        result = router.route_permutation({i: i for i in range(8)})
+        assert result.routed
+
+    def test_reversal_permutation(self):
+        router = BirrdRouter(8)
+        perm = {i: 7 - i for i in range(8)}
+        requests = [ReductionRequest(dst, (src,)) for src, dst in perm.items()]
+        _check_numeric(8, requests, router.route(requests))
+
+    def test_rotation_permutation(self):
+        router = BirrdRouter(8)
+        perm = {i: (i + 3) % 8 for i in range(8)}
+        requests = [ReductionRequest(dst, (src,)) for src, dst in perm.items()]
+        _check_numeric(8, requests, router.route(requests))
+
+    def test_aw4_all_permutations_route(self):
+        # Strict non-blocking for unicast (paper §III-B1): every permutation
+        # of a 4-input BIRRD must be realisable.
+        import itertools
+        router = BirrdRouter(4)
+        for perm in itertools.permutations(range(4)):
+            mapping = {src: dst for src, dst in enumerate(perm)}
+            result = router.route_permutation(mapping)
+            assert result.routed, f"permutation {perm} failed to route"
+
+    def test_partial_reorder(self):
+        router = BirrdRouter(8)
+        result = router.route_permutation({0: 5, 3: 1})
+        assert result.routed
+
+
+class TestRouteOrIdeal:
+    def test_route_or_ideal_success(self):
+        router = BirrdRouter(4)
+        result = router.route_or_ideal(contiguous_reduction_requests(2, 4))
+        assert result.routed
+
+    def test_helper_contiguous_validation(self):
+        with pytest.raises(ValueError):
+            contiguous_reduction_requests(3, 8)
+        with pytest.raises(ValueError):
+            contiguous_reduction_requests(4, 8, destinations=[0])
+        with pytest.raises(ValueError):
+            contiguous_reduction_requests(4, 8, destinations=[1, 1])

@@ -1,0 +1,116 @@
+"""Additional property-based tests: factorizations, mappings, cost model and
+the functional accelerator against numpy."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.dataflow.loopnest import factor_splits, factors, tile_counts
+from repro.dataflow.mapping import ParallelSpec, TileLevel, Mapping
+from repro.feather.accelerator import FeatherAccelerator
+from repro.feather.config import FeatherConfig
+from repro.layout.concordance import analyze_concordance, required_parallel_coords
+from repro.layout.layout import parse_layout
+from repro.workloads.conv import ConvLayerSpec
+
+
+# ------------------------------------------------------------------ loop nest
+@settings(max_examples=80, deadline=None)
+@given(n=st.integers(min_value=1, max_value=600))
+def test_factors_divide_and_cover(n):
+    fs = factors(n)
+    assert all(n % f == 0 for f in fs)
+    assert fs[0] == 1 and fs[-1] == n
+    assert list(fs) == sorted(set(fs))
+
+
+@settings(max_examples=60, deadline=None)
+@given(n=st.integers(min_value=1, max_value=120), parts=st.integers(min_value=1, max_value=3))
+def test_factor_splits_products(n, parts):
+    for combo in factor_splits(n, parts):
+        prod = 1
+        for f in combo:
+            prod *= f
+        assert prod == n
+        assert len(combo) == parts
+
+
+@settings(max_examples=80, deadline=None)
+@given(total=st.integers(min_value=1, max_value=1000),
+       tile=st.integers(min_value=1, max_value=64))
+def test_tile_counts_cover_total(total, tile):
+    count = tile_counts(total, tile)
+    assert count * tile >= total
+    assert (count - 1) * tile < total
+
+
+# -------------------------------------------------------------------- mapping
+@settings(max_examples=60, deadline=None)
+@given(pm=st.sampled_from([1, 2, 4, 8, 16]), pc=st.sampled_from([1, 2, 4, 8, 16]),
+       m=st.integers(min_value=1, max_value=64), c=st.integers(min_value=1, max_value=64))
+def test_mapping_utilization_bounded_and_consistent(pm, pc, m, c):
+    layer = ConvLayerSpec("prop", m=m, c=c, h=4, w=4, r=1, s=1)
+    mapping = Mapping("prop", 16, 16,
+                      (ParallelSpec("M", pm), ParallelSpec("C", pc)),
+                      TileLevel.of(M=pm, C=pc),
+                      ("N", "M", "C", "R", "S", "P", "Q"))
+    util = mapping.spatial_utilization(layer)
+    assert 0 < util <= 1.0
+    cycles = mapping.compute_cycles(layer)
+    # The padded-cycle count never undercounts the work.
+    assert cycles * mapping.num_pes >= layer.macs
+
+
+# --------------------------------------------------------------- concordance
+@settings(max_examples=40, deadline=None)
+@given(degree=st.integers(min_value=1, max_value=16))
+def test_slowdown_monotone_in_parallel_degree(degree):
+    """Reading more channels concurrently can never reduce the slowdown."""
+    layout = parse_layout("HCW_W8")
+    dims = {"C": 32, "H": 8, "W": 8}
+    smaller = analyze_concordance([required_parallel_coords({"C": degree})],
+                                  layout, dims, num_banks=1)
+    larger = analyze_concordance([required_parallel_coords({"C": degree + 1})],
+                                 layout, dims, num_banks=1)
+    assert larger.avg_slowdown >= smaller.avg_slowdown - 1e-9
+
+
+# ---------------------------------------------------------------- accelerator
+@settings(max_examples=15, deadline=None)
+@given(m=st.integers(min_value=1, max_value=12),
+       k=st.integers(min_value=1, max_value=20),
+       n=st.integers(min_value=1, max_value=10),
+       seed=st.integers(min_value=0, max_value=2**16))
+def test_feather_gemm_matches_numpy(m, k, n, seed):
+    """The functional accelerator is exact for arbitrary GEMM shapes."""
+    rng = np.random.default_rng(seed)
+    weights = rng.integers(-6, 7, (m, k))
+    iacts = rng.integers(-6, 7, (k, n))
+    acc = FeatherAccelerator(FeatherConfig(array_rows=2, array_cols=4,
+                                           stab_lines=256),
+                             route_birrd="never")
+    out, stats = acc.run_gemm(weights, iacts)
+    assert np.array_equal(out, weights @ iacts)
+    assert stats.macs == m * k * n
+
+
+@settings(max_examples=8, deadline=None)
+@given(c=st.integers(min_value=1, max_value=4),
+       m=st.integers(min_value=1, max_value=6),
+       hw=st.integers(min_value=3, max_value=6),
+       r=st.integers(min_value=1, max_value=3),
+       stride=st.integers(min_value=1, max_value=2),
+       seed=st.integers(min_value=0, max_value=2**16))
+def test_feather_conv_matches_numpy(c, m, hw, r, stride, seed):
+    """The functional accelerator is exact for arbitrary small conv shapes."""
+    from repro.feather.accelerator import reference_conv
+    r = min(r, hw)
+    layer = ConvLayerSpec("prop_conv", m=m, c=c, h=hw, w=hw, r=r, s=r,
+                          stride=stride, padding=r // 2)
+    rng = np.random.default_rng(seed)
+    iacts = rng.integers(-4, 5, (c, hw, hw))
+    weights = rng.integers(-3, 4, (m, c, r, r))
+    acc = FeatherAccelerator(FeatherConfig(array_rows=2, array_cols=4,
+                                           stab_lines=512),
+                             route_birrd="never")
+    out, _ = acc.run_conv(layer, iacts, weights)
+    assert np.array_equal(out, reference_conv(iacts, weights, layer))

@@ -1,0 +1,127 @@
+"""Tests for the ResNet-50 / MobileNet-V3 / BERT layer tables."""
+
+import pytest
+
+from repro.workloads.bert import bert_base_gemms, bert_unique_gemms
+from repro.workloads.conv import LayerKind
+from repro.workloads.mobilenet_v3 import (
+    mobilenet_v3_layer,
+    mobilenet_v3_layers,
+    mobilenet_v3_motivation_layers,
+)
+from repro.workloads.resnet50 import (
+    resnet50_layer,
+    resnet50_layers,
+    resnet50_motivation_layers,
+)
+
+
+class TestResNet50:
+    def test_layer_count_with_projections(self):
+        # 1 stem + 16 blocks x 3 convs + 4 projections + fc = 54
+        assert len(resnet50_layers()) == 54
+
+    def test_layer_count_without_fc(self):
+        assert len(resnet50_layers(include_fc=False)) == 53
+
+    def test_conv1_shape(self):
+        conv1 = resnet50_layer(1)
+        assert conv1.c == 3 and conv1.m == 64
+        assert conv1.r == 7 and conv1.stride == 2
+        assert conv1.h == 224
+
+    def test_total_macs_close_to_published(self):
+        # ResNet-50 is ~4.1 GMACs (convolutions + fc).
+        total = sum(l.macs for l in resnet50_layers())
+        assert 3.5e9 < total < 4.5e9
+
+    def test_channel_progression(self):
+        layers = resnet50_layers(include_fc=False)
+        assert layers[0].c == 3
+        assert max(l.c for l in layers) == 2048
+
+    def test_spatial_progression_downsamples(self):
+        layers = resnet50_layers(include_fc=False)
+        assert layers[0].h == 224
+        late = [l for l in layers if l.h == 7]
+        assert late, "last stage should run on 7x7 feature maps"
+
+    def test_layer_index_bounds(self):
+        with pytest.raises(IndexError):
+            resnet50_layer(0)
+        with pytest.raises(IndexError):
+            resnet50_layer(999)
+
+    def test_motivation_layers_present(self):
+        layers = resnet50_motivation_layers()
+        assert set(layers) == {1, 14, 41, 47}
+        assert layers[1].c == 3
+
+    def test_layer47_is_late_stage(self):
+        layer = resnet50_motivation_layers()[47]
+        assert layer.c >= 512
+        assert layer.h <= 14
+
+    def test_fc_is_1x1(self):
+        fc = resnet50_layers()[-1]
+        assert fc.kind is LayerKind.FC
+        assert fc.r == 1 and fc.h == 1
+
+
+class TestMobileNetV3:
+    def test_has_depthwise_layers(self):
+        dw = [l for l in mobilenet_v3_layers() if l.kind is LayerKind.DEPTHWISE]
+        assert len(dw) == 15  # one per bottleneck block
+
+    def test_depthwise_groups(self):
+        dw = [l for l in mobilenet_v3_layers() if l.kind is LayerKind.DEPTHWISE][0]
+        assert dw.groups == dw.c
+
+    def test_total_macs_close_to_published(self):
+        # MobileNetV3-Large is ~0.22 GMACs; allow a generous band.
+        total = sum(l.macs for l in mobilenet_v3_layers())
+        assert 1.5e8 < total < 4.5e8
+
+    def test_stem_shape(self):
+        stem = mobilenet_v3_layers()[0]
+        assert stem.c == 3 and stem.m == 16 and stem.stride == 2
+
+    def test_motivation_layers(self):
+        layers = mobilenet_v3_motivation_layers()
+        assert set(layers) == {7, 25, 40}
+
+    def test_layer_lookup_bounds(self):
+        with pytest.raises(IndexError):
+            mobilenet_v3_layer(0)
+
+    def test_resolution_downsampling(self):
+        layers = mobilenet_v3_layers(include_fc=False)
+        assert layers[0].h == 224
+        assert min(l.h for l in layers) == 7
+
+
+class TestBert:
+    def test_unique_gemms(self):
+        gemms = bert_unique_gemms()
+        assert len(gemms) == 6
+
+    def test_full_model_is_12x(self):
+        assert len(bert_base_gemms()) == 12 * 6
+
+    def test_qkv_shape(self):
+        qkv = bert_unique_gemms()[0]
+        assert qkv.k == 768 and qkv.n == 3 * 768
+
+    def test_ffn_shapes(self):
+        names = {g.name: g for g in bert_unique_gemms()}
+        assert names["bert_ffn_up"].n == 3072
+        assert names["bert_ffn_down"].k == 3072
+
+    def test_seq_len_parameter(self):
+        gemms = bert_unique_gemms(seq_len=128)
+        assert gemms[0].m == 128
+
+    def test_total_macs_scale(self):
+        total = sum(g.macs for g in bert_base_gemms())
+        # BERT-base at seq 512 is roughly 50 GMACs (~100 GFLOPs) of GEMM work.
+        assert 3e10 < total < 1e11
