@@ -6,13 +6,19 @@ representative layers: for each layer, search the best (dataflow, layout) pair
 by energy-delay product for FEATHER and for three baselines, then print the
 per-layer and aggregate comparison.
 
-Run with:  python examples/resnet50_cosearch.py  [--full]
+All searches run through the shared engine (`repro.search`), which memoizes
+cost-model evaluations, prunes with admissible bounds, and can fan the
+unique layer shapes out across worker processes (`--workers N`, results are
+bit-identical to serial).
+
+Run with:  python examples/resnet50_cosearch.py  [--full] [--workers N]
 """
 
 import argparse
 
 from repro.baselines import eyeriss_like, nvdla_like, sigma_like
-from repro.layoutloop import Mapper, compare_architectures, feather_arch
+from repro.layoutloop import feather_arch
+from repro.search import SearchEngine, search_models
 from repro.workloads import resnet50_layer, resnet50_layers
 
 
@@ -20,10 +26,13 @@ def per_layer_demo(layer_indices=(1, 14, 41)) -> None:
     print("Per-layer co-search (metric: EDP)")
     print(f"{'layer':22s} {'arch':14s} {'dataflow':28s} {'layout':12s} "
           f"{'util':>6s} {'slowdown':>9s} {'pJ/MAC':>7s}")
+    engines = {arch.name: SearchEngine(arch, max_mappings=80)
+               for arch in (nvdla_like(), eyeriss_like(), feather_arch())}
     for idx in layer_indices:
         layer = resnet50_layer(idx)
-        for arch in (nvdla_like(), eyeriss_like(), feather_arch()):
-            result = Mapper(arch, max_mappings=80).search(layer)
+        for engine in engines.values():
+            result = engine.search_layer(layer)
+            arch = engine.arch
             report = result.best_report
             print(f"{layer.name:22s} {arch.name:14s} "
                   f"{result.best_mapping.name[:28]:28s} {result.best_layout.name:12s} "
@@ -32,7 +41,7 @@ def per_layer_demo(layer_indices=(1, 14, 41)) -> None:
         print()
 
 
-def full_model_comparison(max_layers=None) -> None:
+def full_model_comparison(max_layers=None, workers=None) -> None:
     layers = resnet50_layers(include_fc=False)
     if max_layers:
         layers = layers[:max_layers]
@@ -40,8 +49,8 @@ def full_model_comparison(max_layers=None) -> None:
               feather_arch()]
     print(f"Whole-model comparison over {len(layers)} ResNet-50 layers "
           f"(deduplicated by shape)")
-    costs = compare_architectures(arches, layers, model_name="resnet50",
-                                  max_mappings=60)
+    costs = search_models(arches, layers, model_name="resnet50",
+                          max_mappings=60, workers=workers)
     feather = costs["FEATHER"]
     print(f"{'arch':22s} {'cycles':>14s} {'norm lat':>9s} {'pJ/MAC':>8s} "
           f"{'norm energy':>12s} {'avg util':>9s} {'stall %':>8s}")
@@ -52,16 +61,21 @@ def full_model_comparison(max_layers=None) -> None:
               f"{cost.energy_per_mac_pj / feather.energy_per_mac_pj:12.2f} "
               f"{cost.avg_utilization:9.2f} {cost.stall_fraction * 100:8.1f}")
     print(f"\nLayouts FEATHER switches between: {feather.layouts_used()}")
+    print(f"Engine: {feather.search_stats}")
 
 
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--full", action="store_true",
                         help="run the whole 53-layer model (slower)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="worker processes for the co-search fan-out "
+                             "(default: REPRO_SEARCH_WORKERS or serial)")
     args = parser.parse_args()
 
     per_layer_demo()
-    full_model_comparison(max_layers=None if args.full else 16)
+    full_model_comparison(max_layers=None if args.full else 16,
+                          workers=args.workers)
 
 
 if __name__ == "__main__":

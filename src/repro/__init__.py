@@ -6,12 +6,16 @@ onto hardware, ``noc``/``nest``/``feather`` implement the accelerator itself
 (BIRRD reduction-and-reordering network plus the NEST PE array), and
 ``layoutloop`` is the Timeloop-style analytical cost model extended with
 physical-storage and layout awareness used for all cross-accelerator studies.
+``search`` is the parallel, cached co-search engine every experiment runs
+its (dataflow, layout) exploration through.
 
 Typical entry points:
 
 * :class:`repro.workloads.ConvLayerSpec` / :func:`repro.workloads.resnet50_layers`
 * :class:`repro.feather.FeatherAccelerator` — functional + timing model
 * :class:`repro.layoutloop.CostModel` and :func:`repro.layoutloop.cosearch`
+* :func:`repro.search.search_model` — batch co-search (memoized, pruned,
+  optionally fanned out over worker processes)
 * :mod:`repro.experiments` — one module per paper figure/table
 """
 
@@ -26,6 +30,7 @@ from repro import (
     layoutloop,
     nest,
     noc,
+    search,
     workloads,
 )
 
@@ -42,6 +47,7 @@ __all__ = [
     "layoutloop",
     "nest",
     "noc",
+    "search",
     "workloads",
     "__version__",
 ]

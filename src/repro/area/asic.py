@@ -72,10 +72,12 @@ class AreaBreakdown:
         return sum(v for _, v in self.components_mw)
 
     def area_fraction(self, component: str) -> float:
+        """Fraction of the total die area one component takes (0..1)."""
         table = dict(self.components_um2)
         return table.get(component, 0.0) / self.total_area_um2 if self.total_area_um2 else 0.0
 
     def as_dict(self) -> Dict[str, float]:
+        """Flatten to ``area_*`` (um^2) / ``power_*`` (mW) keys plus totals."""
         out = {f"area_{k}": v for k, v in self.components_um2}
         out.update({f"power_{k}": v for k, v in self.components_mw})
         out["total_area_um2"] = self.total_area_um2

@@ -65,12 +65,14 @@ class DeviceModel:
     controller_overhead: float = 1.0
 
     def run_layer(self, layer: ConvLayerSpec) -> DeviceThroughput:
+        """Model one layer: cycles (incl. controller overhead) + throughput."""
         cycles = self.layer_cycles(layer) * self.controller_overhead
         return DeviceThroughput(
             device=self.name, layer=layer.name, cycles=cycles, macs=layer.macs,
             num_pes=self.num_pes, frequency_mhz=self.frequency_mhz)
 
     def run_model(self, layers) -> List[DeviceThroughput]:
+        """Run every layer through :meth:`run_layer`, in order."""
         return [self.run_layer(layer) for layer in layers]
 
 

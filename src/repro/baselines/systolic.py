@@ -124,6 +124,7 @@ class SystolicArray:
         return m_eff * n_eff
 
     def describe(self) -> str:
+        """One-line human-readable summary of the array configuration."""
         return (f"{self.name}: {self.rows}x{self.cols} weight-stationary, "
                 f"parallel (M={self.parallel_m}, K={self.parallel_k}, "
                 f"extra={self.extra_parallel})")

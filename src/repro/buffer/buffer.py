@@ -123,6 +123,7 @@ class Buffer2D:
 
     # ------------------------------------------------------------------ timing
     def tick(self) -> None:
+        """Advance one cycle on every bank."""
         self.cycles += 1
         for bank in self._banks:
             bank.tick()
@@ -150,6 +151,7 @@ class Buffer2D:
 
     # ------------------------------------------------------------------ access
     def write_word(self, line: int, offset: int, value: int, strict: bool = False) -> None:
+        """Write one word at (logical line, offset); ``strict`` forbids overwrite."""
         if not 0 <= offset < self.spec.line_size:
             raise IndexError(f"offset {offset} outside line of {self.spec.line_size}")
         if self.spec.interleaving == "word":
@@ -161,10 +163,12 @@ class Buffer2D:
             self._banks[bank].write_word(entry, offset, value, strict=strict)
 
     def write_line(self, line: int, values: Sequence[int], strict: bool = False) -> None:
+        """Write a whole logical line word by word."""
         for offset, value in enumerate(values):
             self.write_word(line, offset, value, strict=strict)
 
     def read_line(self, line: int, strict: bool = False) -> List[Optional[int]]:
+        """Read a whole logical line (list of words, None where unwritten)."""
         if self.spec.interleaving == "word":
             if not 0 <= line < self.spec.num_lines:
                 raise IndexError(f"line {line} outside buffer")
@@ -173,12 +177,14 @@ class Buffer2D:
         return self._banks[bank].read(entry, strict=strict)
 
     def read_word(self, line: int, offset: int, strict: bool = False) -> Optional[int]:
+        """Read one word, counting the access in the bank statistics."""
         if self.spec.interleaving == "word":
             return self._banks[offset].read(line, strict=strict)[0]
         bank, entry = self._locate_line(line)
         return self._banks[bank].read(entry, strict=strict)[offset]
 
     def peek_word(self, line: int, offset: int) -> Optional[int]:
+        """Read one word without counting an access (debug/verification)."""
         if self.spec.interleaving == "word":
             return self._banks[offset].peek(line)[0]
         bank, entry = self._locate_line(line)
@@ -198,6 +204,7 @@ class Buffer2D:
         return sum(b.conflict_stalls for b in self._banks)
 
     def reset_stats(self) -> None:
+        """Zero all per-bank counters and the buffer's cycle/stall counts."""
         for bank in self._banks:
             bank.reset_stats()
         self.cycles = 0
@@ -235,6 +242,7 @@ class PingPongBuffer:
         self.swaps += 1
 
     def tick(self) -> None:
+        """Advance one cycle on both halves."""
         for half in self._halves:
             half.tick()
 

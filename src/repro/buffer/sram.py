@@ -100,6 +100,7 @@ class SramBank:
         return self.total_reads + self.total_writes
 
     def reset_stats(self) -> None:
+        """Zero the read/write/stall counters."""
         self.total_reads = 0
         self.total_writes = 0
         self.conflict_stalls = 0

@@ -126,6 +126,7 @@ class LoopNest:
         return {d: tile_counts(bounds[d], tiles[d]) for d in bounds}
 
     def total_tiles(self) -> int:
+        """Number of tiles the nest iterates over (product of trip counts)."""
         return math.prod(self.trip_counts().values())
 
     def iter_tiles(self) -> Iterator[Dict[str, int]]:

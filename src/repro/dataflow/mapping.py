@@ -54,9 +54,11 @@ class TileLevel:
         return cls(tuple(sorted((k.upper(), v) for k, v in sizes.items())))
 
     def size(self, dim: str) -> int:
+        """Tile size of one dimension (1 when untiled)."""
         return dict(self.sizes).get(dim.upper(), 1)
 
     def as_dict(self) -> Dict[str, int]:
+        """Tile sizes as a plain ``{dim: size}`` dict."""
         return dict(self.sizes)
 
 
@@ -105,6 +107,7 @@ class Mapping:
         return out
 
     def parallel_degree(self, dim: str) -> int:
+        """Spatial parallelism of one dimension (1 when not parallelised)."""
         return self.parallel_dims.get(dim.upper(), 1)
 
     # ------------------------------------------------------------ reductions
@@ -191,9 +194,11 @@ class Mapping:
 
     # ------------------------------------------------------------------ misc
     def with_array(self, rows: int, cols: int) -> "Mapping":
+        """Copy of this mapping re-shaped onto a ``rows x cols`` array."""
         return replace(self, array_rows=rows, array_cols=cols)
 
     def describe(self) -> str:
+        """One-line human-readable summary of the dataflow."""
         par = " ".join(f"{p.dim}x{p.degree}" for p in self.parallel) or "none"
         return (
             f"{self.name}: array {self.array_rows}x{self.array_cols}, parallel [{par}], "

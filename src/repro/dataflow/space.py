@@ -126,6 +126,7 @@ class MappingSpace:
         return rng.sample(all_mappings, count)
 
     def size(self) -> int:
+        """Cardinality of the structured subspace (parallelisms x orders)."""
         return len(self.parallelism_candidates()) * len(self._orders)
 
 

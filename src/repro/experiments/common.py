@@ -1,9 +1,41 @@
-"""Shared helpers for the experiment modules: plain-text tables and geomeans."""
+"""Shared helpers for the experiment modules: the co-search front, plain-text
+tables and geomeans.
+
+All experiment co-searches run on the :mod:`repro.search` engine —
+multi-architecture sweeps (fig13, tables) through :func:`model_costs`, the
+batch front over :func:`repro.search.engine.search_models`; per-layer
+experiments (fig2, fig10) through a
+:class:`~repro.search.engine.SearchEngine` they construct directly.
+``workers=None`` (the default here) honours the ``REPRO_SEARCH_WORKERS``
+environment variable, letting a user parallelise the batch sweeps without
+touching call sites.
+"""
 
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, List, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence
+
+
+def model_costs(arches: Sequence, workloads: Sequence, model_name: str = "model",
+                metric: str = "edp", max_mappings: int = 50,
+                workers: Optional[int] = None) -> Dict[str, object]:
+    """Co-search ``workloads`` on every architecture via the shared engine.
+
+    Returns ``{arch name: ModelCost}`` like
+    :func:`repro.layoutloop.cosearch.compare_architectures`; each
+    ``ModelCost`` carries its engine statistics in ``search_stats``.
+
+    Differs from :func:`repro.search.engine.search_models` only in its
+    experiment-friendly defaults: ``workers=None`` honours
+    ``REPRO_SEARCH_WORKERS`` (the library API defaults to serial), and
+    ``max_mappings=50`` matches the figure reproductions.
+    """
+    from repro.search.engine import search_models
+
+    return search_models(arches, workloads, model_name=model_name,
+                         metric=metric, max_mappings=max_mappings,
+                         workers=workers)
 
 
 def geomean(values: Iterable[float]) -> float:

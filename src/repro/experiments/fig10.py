@@ -14,7 +14,7 @@ from typing import Dict, List
 
 from repro.baselines.systolic import SystolicArray
 from repro.layoutloop.arch import feather_arch
-from repro.layoutloop.mapper import Mapper
+from repro.search.engine import SearchEngine
 from repro.workloads.gemm import GemmSpec, fig10_workloads
 
 
@@ -40,13 +40,13 @@ def run(array_rows: int = 4, array_cols: int = 4, max_mappings: int = 200
         ) -> List[Fig10Row]:
     """Evaluate the four Fig. 10 workloads on a small array (4x4 as drawn)."""
     systolic = SystolicArray(array_rows, array_cols, name="systolic")
-    mapper = Mapper(feather_arch(array_rows, array_cols), metric="latency",
-                    max_mappings=max_mappings)
+    engine = SearchEngine(feather_arch(array_rows, array_cols), metric="latency",
+                          max_mappings=max_mappings)
 
     rows = []
     for gemm in fig10_workloads():
         sa_util = systolic.steady_state_utilization_gemm(gemm)
-        feather_result = mapper.search(gemm)
+        feather_result = engine.search_layer(gemm)
         rows.append(Fig10Row(
             workload=gemm.name,
             m=gemm.m, k=gemm.k, n=gemm.n,

@@ -6,10 +6,13 @@ the energy-delay-product objective, reporting per-design normalised latency
 and normalised energy per MAC (both relative to FEATHER), average steady-state
 utilization, the bank-conflict stall share and the off-chip reordering share.
 
-This experiment wraps :func:`repro.layoutloop.cosearch.compare_architectures`
-over the same workloads and returns the same series.  ``max_mappings`` bounds
-the pruned-random mapping search per layer; the default keeps a full-model run
-in the tens of seconds while preserving the orderings.
+This experiment runs the shared co-search engine
+(:func:`repro.experiments.common.model_costs`) over the same workloads and
+returns the same series.  ``max_mappings`` bounds the pruned-random mapping
+search per layer; the default keeps a full-model run in the tens of seconds
+while preserving the orderings.  ``workers`` fans unique layer shapes out
+across processes (``None`` honours ``REPRO_SEARCH_WORKERS``); results are
+bit-identical for any worker count.
 """
 
 from __future__ import annotations
@@ -18,7 +21,8 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.baselines.registry import fig13_arch_suite
-from repro.layoutloop.cosearch import ModelCost, compare_architectures
+from repro.experiments.common import model_costs
+from repro.layoutloop.cosearch import ModelCost
 from repro.workloads.bert import bert_unique_gemms
 from repro.workloads.mobilenet_v3 import mobilenet_v3_layers
 from repro.workloads.resnet50 import resnet50_layers
@@ -73,14 +77,16 @@ def workloads_for(name: str, max_layers: Optional[int] = None) -> Sequence:
 
 def run(workload_names: Sequence[str] = ("bert", "resnet50", "mobilenet_v3"),
         rows: int = 16, cols: int = 16, max_mappings: int = 50,
-        max_layers: Optional[int] = None) -> Dict[str, Fig13Series]:
+        max_layers: Optional[int] = None,
+        workers: Optional[int] = None) -> Dict[str, Fig13Series]:
     """Reproduce Fig. 13's three charts (or a subset of them)."""
     results: Dict[str, Fig13Series] = {}
     for name in workload_names:
         gemm = name == "bert"
         arches = fig13_arch_suite(rows, cols, gemm=gemm)
-        costs = compare_architectures(arches, workloads_for(name, max_layers),
-                                      model_name=name, max_mappings=max_mappings)
+        costs = model_costs(arches, workloads_for(name, max_layers),
+                            model_name=name, max_mappings=max_mappings,
+                            workers=workers)
         results[name] = _series(name, costs)
     return results
 

@@ -27,7 +27,7 @@ from repro.dataflow.mapping import output_stationary_mapping
 from repro.layout.library import conv_layout_library
 from repro.layoutloop.arch import feather_arch
 from repro.layoutloop.cost_model import CostModel
-from repro.layoutloop.mapper import Mapper
+from repro.search.engine import SearchEngine
 from repro.baselines.registry import sigma_like
 from repro.workloads.conv import ConvLayerSpec
 from repro.workloads.resnet50 import resnet50_layers, resnet50_motivation_layers
@@ -67,33 +67,31 @@ class Fig2Row:
         }
 
 
-def _policies_for_layer(layer: ConvLayerSpec, rows: int, cols: int,
-                        max_mappings: int) -> Fig2Row:
+def _policies_for_layer(layer: ConvLayerSpec, engine: SearchEngine,
+                        no_reorder_model: CostModel) -> Fig2Row:
     layouts = conv_layout_library()
-    # A plain no-reorder architecture; the layout under evaluation is supplied
-    # per call below, so the fixed-layout name here is irrelevant.
-    no_reorder_model = CostModel(sigma_like(rows, cols, layout="HWC_C32", reorder="none"))
+    rows, cols = engine.arch.pe_rows, engine.arch.pe_cols
+    # The engine's evaluation cache keys embed the (arch, energy) signature,
+    # so the no-reorder model's evaluations can share it safely: revisited
+    # shapes skip the concordance analysis for policies 1 and 3 too.
+    cached_eval = engine.cache.evaluate
 
     # Policy 1: fixed output-stationary dataflow across layouts.
     fixed_mapping = output_stationary_mapping(layer, rows, cols)
-    fixed_lat = [no_reorder_model.evaluate(layer, fixed_mapping, lay).total_cycles
-                 for lay in layouts]
+    fixed_lat = [cached_eval(no_reorder_model, layer, fixed_mapping, lay)[0]
+                 .total_cycles for lay in layouts]
 
     # Policy 2: layout-blind best dataflow (slowdown ignored => FEATHER model).
-    theory_mapper = Mapper(feather_arch(rows, cols), metric="latency",
-                           max_mappings=max_mappings)
-    theory = theory_mapper.search(layer, layouts=[layouts[0]])
+    theory = engine.search_layer(layer, layouts=[layouts[0]])
     theory_mapping = theory.best_mapping
     theory_lat = theory.best_report.total_cycles
 
     # Policy 3: that dataflow under real layouts with conflicts.
-    practice_lat = [no_reorder_model.evaluate(layer, theory_mapping, lay).total_cycles
-                    for lay in layouts]
+    practice_lat = [cached_eval(no_reorder_model, layer, theory_mapping, lay)[0]
+                    .total_cycles for lay in layouts]
 
     # Policy 4: FEATHER co-switching (dataflow, layout).
-    feather_mapper = Mapper(feather_arch(rows, cols), metric="latency",
-                            max_mappings=max_mappings)
-    feather_lat = feather_mapper.search(layer).best_report.total_cycles
+    feather_lat = engine.search_layer(layer).best_report.total_cycles
 
     return Fig2Row(
         workload=layer.name,
@@ -126,28 +124,41 @@ def run(rows: int = 16, cols: int = 16, max_mappings: int = 60,
 
     ``full_model_layers`` bounds how many (unique) layers feed the "Full
     Model" bar to keep the run fast; ``None`` uses every layer.
+
+    All per-layer searches share one :class:`SearchEngine`, so repeated
+    shapes (and the full-model bars, which revisit the motivation layers)
+    hit the engine's result and evaluation caches instead of re-searching.
     """
     results: Dict[str, List[Fig2Row]] = {}
+    engine = SearchEngine(feather_arch(rows, cols), metric="latency",
+                          max_mappings=max_mappings)
+    # A plain no-reorder architecture; the layout under evaluation is supplied
+    # per call inside ``_policies_for_layer``, so the fixed-layout name here
+    # is irrelevant.
+    no_reorder_model = CostModel(sigma_like(rows, cols, layout="HWC_C32",
+                                            reorder="none"))
 
     resnet_rows = [
-        _policies_for_layer(layer, rows, cols, max_mappings)
+        _policies_for_layer(layer, engine, no_reorder_model)
         for key, layer in sorted(resnet50_motivation_layers().items()) if key != 47
     ]
     resnet_all = resnet50_layers(include_fc=False)
     if full_model_layers:
         resnet_all = resnet_all[:full_model_layers]
-    resnet_full = [_policies_for_layer(l, rows, cols, max_mappings) for l in resnet_all]
+    resnet_full = [_policies_for_layer(l, engine, no_reorder_model)
+                   for l in resnet_all]
     resnet_rows.append(_aggregate(resnet_full, "resnet50_full_model"))
     results["resnet50"] = resnet_rows
 
     mob_rows = [
-        _policies_for_layer(layer, rows, cols, max_mappings)
+        _policies_for_layer(layer, engine, no_reorder_model)
         for _, layer in sorted(mobilenet_v3_motivation_layers().items())
     ]
     mob_all = mobilenet_v3_layers(include_fc=False)
     if full_model_layers:
         mob_all = mob_all[:full_model_layers]
-    mob_full = [_policies_for_layer(l, rows, cols, max_mappings) for l in mob_all]
+    mob_full = [_policies_for_layer(l, engine, no_reorder_model)
+                for l in mob_all]
     mob_rows.append(_aggregate(mob_full, "mobilenet_v3_full_model"))
     results["mobilenet_v3"] = mob_rows
     return results

@@ -4,12 +4,17 @@ Tables I and III are qualitative feature comparisons (reproduced directly from
 the baseline registry); Table IV is the evaluation setup (reproduced from the
 architecture specs); Table V is the post-PnR area/power of FEATHER at several
 shapes (paper values next to the analytical model's estimate).
+
+:func:`search_stats_table` is reproduction tooling rather than a paper
+table: it runs the shared co-search engine over one workload and reports
+per-architecture engine statistics (evaluations, pruned candidates, cache
+hit rate, wall time) — useful for sizing figure-reproduction runs.
 """
 
 from __future__ import annotations
 
 from dataclasses import asdict
-from typing import Dict, List
+from typing import Dict, List, Optional, Sequence
 
 from repro.area.asic import table_v
 from repro.baselines.registry import (
@@ -17,6 +22,7 @@ from repro.baselines.registry import (
     fig13_arch_suite,
     reorder_support_table,
 )
+from repro.experiments.common import model_costs
 
 
 def table_i() -> List[Dict[str, object]]:
@@ -50,3 +56,26 @@ def table_iv() -> List[Dict[str, object]]:
 def table_v_rows() -> List[Dict[str, float]]:
     """Table V: FEATHER post-PnR area/power across shapes (paper vs model)."""
     return table_v()
+
+
+def search_stats_table(workloads: Sequence, model_name: str = "model",
+                       rows: int = 16, cols: int = 16, gemm: bool = False,
+                       max_mappings: int = 50,
+                       workers: Optional[int] = None) -> List[Dict[str, object]]:
+    """Engine statistics of a Fig. 13-style co-search, one row per arch."""
+    costs = model_costs(fig13_arch_suite(rows, cols, gemm=gemm), workloads,
+                        model_name=model_name, max_mappings=max_mappings,
+                        workers=workers)
+    table = []
+    for name, cost in costs.items():
+        stats = cost.search_stats
+        table.append({
+            "arch": name,
+            "unique_layers": stats.layers_unique,
+            "evaluations": stats.evaluations,
+            "pruned": stats.pruned,
+            "cache_hit_rate": stats.cache.hit_rate,
+            "workers": stats.workers,
+            "elapsed_s": stats.elapsed_s,
+        })
+    return table

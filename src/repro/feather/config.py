@@ -83,4 +83,5 @@ class FeatherConfig:
         return self.num_pes
 
     def peak_throughput_gmacs(self) -> float:
+        """Peak throughput in GMACs/s at the configured clock."""
         return self.peak_macs_per_cycle * self.frequency_mhz / 1e3

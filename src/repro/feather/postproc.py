@@ -43,6 +43,7 @@ class IntegerBatchNorm:
             raise ValueError("scale_shift must be >= 0")
 
     def apply(self, acts: np.ndarray) -> np.ndarray:
+        """Apply the folded integer batch-norm per channel (CHW int64 in/out)."""
         acts = np.asarray(acts, dtype=np.int64)
         if acts.shape[0] != len(self.scale_num):
             raise ValueError(

@@ -73,6 +73,7 @@ class Layout:
         return f"{inter}_{intra}" if intra else inter
 
     def intra_size(self, dim: str) -> int:
+        """Elements of ``dim`` packed within one line (1 when inter-line only)."""
         for entry in self.intra:
             if entry.dim == dim:
                 return entry.size

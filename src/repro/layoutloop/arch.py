@@ -76,10 +76,12 @@ class ArchSpec:
 
     def with_reorder(self, pattern: ReorderPattern,
                      implementation: ReorderImplementation) -> "ArchSpec":
+        """Copy of this spec with a different reordering capability."""
         return replace(self, reorder_pattern=pattern,
                        reorder_implementation=implementation)
 
     def describe(self) -> str:
+        """One-line human-readable summary (PEs, TOPS knobs, layout, reorder)."""
         knobs = "T"
         if self.flexible_order:
             knobs += "O"

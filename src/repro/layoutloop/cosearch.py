@@ -6,6 +6,12 @@ whole model.  Because DNNs repeat layer shapes many times, the co-search
 deduplicates identical shapes and weights the per-shape result by its
 occurrence count — this is a pure speed optimisation with no effect on the
 totals.
+
+:func:`evaluate_model` and :func:`compare_architectures` are thin fronts
+over the batch engine in :mod:`repro.search.engine`, which adds evaluation
+memoization, admissible pruning and optional process fan-out (``workers``).
+The aggregate dataclasses (:class:`LayerChoice`, :class:`ModelCost`) live
+here because they are part of the layoutloop vocabulary.
 """
 
 from __future__ import annotations
@@ -13,13 +19,15 @@ from __future__ import annotations
 import math
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from repro.layoutloop.arch import ArchSpec
 from repro.layoutloop.energy import EnergyTable
 from repro.layoutloop.mapper import Mapper, SearchResult
-from repro.workloads.conv import ConvLayerSpec
-from repro.workloads.gemm import GemmSpec
+from repro.search.signatures import workload_signature
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
+    from repro.search.engine import SearchStats
 
 
 @dataclass
@@ -27,18 +35,23 @@ class LayerChoice:
     """The chosen (dataflow, layout) and its cost for one unique layer shape."""
 
     result: SearchResult
+    """The per-shape search outcome (best mapping, layout and cost report)."""
     count: int
+    """How many times this shape occurs in the model (weights the totals)."""
 
     @property
     def cycles(self) -> float:
+        """Total latency contribution of all occurrences (cycles)."""
         return self.result.best_report.total_cycles * self.count
 
     @property
     def energy_pj(self) -> float:
+        """Total energy contribution of all occurrences (pJ)."""
         return self.result.best_report.total_energy_pj * self.count
 
     @property
     def macs(self) -> int:
+        """Total MAC operations of all occurrences (count)."""
         return self.result.best_report.macs * self.count
 
 
@@ -47,59 +60,89 @@ class ModelCost:
     """Aggregate cost of running a whole model on one architecture."""
 
     arch: str
+    """Name of the architecture the model was searched on."""
     model: str
+    """Name of the model (e.g. ``resnet50``)."""
     layer_choices: List[LayerChoice] = field(default_factory=list)
+    """Per-unique-shape winners, in first-seen layer order."""
+    search_stats: Optional["SearchStats"] = None
+    """Engine bookkeeping (evaluations, pruning, cache hits) when searched
+    through :func:`repro.search.engine.search_model`; None otherwise."""
 
     @property
     def total_cycles(self) -> float:
+        """Whole-model latency (cycles), occurrence-weighted."""
         return sum(c.cycles for c in self.layer_choices)
 
     @property
     def total_energy_pj(self) -> float:
+        """Whole-model energy (pJ), occurrence-weighted."""
         return sum(c.energy_pj for c in self.layer_choices)
 
     @property
     def total_macs(self) -> int:
+        """Whole-model MAC operations (count)."""
         return sum(c.macs for c in self.layer_choices)
 
     @property
     def energy_per_mac_pj(self) -> float:
-        return self.total_energy_pj / self.total_macs if self.total_macs else 0.0
+        """Whole-model energy efficiency (pJ/MAC).
+
+        With zero total MACs the ratio is undefined: nonzero energy returns
+        ``inf`` (never a silent 0.0 that would rank the model as free),
+        zero energy returns 0.0.
+        """
+        if self.total_macs:
+            return self.total_energy_pj / self.total_macs
+        return math.inf if self.total_energy_pj > 0 else 0.0
 
     @property
     def edp(self) -> float:
+        """Whole-model energy-delay product (pJ * cycles)."""
         return self.total_energy_pj * self.total_cycles
 
     @property
     def avg_utilization(self) -> float:
-        """MAC-weighted steady-state utilization across layers."""
+        """MAC-weighted steady-state utilization across layers (0..1).
+
+        Falls back to the unweighted mean over layers when the model has
+        zero total MACs (so degenerate inputs do not read as 0% utilized).
+        """
         if not self.layer_choices:
             return 0.0
-        total = sum(c.result.best_report.utilization * c.macs for c in self.layer_choices)
-        return total / self.total_macs if self.total_macs else 0.0
+        total_macs = self.total_macs
+        if not total_macs:
+            return (sum(c.result.best_report.utilization
+                        for c in self.layer_choices) / len(self.layer_choices))
+        total = sum(c.result.best_report.utilization * c.macs
+                    for c in self.layer_choices)
+        return total / total_macs
 
     @property
     def stall_fraction(self) -> float:
-        """Fraction of total cycles spent on bank-conflict stalls."""
+        """Fraction of total cycles spent on bank-conflict stalls (0..1)."""
         stalls = sum(c.result.best_report.stall_cycles * c.count for c in self.layer_choices)
         return stalls / self.total_cycles if self.total_cycles else 0.0
 
     @property
     def reorder_fraction(self) -> float:
-        """Fraction of total cycles exposed by layout reordering."""
+        """Fraction of total cycles exposed by layout reordering (0..1)."""
         reorder = sum(c.result.best_report.reorder_cycles_exposed * c.count
                       for c in self.layer_choices)
         return reorder / self.total_cycles if self.total_cycles else 0.0
 
     def geomean_cycles(self) -> float:
+        """Geometric mean of per-unique-shape latency (cycles)."""
         values = [c.result.best_report.total_cycles for c in self.layer_choices]
         return _geomean(values)
 
     def geomean_energy_per_mac(self) -> float:
+        """Geometric mean of per-unique-shape energy efficiency (pJ/MAC)."""
         values = [c.result.best_report.energy_per_mac_pj for c in self.layer_choices]
         return _geomean(values)
 
     def layouts_used(self) -> List[str]:
+        """Sorted names of the distinct layouts chosen across the model."""
         return sorted({c.result.best_layout.name for c in self.layer_choices})
 
 
@@ -111,25 +154,20 @@ def _geomean(values: Sequence[float]) -> float:
 
 
 def unique_workloads(workloads: Sequence) -> List[Tuple[object, int]]:
-    """Group workloads by shape signature, preserving first-seen order."""
+    """Group workloads by shape signature, preserving first-seen order.
+
+    Uses the same :func:`repro.search.signatures.workload_signature` the
+    engine caches key on, so deduplication and memoization always agree.
+    """
     groups: "OrderedDict[Tuple, Tuple[object, int]]" = OrderedDict()
     for wl in workloads:
-        sig = _signature(wl)
+        sig = workload_signature(wl)
         if sig in groups:
             existing, count = groups[sig]
             groups[sig] = (existing, count + 1)
         else:
             groups[sig] = (wl, 1)
     return list(groups.values())
-
-
-def _signature(workload) -> Tuple:
-    if isinstance(workload, ConvLayerSpec):
-        return ("conv", workload.m, workload.c, workload.h, workload.w, workload.r,
-                workload.s, workload.stride, workload.padding, workload.groups)
-    if isinstance(workload, GemmSpec):
-        return ("gemm", workload.m, workload.k, workload.n)
-    raise TypeError(f"unsupported workload {type(workload)!r}")
 
 
 def cosearch_layer(arch: ArchSpec, workload, metric: str = "edp",
@@ -144,10 +182,26 @@ def cosearch_layer(arch: ArchSpec, workload, metric: str = "edp",
 def evaluate_model(arch: ArchSpec, workloads: Sequence, model_name: str = "model",
                    metric: str = "edp", max_mappings: int = 200,
                    energy: Optional[EnergyTable] = None,
-                   mapper: Optional[Mapper] = None) -> ModelCost:
-    """Run the per-layer co-search over a whole model and aggregate the result."""
-    mapper = mapper or Mapper(arch, energy=energy, metric=metric,
-                              max_mappings=max_mappings)
+                   mapper: Optional[Mapper] = None,
+                   workers: Optional[int] = 1) -> ModelCost:
+    """Run the per-layer co-search over a whole model and aggregate the result.
+
+    Delegates to :func:`repro.search.engine.search_model` (memoized, pruned,
+    optionally parallel across ``workers`` processes).  Passing an explicit
+    ``mapper`` forces the serial path with that mapper's configuration and
+    caches.  Raises ``ValueError`` on an empty layer list — summing over
+    nothing would silently report a free model.
+    """
+    workloads = list(workloads)
+    if not workloads:
+        raise ValueError(
+            f"evaluate_model({model_name!r}) requires at least one workload")
+    if mapper is None:
+        from repro.search.engine import search_model
+
+        return search_model(arch, workloads, model_name=model_name,
+                            metric=metric, max_mappings=max_mappings,
+                            energy=energy, workers=workers)
     cost = ModelCost(arch=arch.name, model=model_name)
     for workload, count in unique_workloads(workloads):
         result = mapper.search(workload)
@@ -159,11 +213,16 @@ def compare_architectures(arches: Sequence[ArchSpec], workloads: Sequence,
                           model_name: str = "model", metric: str = "edp",
                           max_mappings: int = 200,
                           energy: Optional[EnergyTable] = None,
+                          workers: Optional[int] = 1,
                           ) -> Dict[str, ModelCost]:
-    """Evaluate several architectures on the same model (Fig. 13 style)."""
+    """Evaluate several architectures on the same model (Fig. 13 style).
+
+    ``workers`` is forwarded to the engine's process fan-out; results are
+    bit-identical for any worker count.
+    """
     return {
         arch.name: evaluate_model(arch, workloads, model_name=model_name,
                                   metric=metric, max_mappings=max_mappings,
-                                  energy=energy)
+                                  energy=energy, workers=workers)
         for arch in arches
     }

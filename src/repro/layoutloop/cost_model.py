@@ -34,37 +34,67 @@ from repro.workloads.conv import ConvLayerSpec
 from repro.workloads.gemm import GemmSpec
 
 
-@dataclass
+@dataclass(frozen=True)
 class CostReport:
-    """Latency/energy estimate for one (workload, mapping, layout) on one arch."""
+    """Latency/energy estimate for one (workload, mapping, layout) on one arch.
+
+    Reports are immutable: instances are memoized by the search engine's
+    :class:`~repro.search.cache.EvaluationCache`, so treat
+    ``energy_breakdown_pj`` as read-only too (build a modified copy with
+    ``dataclasses.replace`` and a fresh dict for what-if studies).
+    """
 
     workload: str
+    """Name of the evaluated workload."""
     arch: str
+    """Name of the architecture."""
     mapping: str
+    """Name of the evaluated mapping (dataflow)."""
     layout: str
+    """Name of the evaluated streaming-tensor layout."""
     macs: int
+    """Multiply-accumulate operations the layer performs (count)."""
     compute_cycles: float
+    """Ideal compute latency of the mapping (cycles), before stalls."""
     slowdown: float
+    """Average bank-conflict slowdown factor (dimensionless, >= 1)."""
     stall_cycles: float
+    """Cycles lost to bank-conflict stalls."""
     reorder_cycles_exposed: float
+    """Cycles the layout-reordering mechanism adds on the critical path."""
     total_cycles: float
+    """End-to-end latency (cycles): compute + stalls + exposed reorder."""
     utilization: float
+    """Steady-state MAC utilization of the array (fraction, 0..1)."""
     practical_utilization: float
+    """Utilization including stall and reorder cycles (fraction, 0..1)."""
     energy_breakdown_pj: Dict[str, float] = field(default_factory=dict)
+    """Energy per component (pJ): mac, register, buffer, noc, dram, reorder."""
 
     @property
     def total_energy_pj(self) -> float:
+        """Total energy over all components (pJ)."""
         return sum(self.energy_breakdown_pj.values())
 
     @property
     def energy_per_mac_pj(self) -> float:
-        return self.total_energy_pj / self.macs if self.macs else 0.0
+        """Energy per MAC (pJ/MAC).
+
+        A zero-MAC report with nonzero energy returns ``inf`` (the division
+        is genuinely undefined) rather than a silent 0.0 that would rank it
+        as free; 0 MACs and 0 pJ return 0.0.
+        """
+        if self.macs:
+            return self.total_energy_pj / self.macs
+        return math.inf if self.total_energy_pj > 0 else 0.0
 
     @property
     def edp(self) -> float:
+        """Energy-delay product (pJ * cycles)."""
         return self.total_energy_pj * self.total_cycles
 
     def latency_seconds(self, frequency_mhz: float) -> float:
+        """Wall-clock latency (seconds) at the given clock (MHz)."""
         return self.total_cycles / (frequency_mhz * 1e6)
 
 
@@ -149,6 +179,7 @@ class CostModel:
 
     # ----------------------------------------------------------------- public
     def evaluate(self, workload, mapping: Mapping, layout: Layout) -> CostReport:
+        """Full latency/energy report of one (workload, mapping, layout)."""
         macs = workload.macs
         compute_cycles = mapping.compute_cycles(workload)
         utilization = macs / (compute_cycles * self.arch.num_pes) if compute_cycles else 0.0
@@ -156,7 +187,7 @@ class CostModel:
         slowdown = self.estimate_slowdown(workload, mapping, layout)
         stall_cycles = compute_cycles * (slowdown - 1.0)
 
-        reorder_exposed, reorder_energy = self._reorder_costs(workload, compute_cycles)
+        reorder_exposed, reorder_energy = self.reorder_costs(workload)
 
         total_cycles = compute_cycles + stall_cycles + reorder_exposed
         practical_utilization = macs / (total_cycles * self.arch.num_pes) if total_cycles else 0.0
@@ -205,8 +236,13 @@ class CostModel:
         return report.avg_slowdown
 
     # --------------------------------------------------------- reorder costs
-    def _reorder_costs(self, workload, compute_cycles: float) -> Tuple[float, float]:
-        """(exposed latency cycles, energy pJ) of the layout-reordering mechanism."""
+    def reorder_costs(self, workload) -> Tuple[float, float]:
+        """(exposed latency cycles, energy pJ) of the layout-reordering mechanism.
+
+        Depends only on the workload and the architecture — not on the
+        mapping or layout — which is what lets :mod:`repro.search.bounds`
+        fold the exact reorder cost into its admissible pruning bound.
+        """
         impl = self.arch.reorder_implementation
         oact_elems = self._oact_elems(workload)
         oact_bytes = oact_elems * self.arch.mac_bits // 8

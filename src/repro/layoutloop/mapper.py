@@ -8,6 +8,14 @@ flexibility (fixed-parallelism designs collapse to a handful of mappings,
 fully flexible designs enumerate parallelism assignments and loop orders),
 optionally samples it, and scores every candidate with the cost model under
 each candidate layout.
+
+Candidate scoring runs through :mod:`repro.search`: full cost-model
+evaluations are memoized in an :class:`~repro.search.cache.EvaluationCache`
+(shareable across mappers) and mappings whose admissible lower bound
+(:mod:`repro.search.bounds`) already exceeds the incumbent best are skipped
+without evaluating any layout.  Both optimisations are exact — the search
+returns the same best (mapping, layout) pair it would have found
+exhaustively, just faster.
 """
 
 from __future__ import annotations
@@ -29,6 +37,9 @@ from repro.layout.library import conv_layout_library, gemm_layout_library
 from repro.layoutloop.arch import ArchSpec
 from repro.layoutloop.cost_model import CostModel, CostReport
 from repro.layoutloop.energy import EnergyTable
+from repro.search.bounds import bound_statics, metric_lower_bound
+from repro.search.cache import EvaluationCache
+from repro.search.signatures import workload_signature
 from repro.workloads.conv import ConvLayerSpec
 from repro.workloads.gemm import GemmSpec
 
@@ -40,15 +51,27 @@ class SearchResult:
     """Best (mapping, layout) found for one workload on one architecture."""
 
     workload: str
+    """Name of the searched workload (free-text layer label)."""
     arch: str
+    """Name of the architecture the search ran on."""
     best_report: CostReport
+    """Full cost report (cycles, pJ breakdown) of the winning pair."""
     best_mapping: Mapping
+    """The winning dataflow."""
     best_layout: Layout
+    """The winning data layout of the streaming tensor."""
     evaluated: int
+    """(mapping, layout) candidates scored, including evaluation-cache hits."""
     metric: str
+    """Objective the search minimised: ``edp``, ``latency`` or ``energy``."""
+    pruned: int = 0
+    """Candidates skipped because their lower bound could not beat the best."""
+    cache_hits: int = 0
+    """Scored candidates served from the evaluation cache."""
 
     @property
     def best_value(self) -> float:
+        """Value of ``metric`` for the winning pair (cycles, pJ or pJ*cycles)."""
         return _metric_value(self.best_report, self.metric)
 
 
@@ -63,10 +86,18 @@ def _metric_value(report: CostReport, metric: str) -> float:
 
 
 class Mapper:
-    """Search dataflows (and layouts) for an architecture."""
+    """Search dataflows (and layouts) for an architecture.
+
+    ``prune`` enables the admissible lower-bound pruning (exact; disable
+    only for A/B testing).  ``evaluation_cache`` may be shared between
+    mappers — keys embed the architecture and energy-table signature, so
+    cross-architecture sharing is safe.
+    """
 
     def __init__(self, arch: ArchSpec, energy: Optional[EnergyTable] = None,
-                 metric: str = "edp", max_mappings: int = 200, seed: int = 0):
+                 metric: str = "edp", max_mappings: int = 200, seed: int = 0,
+                 prune: bool = True,
+                 evaluation_cache: Optional[EvaluationCache] = None):
         if metric not in _METRICS:
             raise ValueError(f"metric must be one of {_METRICS}")
         self.arch = arch
@@ -74,6 +105,9 @@ class Mapper:
         self.metric = metric
         self.max_mappings = max_mappings
         self.seed = seed
+        self.prune = prune
+        self.evaluation_cache = (evaluation_cache if evaluation_cache is not None
+                                 else EvaluationCache())
         self._cache: Dict[Tuple, SearchResult] = {}
 
     # ------------------------------------------------------------- candidates
@@ -166,7 +200,16 @@ class Mapper:
     # ----------------------------------------------------------------- search
     def search(self, workload, layouts: Optional[Sequence[Layout]] = None,
                ) -> SearchResult:
-        """Find the best (mapping, layout) pair under the configured metric."""
+        """Find the best (mapping, layout) pair under the configured metric.
+
+        Whole results are memoized per (workload, metric, layouts) tuple;
+        individual cost-model evaluations are additionally memoized in the
+        (possibly shared) evaluation cache.  When pruning is on, a mapping
+        whose metric lower bound cannot beat the incumbent best skips all
+        of its layouts without evaluation — the outcome is identical to the
+        exhaustive scan because the bound never exceeds the true value and
+        ties never replace the incumbent.
+        """
         key = (getattr(workload, "name", str(workload)), self._workload_signature(workload),
                self.metric, self.max_mappings,
                tuple(l.name for l in layouts) if layouts else None)
@@ -175,17 +218,32 @@ class Mapper:
 
         layouts = list(layouts) if layouts else self.candidate_layouts(workload)
         mappings = self.candidate_mappings(workload)
+        statics = bound_statics(self.cost_model, workload) if self.prune else None
 
         best: Optional[CostReport] = None
+        best_value = math.inf
         best_mapping: Optional[Mapping] = None
         best_layout: Optional[Layout] = None
         evaluated = 0
+        pruned = 0
+        cache_hits = 0
         for mapping in mappings:
+            if statics is not None and best is not None:
+                bound = metric_lower_bound(self.metric,
+                                           mapping.compute_cycles(workload),
+                                           statics)
+                if bound >= best_value:
+                    pruned += len(layouts)
+                    continue
             for layout in layouts:
-                report = self.cost_model.evaluate(workload, mapping, layout)
+                report, hit = self.evaluation_cache.evaluate(
+                    self.cost_model, workload, mapping, layout)
                 evaluated += 1
-                if best is None or _metric_value(report, self.metric) < _metric_value(best, self.metric):
+                cache_hits += hit
+                value = _metric_value(report, self.metric)
+                if best is None or value < best_value:
                     best, best_mapping, best_layout = report, mapping, layout
+                    best_value = value
 
         result = SearchResult(
             workload=getattr(workload, "name", str(workload)),
@@ -195,9 +253,25 @@ class Mapper:
             best_layout=best_layout,
             evaluated=evaluated,
             metric=self.metric,
+            pruned=pruned,
+            cache_hits=cache_hits,
         )
         self._cache[key] = result
         return result
+
+    def adopt_result(self, workload, result: SearchResult) -> None:
+        """Seed the result-level cache with an externally computed result.
+
+        Used by :class:`repro.search.engine.SearchEngine` to bring results
+        produced in worker processes (or by a sibling mapper) back into
+        this mapper's cache, so later :meth:`search` calls for the same
+        workload return instantly.  The result must have been computed with
+        the same metric/max_mappings configuration as this mapper.
+        """
+        key = (getattr(workload, "name", str(workload)),
+               self._workload_signature(workload), self.metric,
+               self.max_mappings, None)
+        self._cache.setdefault(key, result)
 
     # ---------------------------------------------------------------- helpers
     @staticmethod
@@ -223,8 +297,5 @@ class Mapper:
 
     @staticmethod
     def _workload_signature(workload) -> Tuple:
-        if isinstance(workload, ConvLayerSpec):
-            return ("conv", workload.m, workload.c, workload.h, workload.w,
-                    workload.r, workload.s, workload.stride, workload.padding,
-                    workload.groups)
-        return ("gemm", workload.m, workload.k, workload.n)
+        """Shape signature used for result-level memoization."""
+        return workload_signature(workload)

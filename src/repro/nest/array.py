@@ -89,6 +89,7 @@ class NestArray:
         return self.rows * self.cols
 
     def pe(self, row: int, col: int) -> ProcessingElement:
+        """The processing element at (row, col)."""
         return self.pes[row][col]
 
     # ------------------------------------------------------------------ timing
@@ -201,6 +202,7 @@ class NestArray:
 
     # ------------------------------------------------------------------- stats
     def total_macs(self) -> int:
+        """MAC operations performed across the whole array (count)."""
         return sum(pe.macs_performed for row in self.pes for pe in row)
 
     def reset(self) -> None:

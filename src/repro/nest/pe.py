@@ -80,10 +80,12 @@ class ProcessingElement:
         return value
 
     def reset(self) -> None:
+        """Clear the accumulator (start of a new output)."""
         self.accumulator = 0
 
     # ------------------------------------------------------------------- stats
     def stats(self) -> dict:
+        """Position and activity counters of this PE."""
         return {
             "row": self.row,
             "col": self.col,

@@ -65,6 +65,7 @@ class NetworkAreaModel:
                 + self.wire_tracks * self.wire_length_factor * WIRE_TRACK_POWER_MW)
 
     def as_dict(self) -> Dict[str, float]:
+        """Component counts plus area (um^2) and power (mW) as a dict."""
         return {
             "name": self.name,
             "inputs": self.inputs,

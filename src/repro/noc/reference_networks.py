@@ -72,6 +72,7 @@ class AdderTree:
         self.width = width
 
     def reduce(self, values: Sequence, group_size: int) -> ReductionOutcome:
+        """Reduce aligned power-of-two groups in log-depth."""
         if group_size & (group_size - 1):
             raise ValueError("adder tree only supports power-of-two group sizes")
         _check_groups(len(values), group_size)
@@ -138,6 +139,7 @@ class ForwardingAdderNetwork:
         return ReductionOutcome(outputs, cycles, adds)
 
     def reduce(self, values: Sequence, group_size: int) -> ReductionOutcome:
+        """Reduce uniform contiguous groups (any size) in log-depth."""
         _check_groups(len(values), group_size)
         boundaries = list(range(0, len(values), group_size))
         return self.reduce_groups(values, boundaries)

@@ -1,0 +1,54 @@
+"""Parallel, cached (dataflow, layout) co-search engine.
+
+This package is the performance substrate under every figure reproduction:
+
+* :mod:`repro.search.signatures` — canonical cache keys,
+* :mod:`repro.search.cache` — memoized cost-model evaluations,
+* :mod:`repro.search.bounds` — admissible pruning bounds,
+* :mod:`repro.search.parallel` — process fan-out with serial fallback,
+* :mod:`repro.search.engine` — the :func:`search_model` batch API.
+
+See ``docs/architecture.md`` for the full design (cache keying, pruning
+soundness argument, worker model and the determinism guarantee).
+"""
+
+from repro.search.bounds import BoundStatics, bound_statics, metric_lower_bound
+from repro.search.cache import CacheStats, EvaluationCache
+from repro.search.parallel import WORKERS_ENV_VAR, resolve_workers
+from repro.search.signatures import (
+    arch_signature,
+    layout_signature,
+    mapping_signature,
+    workload_signature,
+)
+
+__all__ = [
+    "BoundStatics",
+    "bound_statics",
+    "metric_lower_bound",
+    "CacheStats",
+    "EvaluationCache",
+    "WORKERS_ENV_VAR",
+    "resolve_workers",
+    "arch_signature",
+    "layout_signature",
+    "mapping_signature",
+    "workload_signature",
+    # Lazily imported (see __getattr__): the engine imports the layoutloop
+    # mapper, which itself imports the submodules above.
+    "SearchEngine",
+    "SearchStats",
+    "search_model",
+    "search_models",
+]
+
+
+def __getattr__(name):
+    # ``repro.layoutloop.mapper`` imports ``repro.search.bounds``/``cache``;
+    # importing the engine eagerly here would close an import cycle, so the
+    # engine surface resolves lazily (PEP 562).
+    if name in ("SearchEngine", "SearchStats", "search_model", "search_models"):
+        from repro.search import engine
+
+        return getattr(engine, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

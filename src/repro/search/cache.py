@@ -1,0 +1,123 @@
+"""Memoization of cost-model evaluations.
+
+The co-search evaluates the same (workload-shape, arch, mapping, layout)
+tuple many times: repeated layer shapes inside one model, the same shapes
+across experiments (Fig. 9-14 all sweep ResNet-50), and the canonical
+weight-stationary mapping that the mapper appends to every sampled space.
+:class:`EvaluationCache` memoizes the resulting
+:class:`~repro.layoutloop.cost_model.CostReport` objects and keeps hit/miss
+accounting so callers can report cache effectiveness.
+
+Caches are plain dictionaries: a cache is owned by one process (workers in
+the parallel engine each build their own) and reports are immutable
+dataclasses, so sharing the cached instance is safe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Optional, Tuple
+
+from repro.search.signatures import (
+    arch_signature,
+    layout_signature,
+    mapping_signature,
+    workload_signature,
+)
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters of one cache (or the merged counters of several)."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total number of ``get`` calls."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when never used)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def merge(self, other: "CacheStats") -> "CacheStats":
+        """Return the element-wise sum of two counters (both unchanged)."""
+        return CacheStats(hits=self.hits + other.hits,
+                          misses=self.misses + other.misses)
+
+    def __str__(self) -> str:
+        return (f"{self.hits} hits / {self.misses} misses "
+                f"({self.hit_rate:.1%} hit rate)")
+
+
+class EvaluationCache:
+    """Memoizes ``CostModel.evaluate`` results.
+
+    Keys are built from :mod:`repro.search.signatures`, so the cache keys on
+    the (workload-shape, arch, mapping, layout) tuple — never on layer or
+    mapping names — and one instance may be shared by mappers for different
+    architectures or energy calibrations.
+    """
+
+    def __init__(self) -> None:
+        self._reports: Dict[Tuple, object] = {}
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._reports)
+
+    @staticmethod
+    def key(arch, energy, workload, mapping, layout) -> Tuple:
+        """Canonical cache key of one evaluation."""
+        return (arch_signature(arch, energy), workload_signature(workload),
+                mapping_signature(mapping), layout_signature(layout))
+
+    def get(self, key: Tuple):
+        """Look up a report; counts a hit or miss. Returns None on miss."""
+        report = self._reports.get(key)
+        if report is None:
+            self.stats.misses += 1
+        else:
+            self.stats.hits += 1
+        return report
+
+    def put(self, key: Tuple, report) -> None:
+        """Store the report computed for ``key``."""
+        self._reports[key] = report
+
+    def evaluate(self, cost_model, workload, mapping, layout):
+        """Memoized ``cost_model.evaluate``; returns ``(report, was_hit)``.
+
+        Cache keys exclude free-text names, so a hit may come from a
+        different layer/mapping label than the current call's; hits are
+        returned as copies relabelled with the caller's names and carrying
+        their own breakdown dict, so no returned report aliases mutable
+        state with the cached entry (``put`` stores a private copy for the
+        same reason).
+        """
+        key = self.key(cost_model.arch, cost_model.energy, workload, mapping,
+                       layout)
+        report = self.get(key)
+        if report is not None:
+            return self._relabel(report, workload, mapping, layout), True
+        report = cost_model.evaluate(workload, mapping, layout)
+        self.put(key, replace(
+            report, energy_breakdown_pj=dict(report.energy_breakdown_pj)))
+        return report, False
+
+    @staticmethod
+    def _relabel(report, workload, mapping, layout):
+        """Copy of a cached report with the current call's identity labels
+        and a fresh breakdown dict (never the cached entry's)."""
+        return replace(report,
+                       workload=getattr(workload, "name", str(workload)),
+                       mapping=mapping.name, layout=layout.name,
+                       energy_breakdown_pj=dict(report.energy_breakdown_pj))
+
+    def clear(self) -> None:
+        """Drop all entries and reset the counters."""
+        self._reports.clear()
+        self.stats = CacheStats()

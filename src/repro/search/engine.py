@@ -1,0 +1,234 @@
+"""The batch co-search engine: one API every figure reproduction shares.
+
+:func:`search_model` is the single entry point for whole-model (dataflow,
+layout) co-search.  It composes the three optimisations this package exists
+for:
+
+1. **Shape deduplication** — DNNs repeat layer shapes; only unique shapes
+   are searched and each result is weighted by its occurrence count
+   (:func:`repro.layoutloop.cosearch.unique_workloads`).
+2. **Memoization + pruning** — every per-shape search runs through a
+   :class:`~repro.layoutloop.mapper.Mapper` configured with an
+   :class:`~repro.search.cache.EvaluationCache` and the admissible metric
+   bounds of :mod:`repro.search.bounds`.
+3. **Process fan-out** — with ``workers > 1`` unique shapes are chunked
+   across a ``ProcessPoolExecutor`` (:mod:`repro.search.parallel`); each
+   worker runs the identical deterministic per-shape search, so parallel
+   results are bit-identical to serial ones.
+
+The returned :class:`~repro.layoutloop.cosearch.ModelCost` carries a
+:class:`SearchStats` record (evaluations, pruned candidates, cache hit
+rate, worker count, wall time) in its ``search_stats`` field.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.layoutloop.arch import ArchSpec
+from repro.layoutloop.cosearch import LayerChoice, ModelCost, unique_workloads
+from repro.layoutloop.energy import EnergyTable
+from repro.layoutloop.mapper import Mapper, SearchResult
+from repro.search.cache import CacheStats, EvaluationCache
+from repro.search.parallel import (
+    chunked,
+    default_chunk_size,
+    resolve_workers,
+    run_fanout,
+)
+
+
+@dataclass
+class SearchStats:
+    """Bookkeeping of one :func:`search_model` run."""
+
+    model: str
+    arch: str
+    layers_total: int
+    """Number of layers in the input model (before deduplication)."""
+    layers_unique: int
+    """Number of unique layer shapes actually searched."""
+    evaluations: int = 0
+    """(mapping, layout) candidates scored, including cache hits."""
+    pruned: int = 0
+    """Candidates skipped by the admissible lower bound."""
+    cache: CacheStats = field(default_factory=CacheStats)
+    """Merged evaluation-cache counters across all workers."""
+    workers: int = 1
+    """Worker processes used (1 = serial)."""
+    elapsed_s: float = 0.0
+    """Wall-clock time of the whole search in seconds."""
+
+    def __str__(self) -> str:
+        return (f"search[{self.model} on {self.arch}]: "
+                f"{self.layers_unique}/{self.layers_total} unique layers, "
+                f"{self.evaluations} evaluations (+{self.pruned} pruned), "
+                f"cache {self.cache}, {self.workers} worker(s), "
+                f"{self.elapsed_s:.2f}s")
+
+
+# --------------------------------------------------------------------- engine
+class SearchEngine:
+    """A configured co-search context with a persistent evaluation cache.
+
+    Wraps a :class:`~repro.layoutloop.mapper.Mapper` so that repeated
+    per-layer searches (and whole-model batches) share one cache.  Use the
+    module-level :func:`search_model` for one-shot batch searches; use an
+    engine when several experiments over the same architecture should share
+    memoized evaluations.
+    """
+
+    def __init__(self, arch: ArchSpec, energy: Optional[EnergyTable] = None,
+                 metric: str = "edp", max_mappings: int = 200, seed: int = 0,
+                 prune: bool = True, cache: Optional[EvaluationCache] = None):
+        self.arch = arch
+        self.energy = energy
+        self.metric = metric
+        self.max_mappings = max_mappings
+        self.seed = seed
+        self.prune = prune
+        self.cache = cache if cache is not None else EvaluationCache()
+        self.mapper = Mapper(arch, energy=energy, metric=metric,
+                             max_mappings=max_mappings, seed=seed,
+                             prune=prune, evaluation_cache=self.cache)
+
+    @property
+    def cache_stats(self) -> CacheStats:
+        """Hit/miss counters of this engine's evaluation cache."""
+        return self.cache.stats
+
+    def search_layer(self, workload, layouts: Optional[Sequence] = None
+                     ) -> SearchResult:
+        """Co-search the best (mapping, layout) pair for one layer."""
+        return self.mapper.search(workload, layouts=layouts)
+
+    def search_model(self, workloads: Sequence, model_name: str = "model",
+                     workers: Optional[int] = 1,
+                     chunk_size: Optional[int] = None) -> ModelCost:
+        """Batch co-search of a whole model with this engine's settings.
+
+        The engine's evaluation cache is shared with the batch on the
+        serial path only — worker processes cannot see in-process state
+        and always build their own.  Either way, the per-shape results are
+        adopted into the engine afterwards, so follow-up
+        :meth:`search_layer` calls for the same shapes return instantly.
+        """
+        cost = search_model(self.arch, workloads, model_name=model_name,
+                            metric=self.metric, max_mappings=self.max_mappings,
+                            energy=self.energy, workers=workers,
+                            chunk_size=chunk_size, prune=self.prune,
+                            seed=self.seed, cache=self.cache)
+        for (workload, _), choice in zip(unique_workloads(workloads),
+                                         cost.layer_choices):
+            self.mapper.adopt_result(workload, choice.result)
+        return cost
+
+
+# ----------------------------------------------------------------- batch API
+def _search_chunk(payload: Tuple) -> Tuple[List[SearchResult], int, int]:
+    """Worker entry point: search one chunk of unique shapes.
+
+    Must stay a module-level function (pickled by ``ProcessPoolExecutor``).
+    The payload carries everything needed to rebuild the exact serial search
+    configuration, so a chunk's results do not depend on which process (or
+    how many) ran it.
+    """
+    arch, energy, metric, max_mappings, seed, prune, shapes = payload
+    mapper = Mapper(arch, energy=energy, metric=metric,
+                    max_mappings=max_mappings, seed=seed, prune=prune,
+                    evaluation_cache=EvaluationCache())
+    results = [mapper.search(wl) for wl in shapes]
+    stats = mapper.evaluation_cache.stats
+    return results, stats.hits, stats.misses
+
+
+def search_model(arch: ArchSpec, workloads: Sequence, model_name: str = "model",
+                 metric: str = "edp", max_mappings: int = 200,
+                 energy: Optional[EnergyTable] = None,
+                 workers: Optional[int] = 1,
+                 chunk_size: Optional[int] = None, prune: bool = True,
+                 seed: int = 0, cache: Optional[EvaluationCache] = None
+                 ) -> ModelCost:
+    """Co-search a whole model on one architecture and aggregate the cost.
+
+    Parameters mirror :class:`~repro.layoutloop.mapper.Mapper`; the batch
+    level adds:
+
+    * ``workers`` — worker processes for the fan-out over unique shapes.
+      ``1`` (default) runs serially; ``None`` consults the
+      ``REPRO_SEARCH_WORKERS`` environment variable.  Results are
+      bit-identical regardless of the worker count.
+    * ``chunk_size`` — unique shapes per worker task (default: balanced
+      so each worker receives ~4 chunks).
+    * ``cache`` — a shared :class:`EvaluationCache` (serial path only;
+      worker processes always build their own).
+
+    Raises ``ValueError`` on an empty workload list — silently returning an
+    all-zero :class:`ModelCost` hid bugs in callers.
+    """
+    workloads = list(workloads)
+    if not workloads:
+        raise ValueError(
+            f"search_model({model_name!r}) requires at least one workload")
+
+    start = time.perf_counter()
+    grouped = unique_workloads(workloads)
+    shapes = [wl for wl, _ in grouped]
+    workers = resolve_workers(workers)
+
+    stats = SearchStats(model=model_name, arch=arch.name,
+                        layers_total=len(workloads),
+                        layers_unique=len(grouped), workers=workers)
+
+    if workers <= 1 or len(shapes) <= 1:
+        stats.workers = 1
+        eval_cache = cache if cache is not None else EvaluationCache()
+        # Shared caches outlive this call: report this run's delta, not the
+        # cache's cumulative counters.
+        before_hits = eval_cache.stats.hits
+        before_misses = eval_cache.stats.misses
+        mapper = Mapper(arch, energy=energy, metric=metric,
+                        max_mappings=max_mappings, seed=seed, prune=prune,
+                        evaluation_cache=eval_cache)
+        results = [mapper.search(wl) for wl in shapes]
+        stats.cache = CacheStats(hits=eval_cache.stats.hits - before_hits,
+                                 misses=eval_cache.stats.misses - before_misses)
+    else:
+        size = chunk_size or default_chunk_size(len(shapes), workers)
+        payloads = [(arch, energy, metric, max_mappings, seed, prune, chunk)
+                    for chunk in chunked(shapes, size)]
+        chunk_outputs, stats.workers = run_fanout(_search_chunk, payloads,
+                                                  workers)
+        results = []
+        for chunk_results, hits, misses in chunk_outputs:
+            results.extend(chunk_results)
+            stats.cache = stats.cache.merge(CacheStats(hits=hits,
+                                                       misses=misses))
+
+    cost = ModelCost(arch=arch.name, model=model_name)
+    for result, (_, count) in zip(results, grouped):
+        cost.layer_choices.append(LayerChoice(result=result, count=count))
+        stats.evaluations += result.evaluated
+        stats.pruned += result.pruned
+    stats.elapsed_s = time.perf_counter() - start
+    cost.search_stats = stats
+    return cost
+
+
+def search_models(arches: Sequence[ArchSpec], workloads: Sequence,
+                  model_name: str = "model", metric: str = "edp",
+                  max_mappings: int = 200,
+                  energy: Optional[EnergyTable] = None,
+                  workers: Optional[int] = 1,
+                  chunk_size: Optional[int] = None, prune: bool = True,
+                  seed: int = 0) -> Dict[str, ModelCost]:
+    """Run :func:`search_model` for several architectures (Fig. 13 style)."""
+    return {
+        arch.name: search_model(arch, workloads, model_name=model_name,
+                                metric=metric, max_mappings=max_mappings,
+                                energy=energy, workers=workers,
+                                chunk_size=chunk_size, prune=prune, seed=seed)
+        for arch in arches
+    }

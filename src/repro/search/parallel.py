@@ -1,0 +1,83 @@
+"""Process-level fan-out helpers for the co-search engine.
+
+The engine parallelises over *unique layer shapes* (the unit of work after
+deduplication): each worker process rebuilds the search configuration from a
+picklable payload and runs the same deterministic per-shape search the
+serial path runs, so parallel results are bit-identical to serial ones.
+
+``workers`` resolution order (used by :func:`resolve_workers`):
+
+1. an explicit integer wins;
+2. ``None`` consults the ``REPRO_SEARCH_WORKERS`` environment variable;
+3. otherwise the engine stays serial (``1``) — fan-out is opt-in because the
+   analytical model is fast enough that process startup dominates for small
+   jobs.
+
+If a process pool cannot be created at all (restricted environments,
+missing ``fork``/semaphore support), :func:`run_fanout` degrades to the
+serial fallback instead of failing; genuine errors raised *inside* a worker
+still propagate.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, List, Optional, Sequence, Tuple, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+WORKERS_ENV_VAR = "REPRO_SEARCH_WORKERS"
+
+
+def resolve_workers(workers: Optional[int]) -> int:
+    """Resolve a ``workers`` argument to a concrete positive worker count."""
+    if workers is None:
+        raw = os.environ.get(WORKERS_ENV_VAR, "").strip()
+        if raw:
+            try:
+                workers = int(raw)
+            except ValueError:
+                raise ValueError(
+                    f"{WORKERS_ENV_VAR} must be an integer, got {raw!r}")
+        else:
+            workers = 1
+    return max(1, int(workers))
+
+
+def chunked(items: Sequence[T], chunk_size: int) -> List[List[T]]:
+    """Split ``items`` into consecutive chunks of at most ``chunk_size``."""
+    if chunk_size < 1:
+        raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+    return [list(items[i:i + chunk_size])
+            for i in range(0, len(items), chunk_size)]
+
+
+def default_chunk_size(num_items: int, workers: int) -> int:
+    """Chunk so every worker gets ~4 chunks (bounded load imbalance)."""
+    return max(1, num_items // max(1, workers * 4))
+
+
+def run_fanout(fn: Callable[[T], R], payloads: Sequence[T],
+               workers: int) -> Tuple[List[R], int]:
+    """Apply ``fn`` to every payload, fanning out across processes.
+
+    Returns ``(results, effective_workers)`` with results in payload order;
+    ``effective_workers`` is 1 whenever the work actually ran serially, so
+    callers report the truth rather than the request.  Serial execution is
+    used when ``workers <= 1``, when there is at most one payload, or when
+    the process pool cannot be started; exceptions raised by ``fn`` itself
+    always propagate unchanged.
+    """
+    if workers <= 1 or len(payloads) <= 1:
+        return [fn(p) for p in payloads], 1
+    pool_size = min(workers, len(payloads))
+    try:
+        executor = ProcessPoolExecutor(max_workers=pool_size)
+    except (OSError, NotImplementedError):  # no fork / no semaphores
+        return [fn(p) for p in payloads], 1
+    try:
+        return list(executor.map(fn, payloads)), pool_size
+    finally:
+        executor.shutdown()

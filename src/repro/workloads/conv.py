@@ -139,6 +139,7 @@ class ConvLayerSpec:
 
     # -------------------------------------------------------------------- misc
     def is_depthwise(self) -> bool:
+        """True when each output channel reads exactly one input channel."""
         return self.kind is LayerKind.DEPTHWISE or self.groups == self.c
 
     def as_gemm_shape(self) -> tuple:

@@ -45,6 +45,7 @@ class GemmSpec:
         return self.m * self.n
 
     def dim(self, name: str) -> int:
+        """Extent of a GEMM dimension by its canonical name (M, K or N)."""
         table = {"M": self.m, "K": self.k, "N": self.n}
         try:
             return table[name.upper()]

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Execute the ```python code blocks of README.md (and other docs).
+
+Used by CI's docs job: a README whose quickstart does not run is worse than
+no README.  Every fenced ``python`` block is executed in its own namespace
+with ``src/`` on ``sys.path`` (the documented ``PYTHONPATH=src`` setup).
+Blocks can opt out by putting ``# doc-no-exec`` on their first line.
+
+Usage: python tools/check_readme_snippets.py [files...]   (default: README.md)
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+_FENCE_RE = re.compile(r"^```python\s*$(.*?)^```\s*$", re.MULTILINE | re.DOTALL)
+
+
+def extract_python_blocks(text: str) -> list:
+    """Return the contents of every ```python fenced block, in order."""
+    return [match.group(1).strip() for match in _FENCE_RE.finditer(text)]
+
+
+def run_block(source: str, label: str) -> bool:
+    """Execute one snippet; returns True on success."""
+    if source.startswith("# doc-no-exec"):
+        print(f"SKIP {label} (doc-no-exec)")
+        return True
+    try:
+        exec(compile(source, label, "exec"), {"__name__": f"snippet:{label}"})
+    except Exception as exc:  # pragma: no cover - failure path
+        print(f"FAIL {label}: {type(exc).__name__}: {exc}")
+        print("     " + "\n     ".join(source.splitlines()))
+        return False
+    print(f"OK   {label}")
+    return True
+
+
+def main(argv: list) -> int:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    files = [Path(a) for a in argv] or [REPO_ROOT / "README.md"]
+    failures = 0
+    for path in files:
+        blocks = extract_python_blocks(path.read_text())
+        if not blocks:
+            print(f"WARN {path}: no python blocks found")
+        for idx, block in enumerate(blocks, 1):
+            failures += not run_block(block, f"{path.name}[{idx}]")
+    if failures:
+        print(f"{failures} snippet(s) failed")
+        return 1
+    print("all snippets passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
