@@ -71,6 +71,7 @@ def divisors_at_most(n: int, limit: int) -> Tuple[int, ...]:
     return tuple(f for f in factors(n) if f <= limit)
 
 
+@lru_cache(maxsize=4096)
 def padded_parallel_sizes(total: int, limit: int) -> Tuple[int, ...]:
     """Candidate parallelism degrees for a dimension of extent ``total``.
 

@@ -14,6 +14,7 @@ from __future__ import annotations
 import itertools
 import random
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.workloads.conv import ConvLayerSpec
@@ -95,39 +96,83 @@ class MappingSpace:
         return self.array_rows * self.array_cols
 
     def parallelism_candidates(self) -> List[Tuple[ParallelSpec, ...]]:
-        """Enumerate parallelism assignments onto the array."""
-        return list(enumerate_parallelisms(
-            self._dims, self._parallel_dims, self.array_rows, self.array_cols,
-            max_dims=self.max_parallel_dims))
+        """Enumerate parallelism assignments onto the array.
+
+        Memoized per (dims, candidate dims, array shape): repeated searches
+        over the same layer shape — scalar-vs-vectorized comparisons, metric
+        sweeps, every mapper revisiting a cached workload — skip the
+        enumeration entirely.
+        """
+        return list(_parallelism_candidates_cached(
+            tuple(sorted(self._dims.items())), self._parallel_dims,
+            self.array_rows, self.array_cols, self.max_parallel_dims))
 
     def iter_mappings(self) -> Iterator[Mapping]:
         """Yield every mapping in the structured subspace."""
-        for idx, parallel in enumerate(self.parallelism_candidates()):
-            tile_sizes = {p.dim: p.degree for p in parallel}
-            for order in self._orders:
-                order_present = tuple(d for d in order if d in self._dims)
-                name = "df_" + "_".join(f"{p.dim}{p.degree}" for p in parallel) or "df_serial"
-                yield Mapping(
-                    name=f"{name}_{'.'.join(order_present[:3]).lower()}",
-                    array_rows=self.array_rows,
-                    array_cols=self.array_cols,
-                    parallel=parallel,
-                    tile=TileLevel.of(**tile_sizes),
-                    order=order_present,
-                    reduction_dims=self._reduction,
-                )
+        candidates = self.parallelism_candidates()
+        for index in range(len(candidates) * len(self._orders)):
+            yield self._mapping_at(candidates, index)
 
-    def sample(self, count: int, seed: int = 0) -> List[Mapping]:
-        """Pruned random sample of the space (the paper's search algorithm)."""
-        all_mappings = list(self.iter_mappings())
-        if count >= len(all_mappings):
-            return all_mappings
+    def _mapping_at(self, candidates: Sequence[Tuple[ParallelSpec, ...]],
+                    index: int) -> Mapping:
+        """Materialize the mapping at one flat index of the subspace.
+
+        The flat order is parallelism-major (every loop order of one
+        parallelism before the next parallelism), matching
+        :meth:`iter_mappings`.
+        """
+        parallel = candidates[index // len(self._orders)]
+        order = self._orders[index % len(self._orders)]
+        order_present = tuple(d for d in order if d in self._dims)
+        par = "_".join(f"{p.dim}{p.degree}" for p in parallel)
+        name = f"df_{par}" if par else "df_serial"
+        return Mapping(
+            name=f"{name}_{'.'.join(order_present[:3]).lower()}",
+            array_rows=self.array_rows,
+            array_cols=self.array_cols,
+            parallel=parallel,
+            tile=TileLevel.of(**{p.dim: p.degree for p in parallel}),
+            order=order_present,
+            reduction_dims=self._reduction,
+        )
+
+    def sample(self, count: int, seed: int = 0, *,
+               materialize: bool = False) -> List[Mapping]:
+        """Pruned random sample of the space (the paper's search algorithm).
+
+        The default streaming path samples flat *indices* and materializes
+        only the ``count`` chosen mappings; ``materialize=True`` builds every
+        mapping first and samples the list (the original implementation,
+        kept as the timing baseline).  Both return identical mappings in
+        identical order for the same seed: ``random.sample`` draws the same
+        index sequence from ``range(n)`` as from any length-``n`` sequence.
+        """
+        if materialize:
+            all_mappings = list(self.iter_mappings())
+            if count >= len(all_mappings):
+                return all_mappings
+            rng = random.Random(seed)
+            return rng.sample(all_mappings, count)
+        candidates = self.parallelism_candidates()
+        total = len(candidates) * len(self._orders)
+        if count >= total:
+            return [self._mapping_at(candidates, i) for i in range(total)]
         rng = random.Random(seed)
-        return rng.sample(all_mappings, count)
+        return [self._mapping_at(candidates, i)
+                for i in rng.sample(range(total), count)]
 
     def size(self) -> int:
         """Cardinality of the structured subspace (parallelisms x orders)."""
         return len(self.parallelism_candidates()) * len(self._orders)
+
+
+@lru_cache(maxsize=1024)
+def _parallelism_candidates_cached(dims_items: Tuple[Tuple[str, int], ...],
+                                   candidate_dims: Tuple[str, ...],
+                                   rows: int, cols: int, max_dims: int
+                                   ) -> Tuple[Tuple[ParallelSpec, ...], ...]:
+    return tuple(enumerate_parallelisms(dict(dims_items), candidate_dims,
+                                        rows, cols, max_dims=max_dims))
 
 
 def enumerate_parallelisms(dims: Dict[str, int], candidate_dims: Sequence[str],

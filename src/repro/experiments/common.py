@@ -19,7 +19,8 @@ from typing import Dict, Iterable, List, Optional, Sequence
 
 def model_costs(arches: Sequence, workloads: Sequence, model_name: str = "model",
                 metric: str = "edp", max_mappings: int = 50,
-                workers: Optional[int] = None) -> Dict[str, object]:
+                workers: Optional[int] = None,
+                vectorize: bool = True) -> Dict[str, object]:
     """Co-search ``workloads`` on every architecture via the shared engine.
 
     Returns ``{arch name: ModelCost}`` like
@@ -35,7 +36,7 @@ def model_costs(arches: Sequence, workloads: Sequence, model_name: str = "model"
 
     return search_models(arches, workloads, model_name=model_name,
                          metric=metric, max_mappings=max_mappings,
-                         workers=workers)
+                         workers=workers, vectorize=vectorize)
 
 
 def geomean(values: Iterable[float]) -> float:

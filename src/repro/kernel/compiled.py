@@ -1,0 +1,136 @@
+"""Layouts compiled to integer stride/divisor vectors for batch addressing.
+
+:meth:`repro.layout.Layout.address` evaluates a mixed-radix polynomial one
+coordinate dict at a time.  For fixed tensor extents that polynomial is
+*linear* in the per-dimension tile indices, so it can be compiled once into
+per-dimension ``(divisor, stride)`` pairs:
+
+    line   = sum_d (coord[d] // line_div[d]) * line_stride[d]
+    offset = sum_d (coord[d] %  intra_mod[d]) * intra_stride[d]
+
+where ``line_stride`` expands the Horner evaluation of the inter-line order
+(with any dimensions absent from the layout appended as the slowest-varying
+block, exactly as the scalar path does) and ``intra_stride`` is the
+first-listed-fastest flattening within a line.  The identity is algebraic —
+it holds for *any* integer coordinates, in range or not — so the compiled
+form is bit-identical to the scalar oracle, just evaluated by numpy over
+whole ``(..., ndims)`` coordinate arrays at once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import TYPE_CHECKING, Dict, Mapping, Sequence, Tuple
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.layout.layout import Layout
+
+
+@dataclass
+class CompiledLayout:
+    """A :class:`~repro.layout.Layout` bound to concrete tensor extents.
+
+    Instances are produced by :func:`compile_layout` (or the convenience
+    :meth:`repro.layout.Layout.compile`) and memoized per (layout, dims), so
+    the compilation cost is paid once per search, not per coordinate.
+    """
+
+    layout: "Layout"
+    """The source layout this was compiled from."""
+    dims: Tuple[Tuple[str, int], ...]
+    """The tensor extents the line strides were derived from (sorted items)."""
+    line_div: Dict[str, int]
+    """Per-dimension divisor turning a coordinate into its inter-line tile index."""
+    line_stride: Dict[str, int]
+    """Per-dimension multiplier of the tile index in the line polynomial."""
+    intra_mod: Dict[str, int]
+    """Per-dimension modulus of the intra-line flattening."""
+    intra_stride: Dict[str, int]
+    """Per-dimension multiplier in the offset polynomial."""
+    _vectors: Dict[Tuple[str, ...], Tuple[np.ndarray, ...]] = field(
+        default_factory=dict, repr=False)
+
+    # -------------------------------------------------------------- vectors
+    def vectors(self, dim_names: Tuple[str, ...]
+                ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """``(line_div, line_stride, intra_mod, intra_stride)`` int64 vectors
+        aligned with ``dim_names`` (memoized per name tuple).
+
+        Dimensions the layout (and the uncovered-dims tail) do not use get a
+        zero stride, so extra coordinate columns contribute nothing — the
+        same as the scalar path ignoring unknown dict keys.
+        """
+        cached = self._vectors.get(dim_names)
+        if cached is None:
+            cached = (
+                np.array([self.line_div.get(d, 1) for d in dim_names], dtype=np.int64),
+                np.array([self.line_stride.get(d, 0) for d in dim_names], dtype=np.int64),
+                np.array([self.intra_mod.get(d, 1) for d in dim_names], dtype=np.int64),
+                np.array([self.intra_stride.get(d, 0) for d in dim_names], dtype=np.int64),
+            )
+            self._vectors[dim_names] = cached
+        return cached
+
+    # ----------------------------------------------------------- addressing
+    def address_batch(self, coords: np.ndarray, dim_names: Sequence[str]
+                      ) -> Tuple[np.ndarray, np.ndarray]:
+        """Map a batch of coordinates to ``(lines, offsets)`` arrays.
+
+        ``coords`` has shape ``(..., ndims)`` with the last axis aligned to
+        ``dim_names``; the returned arrays have shape ``coords.shape[:-1]``.
+        Bit-identical to calling :meth:`repro.layout.Layout.address` per row
+        with the dims this layout was compiled against.
+        """
+        coords = np.asarray(coords, dtype=np.int64)
+        div, line_stride, mod, intra_stride = self.vectors(tuple(dim_names))
+        lines = ((coords // div) * line_stride).sum(axis=-1)
+        offsets = ((coords % mod) * intra_stride).sum(axis=-1)
+        return lines, offsets
+
+
+def compile_layout(layout: "Layout", dims: Mapping[str, int]) -> CompiledLayout:
+    """Compile ``layout`` against tensor extents ``dims`` (memoized)."""
+    return _compile(layout, tuple(sorted(dims.items())))
+
+
+@lru_cache(maxsize=4096)
+def _compile(layout: "Layout", dims_items: Tuple[Tuple[str, int], ...]
+             ) -> CompiledLayout:
+    dims = dict(dims_items)
+
+    # Offset polynomial: mixed radix over the intra dims, first dim fastest.
+    intra_mod: Dict[str, int] = {}
+    intra_stride: Dict[str, int] = {}
+    stride = 1
+    for entry in layout.intra:
+        intra_mod[entry.dim] = entry.size
+        intra_stride[entry.dim] = stride
+        stride *= entry.size
+
+    # Line polynomial, built innermost-first so each term's stride is the
+    # product of everything that varies faster than it.  Dimensions covered
+    # by neither order hang off the bottom as the fastest-varying block —
+    # matching the scalar path appending them after the inter-line Horner.
+    covered = set(layout.inter_order) | set(layout.intra_dims)
+    uncovered = [d for d in sorted(dims) if d not in covered and dims[d] > 1]
+    line_div: Dict[str, int] = {}
+    line_stride: Dict[str, int] = {}
+    mult = 1
+    for dim in reversed(uncovered):
+        line_div[dim] = 1
+        line_stride[dim] = mult
+        mult *= dims[dim]
+    extents = layout.line_extents(dims)
+    for dim in reversed(layout.inter_order):
+        line_div[dim] = layout.intra_size(dim)
+        # A dimension repeated in the inter order contributes once per
+        # occurrence with that occurrence's radix weight; the weights sum.
+        line_stride[dim] = line_stride.get(dim, 0) + mult
+        mult *= extents[dim]
+
+    return CompiledLayout(layout=layout, dims=dims_items, line_div=line_div,
+                          line_stride=line_stride, intra_mod=intra_mod,
+                          intra_stride=intra_stride)

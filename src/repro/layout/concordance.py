@@ -7,6 +7,12 @@ per-cycle access footprint a mapping generates (a list of logical tensor
 coordinates per cycle), maps each coordinate through a :class:`~repro.layout.Layout`,
 groups the touched lines into banks, and reports the slowdown
 ``max(lines_per_bank / ports, 1)`` from §V-B.
+
+This module is the *scalar reference oracle*: the search-traffic hot path
+runs the vectorized, bit-identical
+:func:`repro.kernel.concordance.analyze_concordance_batch` instead, and
+``tests/test_kernel_equivalence.py`` property-tests the two against each
+other.  Keep behaviour changes mirrored in both.
 """
 
 from __future__ import annotations

@@ -133,6 +133,18 @@ class Layout:
         """Vector form of :meth:`address`."""
         return [self.address(c, dims) for c in coords]
 
+    def compile(self, dims: Dict[str, int]) -> "CompiledLayout":
+        """Compile this layout against concrete extents for batch addressing.
+
+        Returns a :class:`~repro.kernel.compiled.CompiledLayout` whose
+        ``address_batch`` maps whole numpy coordinate arrays to
+        ``(line, offset)`` with results bit-identical to :meth:`address`.
+        Compilations are memoized per (layout, dims).
+        """
+        from repro.kernel.compiled import compile_layout
+
+        return compile_layout(self, dims)
+
     # --------------------------------------------------------------------- misc
     def covers(self, dims: Sequence[str]) -> bool:
         """Whether all the named tensor dimensions appear in the layout."""

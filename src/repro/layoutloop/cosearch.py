@@ -183,7 +183,8 @@ def evaluate_model(arch: ArchSpec, workloads: Sequence, model_name: str = "model
                    metric: str = "edp", max_mappings: int = 200,
                    energy: Optional[EnergyTable] = None,
                    mapper: Optional[Mapper] = None,
-                   workers: Optional[int] = 1) -> ModelCost:
+                   workers: Optional[int] = 1,
+                   vectorize: bool = True) -> ModelCost:
     """Run the per-layer co-search over a whole model and aggregate the result.
 
     Delegates to :func:`repro.search.engine.search_model` (memoized, pruned,
@@ -201,7 +202,8 @@ def evaluate_model(arch: ArchSpec, workloads: Sequence, model_name: str = "model
 
         return search_model(arch, workloads, model_name=model_name,
                             metric=metric, max_mappings=max_mappings,
-                            energy=energy, workers=workers)
+                            energy=energy, workers=workers,
+                            vectorize=vectorize)
     cost = ModelCost(arch=arch.name, model=model_name)
     for workload, count in unique_workloads(workloads):
         result = mapper.search(workload)
@@ -214,7 +216,7 @@ def compare_architectures(arches: Sequence[ArchSpec], workloads: Sequence,
                           max_mappings: int = 200,
                           energy: Optional[EnergyTable] = None,
                           workers: Optional[int] = 1,
-                          ) -> Dict[str, ModelCost]:
+                          vectorize: bool = True) -> Dict[str, ModelCost]:
     """Evaluate several architectures on the same model (Fig. 13 style).
 
     ``workers`` is forwarded to the engine's process fan-out; results are
@@ -223,6 +225,7 @@ def compare_architectures(arches: Sequence[ArchSpec], workloads: Sequence,
     return {
         arch.name: evaluate_model(arch, workloads, model_name=model_name,
                                   metric=metric, max_mappings=max_mappings,
-                                  energy=energy, workers=workers)
+                                  energy=energy, workers=workers,
+                                  vectorize=vectorize)
         for arch in arches
     }

@@ -25,6 +25,8 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.dataflow.mapping import Mapping
+from repro.kernel.concordance import analyze_concordance_batch
+from repro.kernel.footprint import streaming_access_coords
 from repro.layout.concordance import analyze_concordance
 from repro.layout.layout import Layout
 from repro.layout.patterns import ReorderImplementation, ReorderPattern
@@ -161,6 +163,14 @@ def _gemm_input_coords(gemm: GemmSpec, mapping: Mapping,
     return coords
 
 
+def _workload_name(workload) -> str:
+    """The workload's display name (``getattr`` with a lazy str fallback)."""
+    try:
+        return workload.name
+    except AttributeError:
+        return str(workload)
+
+
 def streaming_tensor_dims(workload) -> Dict[str, int]:
     """Extents of the streaming (layout-bearing) tensor's dimensions."""
     if isinstance(workload, ConvLayerSpec):
@@ -179,25 +189,72 @@ class CostModel:
 
     # ----------------------------------------------------------------- public
     def evaluate(self, workload, mapping: Mapping, layout: Layout) -> CostReport:
-        """Full latency/energy report of one (workload, mapping, layout)."""
-        macs = workload.macs
-        compute_cycles = mapping.compute_cycles(workload)
-        utilization = macs / (compute_cycles * self.arch.num_pes) if compute_cycles else 0.0
+        """Full latency/energy report of one (workload, mapping, layout).
 
+        This is the scalar reference path; the search engine's hot loop runs
+        :meth:`evaluate_mapping_batch`, which is bit-identical.
+        """
         slowdown = self.estimate_slowdown(workload, mapping, layout)
+        return self._assemble_report(workload, mapping, layout, slowdown,
+                                     mapping.compute_cycles(workload),
+                                     self.reorder_costs(workload),
+                                     self._energy_breakdown_parts(workload, mapping))
+
+    def evaluate_mapping_batch(self, workload, mapping: Mapping,
+                               layouts: Sequence[Layout]) -> List[CostReport]:
+        """Reports of one mapping under every candidate layout, vectorized.
+
+        Everything layout-independent (compute cycles, reorder costs, the
+        energy breakdown apart from the slowdown-scaled buffer reads) is
+        computed once; the per-layout slowdowns come from the batched
+        concordance kernel.  Bit-identical to calling :meth:`evaluate` per
+        layout — the same floats in the same order.
+        """
+        layouts = list(layouts)
+        compute_cycles = mapping.compute_cycles(workload)
+        reorder = self.reorder_costs(workload)
+        parts = self._energy_breakdown_parts(workload, mapping)
+        slowdowns = self.estimate_slowdown_batch(workload, mapping, layouts)
+        workload_name = _workload_name(workload)
+        return [self._assemble_report(workload, mapping, layout, slowdown,
+                                      compute_cycles, reorder, parts,
+                                      workload_name=workload_name)
+                for layout, slowdown in zip(layouts, slowdowns)]
+
+    def evaluate_batch(self, workload, mappings: Sequence[Mapping],
+                       layouts: Sequence[Layout]) -> List[List[CostReport]]:
+        """Reports for the whole (mappings x layouts) cross product.
+
+        Returns one inner list per mapping, in input order.  This is the
+        entry point :class:`~repro.layoutloop.mapper.Mapper` and
+        :mod:`repro.search.engine` build on (they interleave it with cache
+        lookups and pruning, which need per-mapping granularity).
+        """
+        return [self.evaluate_mapping_batch(workload, mapping, layouts)
+                for mapping in mappings]
+
+    def _assemble_report(self, workload, mapping: Mapping, layout: Layout,
+                         slowdown: float, compute_cycles: float,
+                         reorder: Tuple[float, float],
+                         breakdown_parts: Dict[str, float],
+                         workload_name: Optional[str] = None) -> CostReport:
+        """Build one report from precomputed mapping-level quantities."""
+        macs = workload.macs
+        utilization = macs / (compute_cycles * self.arch.num_pes) if compute_cycles else 0.0
         stall_cycles = compute_cycles * (slowdown - 1.0)
-
-        reorder_exposed, reorder_energy = self.reorder_costs(workload)
-
+        reorder_exposed, reorder_energy = reorder
         total_cycles = compute_cycles + stall_cycles + reorder_exposed
         practical_utilization = macs / (total_cycles * self.arch.num_pes) if total_cycles else 0.0
 
-        breakdown = self._energy_breakdown(workload, mapping, slowdown)
+        breakdown = dict(breakdown_parts)
+        breakdown["buffer_read"] = breakdown["buffer_read"] * slowdown
         if reorder_energy:
             breakdown["reorder"] = breakdown.get("reorder", 0.0) + reorder_energy
 
+        if workload_name is None:
+            workload_name = _workload_name(workload)
         return CostReport(
-            workload=getattr(workload, "name", str(workload)),
+            workload=workload_name,
             arch=self.arch.name,
             mapping=mapping.name,
             layout=layout.name,
@@ -234,6 +291,29 @@ class CostModel:
             pattern=self.arch.reorder_pattern,
         )
         return report.avg_slowdown
+
+    def estimate_slowdown_batch(self, workload, mapping: Mapping,
+                                layouts: Sequence[Layout]) -> List[float]:
+        """Per-layout slowdowns of one mapping via the vectorized kernel.
+
+        The access footprint is generated once as a ``(cycles, lanes, ndims)``
+        array (:mod:`repro.kernel.footprint`) and every layout is addressed
+        through its compiled stride vectors in one batched concordance pass.
+        Values are bit-identical to :meth:`estimate_slowdown` per layout.
+        """
+        if self.arch.reorder_implementation is ReorderImplementation.RIR:
+            return [1.0] * len(layouts)
+        dims = streaming_tensor_dims(workload)
+        coords, dim_names = streaming_access_coords(workload, mapping,
+                                                    _SAMPLE_BASES)
+        reports = analyze_concordance_batch(
+            coords, dim_names, layouts, dims,
+            ports_per_bank=self.arch.buffer.ports_per_bank,
+            lines_per_bank=self.arch.buffer.conflict_depth,
+            num_banks=self.arch.buffer.banks,
+            pattern=self.arch.reorder_pattern,
+        )
+        return [report.avg_slowdown for report in reports]
 
     # --------------------------------------------------------- reorder costs
     def reorder_costs(self, workload) -> Tuple[float, float]:
@@ -275,8 +355,10 @@ class CostModel:
         raise ValueError(f"unknown reorder implementation {impl!r}")
 
     # ----------------------------------------------------------------- energy
-    def _energy_breakdown(self, workload, mapping: Mapping, slowdown: float
-                          ) -> Dict[str, float]:
+    def _energy_breakdown_parts(self, workload, mapping: Mapping
+                                ) -> Dict[str, float]:
+        """Layout-independent energy terms (buffer reads before the slowdown
+        scaling), computed once per mapping by the batch path."""
         table = self.energy
         macs = workload.macs
         deg = mapping.parallel_dims
@@ -327,7 +409,7 @@ class CostModel:
         return {
             "mac": macs * table.mac_int8_pj,
             "register": 2.0 * macs * table.register_access_pj,
-            "buffer_read": buffer_reads * table.buffer_read_per_word_pj * slowdown,
+            "buffer_read": buffer_reads * table.buffer_read_per_word_pj,
             "buffer_write": buffer_writes * table.buffer_write_per_word_pj,
             "noc": (iact_reads + weight_reads + psum_writes) * table.noc_hop_per_word_pj,
             "dram": dram_bytes * table.dram_access_per_byte_pj,

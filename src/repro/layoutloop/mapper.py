@@ -91,13 +91,17 @@ class Mapper:
     ``prune`` enables the admissible lower-bound pruning (exact; disable
     only for A/B testing).  ``evaluation_cache`` may be shared between
     mappers — keys embed the architecture and energy-table signature, so
-    cross-architecture sharing is safe.
+    cross-architecture sharing is safe.  ``vectorize`` selects the
+    :mod:`repro.kernel` fast path (streaming mapping sampling plus batched
+    layout evaluation); disabling it runs the scalar reference oracle —
+    results are bit-identical either way, only the speed differs.
     """
 
     def __init__(self, arch: ArchSpec, energy: Optional[EnergyTable] = None,
                  metric: str = "edp", max_mappings: int = 200, seed: int = 0,
                  prune: bool = True,
-                 evaluation_cache: Optional[EvaluationCache] = None):
+                 evaluation_cache: Optional[EvaluationCache] = None,
+                 vectorize: bool = True):
         if metric not in _METRICS:
             raise ValueError(f"metric must be one of {_METRICS}")
         self.arch = arch
@@ -106,6 +110,7 @@ class Mapper:
         self.max_mappings = max_mappings
         self.seed = seed
         self.prune = prune
+        self.vectorize = vectorize
         self.evaluation_cache = (evaluation_cache if evaluation_cache is not None
                                  else EvaluationCache())
         self._cache: Dict[Tuple, SearchResult] = {}
@@ -134,7 +139,8 @@ class Mapper:
             allowed_parallel_dims=arch.allowed_parallel_dims,
             allowed_orders=allowed_orders,
         )
-        mappings = space.sample(self.max_mappings, seed=self.seed)
+        mappings = space.sample(self.max_mappings, seed=self.seed,
+                                materialize=not self.vectorize)
         # Include the canonical weight-stationary mapping so the search never
         # misses the obvious baseline — but only when the architecture is
         # allowed to parallelise those dimensions.
@@ -235,9 +241,14 @@ class Mapper:
                 if bound >= best_value:
                     pruned += len(layouts)
                     continue
-            for layout in layouts:
-                report, hit = self.evaluation_cache.evaluate(
+            if self.vectorize:
+                scored = self.evaluation_cache.evaluate_batch(
+                    self.cost_model, workload, mapping, layouts)
+            else:
+                scored = [self.evaluation_cache.evaluate(
                     self.cost_model, workload, mapping, layout)
+                    for layout in layouts]
+            for layout, (report, hit) in zip(layouts, scored):
                 evaluated += 1
                 cache_hits += hit
                 value = _metric_value(report, self.metric)

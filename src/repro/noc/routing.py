@@ -73,6 +73,7 @@ class BirrdRouter:
         self.restarts = restarts
         self.seed = seed
         self._cache: Dict[Tuple, RoutingResult] = {}
+        self._reach: Optional[List[List[FrozenSet[int]]]] = None
 
     # ------------------------------------------------------------- public API
     def route(self, requests: Sequence[ReductionRequest]) -> RoutingResult:
@@ -153,7 +154,12 @@ class BirrdRouter:
         through the inter-stage wiring.  Used as an exact pruning condition:
         a live partial sum sitting on a wire that cannot reach its group's
         destination can never contribute to the final result there.
+
+        Depends only on the (immutable) topology, so it is computed once per
+        router and reused across every route call and randomized restart.
         """
+        if self._reach is not None:
+            return self._reach
         topo = self.topology
         aw = topo.aw
         reach: List[List[FrozenSet[int]]] = [
@@ -167,6 +173,7 @@ class BirrdRouter:
                          | reach[stage + 1][topo.inter_stage_dest(stage, right)])
                 reach[stage][left] = union
                 reach[stage][right] = union
+        self._reach = reach
         return reach
 
     # ------------------------------------------------------------------ search

@@ -16,7 +16,7 @@ dataclasses, so sharing the cached instance is safe.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.search.signatures import (
     arch_signature,
@@ -107,6 +107,47 @@ class EvaluationCache:
         self.put(key, replace(
             report, energy_breakdown_pj=dict(report.energy_breakdown_pj)))
         return report, False
+
+    def evaluate_batch(self, cost_model, workload, mapping, layouts
+                       ) -> List[Tuple[object, bool]]:
+        """Memoized batch evaluation of one mapping under many layouts.
+
+        Returns ``[(report, was_hit), ...]`` in layout order with exactly
+        the semantics of calling :meth:`evaluate` per layout — the same
+        hit/miss accounting, the same relabelling of hits, the same private
+        copies stored — but the arch/workload/mapping signatures are
+        computed once and all cache misses are evaluated together through
+        the vectorized :meth:`~repro.layoutloop.cost_model.CostModel.evaluate_mapping_batch`.
+        """
+        prefix = (arch_signature(cost_model.arch, cost_model.energy),
+                  workload_signature(workload), mapping_signature(mapping))
+        keys = [prefix + (layout_signature(layout),) for layout in layouts]
+        out: List = [None] * len(keys)
+        missing = {}   # first occurrence of each missing key -> position
+        deferred = []  # repeats of a missing key: hits once the batch lands
+        for i, (key, layout) in enumerate(zip(keys, layouts)):
+            if key in missing:
+                deferred.append(i)
+                continue
+            report = self.get(key)
+            if report is not None:
+                out[i] = (self._relabel(report, workload, mapping, layout), True)
+            else:
+                missing[key] = i
+        if missing:
+            indices = list(missing.values())
+            fresh = cost_model.evaluate_mapping_batch(
+                workload, mapping, [layouts[i] for i in indices])
+            for i, report in zip(indices, fresh):
+                self.put(keys[i], replace(
+                    report, energy_breakdown_pj=dict(report.energy_breakdown_pj)))
+                out[i] = (report, False)
+        for i in deferred:
+            # Same accounting as the scalar loop: a duplicate layout is a
+            # miss on first sight and a (counted) hit on every repeat.
+            report = self.get(keys[i])
+            out[i] = (self._relabel(report, workload, mapping, layouts[i]), True)
+        return out
 
     @staticmethod
     def _relabel(report, workload, mapping, layout):

@@ -82,17 +82,20 @@ class SearchEngine:
 
     def __init__(self, arch: ArchSpec, energy: Optional[EnergyTable] = None,
                  metric: str = "edp", max_mappings: int = 200, seed: int = 0,
-                 prune: bool = True, cache: Optional[EvaluationCache] = None):
+                 prune: bool = True, cache: Optional[EvaluationCache] = None,
+                 vectorize: bool = True):
         self.arch = arch
         self.energy = energy
         self.metric = metric
         self.max_mappings = max_mappings
         self.seed = seed
         self.prune = prune
+        self.vectorize = vectorize
         self.cache = cache if cache is not None else EvaluationCache()
         self.mapper = Mapper(arch, energy=energy, metric=metric,
                              max_mappings=max_mappings, seed=seed,
-                             prune=prune, evaluation_cache=self.cache)
+                             prune=prune, evaluation_cache=self.cache,
+                             vectorize=vectorize)
 
     @property
     def cache_stats(self) -> CacheStats:
@@ -119,7 +122,8 @@ class SearchEngine:
                             metric=self.metric, max_mappings=self.max_mappings,
                             energy=self.energy, workers=workers,
                             chunk_size=chunk_size, prune=self.prune,
-                            seed=self.seed, cache=self.cache)
+                            seed=self.seed, cache=self.cache,
+                            vectorize=self.vectorize)
         for (workload, _), choice in zip(unique_workloads(workloads),
                                          cost.layer_choices):
             self.mapper.adopt_result(workload, choice.result)
@@ -135,10 +139,10 @@ def _search_chunk(payload: Tuple) -> Tuple[List[SearchResult], int, int]:
     configuration, so a chunk's results do not depend on which process (or
     how many) ran it.
     """
-    arch, energy, metric, max_mappings, seed, prune, shapes = payload
+    arch, energy, metric, max_mappings, seed, prune, vectorize, shapes = payload
     mapper = Mapper(arch, energy=energy, metric=metric,
                     max_mappings=max_mappings, seed=seed, prune=prune,
-                    evaluation_cache=EvaluationCache())
+                    evaluation_cache=EvaluationCache(), vectorize=vectorize)
     results = [mapper.search(wl) for wl in shapes]
     stats = mapper.evaluation_cache.stats
     return results, stats.hits, stats.misses
@@ -149,8 +153,8 @@ def search_model(arch: ArchSpec, workloads: Sequence, model_name: str = "model",
                  energy: Optional[EnergyTable] = None,
                  workers: Optional[int] = 1,
                  chunk_size: Optional[int] = None, prune: bool = True,
-                 seed: int = 0, cache: Optional[EvaluationCache] = None
-                 ) -> ModelCost:
+                 seed: int = 0, cache: Optional[EvaluationCache] = None,
+                 vectorize: bool = True) -> ModelCost:
     """Co-search a whole model on one architecture and aggregate the cost.
 
     Parameters mirror :class:`~repro.layoutloop.mapper.Mapper`; the batch
@@ -164,6 +168,9 @@ def search_model(arch: ArchSpec, workloads: Sequence, model_name: str = "model",
       so each worker receives ~4 chunks).
     * ``cache`` — a shared :class:`EvaluationCache` (serial path only;
       worker processes always build their own).
+    * ``vectorize`` — run the :mod:`repro.kernel` fast path (streaming
+      mapping sampling + batched layout evaluation).  ``False`` runs the
+      scalar reference oracle; results are bit-identical either way.
 
     Raises ``ValueError`` on an empty workload list — silently returning an
     all-zero :class:`ModelCost` hid bugs in callers.
@@ -191,13 +198,14 @@ def search_model(arch: ArchSpec, workloads: Sequence, model_name: str = "model",
         before_misses = eval_cache.stats.misses
         mapper = Mapper(arch, energy=energy, metric=metric,
                         max_mappings=max_mappings, seed=seed, prune=prune,
-                        evaluation_cache=eval_cache)
+                        evaluation_cache=eval_cache, vectorize=vectorize)
         results = [mapper.search(wl) for wl in shapes]
         stats.cache = CacheStats(hits=eval_cache.stats.hits - before_hits,
                                  misses=eval_cache.stats.misses - before_misses)
     else:
         size = chunk_size or default_chunk_size(len(shapes), workers)
-        payloads = [(arch, energy, metric, max_mappings, seed, prune, chunk)
+        payloads = [(arch, energy, metric, max_mappings, seed, prune,
+                     vectorize, chunk)
                     for chunk in chunked(shapes, size)]
         chunk_outputs, stats.workers = run_fanout(_search_chunk, payloads,
                                                   workers)
@@ -223,12 +231,13 @@ def search_models(arches: Sequence[ArchSpec], workloads: Sequence,
                   energy: Optional[EnergyTable] = None,
                   workers: Optional[int] = 1,
                   chunk_size: Optional[int] = None, prune: bool = True,
-                  seed: int = 0) -> Dict[str, ModelCost]:
+                  seed: int = 0, vectorize: bool = True) -> Dict[str, ModelCost]:
     """Run :func:`search_model` for several architectures (Fig. 13 style)."""
     return {
         arch.name: search_model(arch, workloads, model_name=model_name,
                                 metric=metric, max_mappings=max_mappings,
                                 energy=energy, workers=workers,
-                                chunk_size=chunk_size, prune=prune, seed=seed)
+                                chunk_size=chunk_size, prune=prune, seed=seed,
+                                vectorize=vectorize)
         for arch in arches
     }

@@ -1,0 +1,114 @@
+#!/usr/bin/env python
+"""CI performance guard: the vectorized kernel must beat the scalar oracle.
+
+Runs two comparisons on the ResNet-50 workload set and fails (exit 1) when
+the batched path is not measurably faster than the scalar reference:
+
+* **kernel** — raw cost-model evaluations (every unique conv shape x sampled
+  mappings x the conv layout library) on SIGMA with off-chip reordering,
+  where the batched concordance analysis carries the load;
+* **cosearch** — the whole deduplicated ``search_model`` co-search on
+  FEATHER at ``workers=1``, scalar (``vectorize=False``) vs vectorized.
+
+Both comparisons also verify the results are identical — a fast wrong kernel
+still fails the guard.  Thresholds are deliberately below the locally
+measured speedups (~12x and ~6x) so only a real regression trips on a noisy
+CI box, while still proving "measurably faster".
+
+Usage::
+
+    PYTHONPATH=src python tools/bench_guard.py [--min-kernel-speedup X]
+                                               [--min-cosearch-speedup Y]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.benchmarking import best_of
+
+
+def kernel_speedup(rounds: int) -> float:
+    """Scalar vs batched evaluation speedup on the ResNet-50 shape set."""
+    from repro.baselines.registry import sigma_like
+    from repro.dataflow.space import MappingSpace
+    from repro.layout.library import conv_layout_library
+    from repro.layoutloop.cosearch import unique_workloads
+    from repro.layoutloop.cost_model import CostModel
+    from repro.workloads.resnet50 import resnet50_layers
+
+    model = CostModel(sigma_like(reorder="offchip"))
+    layouts = conv_layout_library()
+    cases = []
+    for shape, _ in unique_workloads(resnet50_layers(include_fc=False)):
+        for mapping in MappingSpace(shape, 16, 16).sample(4, seed=0):
+            cases.append((shape, mapping))
+
+    scalar_s, scalar = best_of(
+        lambda: [[model.evaluate(wl, m, l) for l in layouts]
+                 for wl, m in cases], rounds)
+    batched_s, batched = best_of(
+        lambda: [model.evaluate_mapping_batch(wl, m, layouts)
+                 for wl, m in cases], rounds)
+    if batched != scalar:
+        print("FAIL: batched cost-model reports differ from the scalar oracle")
+        sys.exit(1)
+    print(f"kernel   : scalar {scalar_s:.3f}s  batched {batched_s:.3f}s  "
+          f"speedup {scalar_s / batched_s:.2f}x "
+          f"({len(cases) * len(layouts)} evaluations, identical reports)")
+    return scalar_s / batched_s
+
+
+def cosearch_speedup(rounds: int) -> float:
+    """Scalar vs vectorized whole-model co-search speedup on FEATHER."""
+    from repro.layoutloop.arch import feather_arch
+    from repro.search.engine import search_model
+    from repro.workloads.resnet50 import resnet50_layers
+
+    layers = resnet50_layers(include_fc=False)
+    scalar_s, scalar = best_of(
+        lambda: search_model(feather_arch(), layers, max_mappings=24,
+                             vectorize=False), rounds)
+    vector_s, vector = best_of(
+        lambda: search_model(feather_arch(), layers, max_mappings=24), rounds)
+    if (vector.total_cycles != scalar.total_cycles
+            or vector.total_energy_pj != scalar.total_energy_pj):
+        print("FAIL: vectorized co-search totals differ from the scalar oracle")
+        sys.exit(1)
+    print(f"cosearch : scalar {scalar_s:.3f}s  vectorized {vector_s:.3f}s  "
+          f"speedup {scalar_s / vector_s:.2f}x "
+          f"(ResNet-50 on FEATHER, workers=1, identical totals)")
+    return scalar_s / vector_s
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--min-kernel-speedup", type=float, default=3.0,
+                        help="minimum scalar/batched evaluation ratio")
+    parser.add_argument("--min-cosearch-speedup", type=float, default=2.0,
+                        help="minimum scalar/vectorized search_model ratio")
+    parser.add_argument("--rounds", type=int, default=3,
+                        help="timing rounds per path (best-of)")
+    args = parser.parse_args(argv)
+
+    kernel = kernel_speedup(args.rounds)
+    cosearch = cosearch_speedup(args.rounds)
+
+    failed = False
+    if kernel < args.min_kernel_speedup:
+        print(f"FAIL: kernel speedup {kernel:.2f}x below the "
+              f"{args.min_kernel_speedup:.2f}x floor")
+        failed = True
+    if cosearch < args.min_cosearch_speedup:
+        print(f"FAIL: cosearch speedup {cosearch:.2f}x below the "
+              f"{args.min_cosearch_speedup:.2f}x floor")
+        failed = True
+    if failed:
+        return 1
+    print("bench guard OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
