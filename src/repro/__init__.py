@@ -7,7 +7,9 @@ onto hardware, ``noc``/``nest``/``feather`` implement the accelerator itself
 ``layoutloop`` is the Timeloop-style analytical cost model extended with
 physical-storage and layout awareness used for all cross-accelerator studies.
 ``search`` is the parallel, cached co-search engine every experiment runs
-its (dataflow, layout) exploration through.
+its (dataflow, layout) exploration through, and ``scenarios`` turns the
+paper's fixed evaluation grid into declarative workload x architecture x
+search-config sweeps with golden-pinned JSON records.
 
 Typical entry points:
 
@@ -30,6 +32,7 @@ from repro import (
     layoutloop,
     nest,
     noc,
+    scenarios,
     search,
     workloads,
 )
@@ -47,6 +50,7 @@ __all__ = [
     "layoutloop",
     "nest",
     "noc",
+    "scenarios",
     "search",
     "workloads",
     "__version__",

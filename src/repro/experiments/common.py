@@ -20,7 +20,7 @@ from typing import Dict, Iterable, List, Optional, Sequence
 def model_costs(arches: Sequence, workloads: Sequence, model_name: str = "model",
                 metric: str = "edp", max_mappings: int = 50,
                 workers: Optional[int] = None,
-                vectorize: bool = True) -> Dict[str, object]:
+                vectorize: bool = True, seed: int = 0) -> Dict[str, object]:
     """Co-search ``workloads`` on every architecture via the shared engine.
 
     Returns ``{arch name: ModelCost}`` like
@@ -30,13 +30,15 @@ def model_costs(arches: Sequence, workloads: Sequence, model_name: str = "model"
     Differs from :func:`repro.search.engine.search_models` only in its
     experiment-friendly defaults: ``workers=None`` honours
     ``REPRO_SEARCH_WORKERS`` (the library API defaults to serial), and
-    ``max_mappings=50`` matches the figure reproductions.
+    ``max_mappings=50`` matches the figure reproductions.  ``seed`` feeds
+    the pruned-random mapping sampler and is forwarded unchanged so a
+    recorded run can be reproduced exactly.
     """
     from repro.search.engine import search_models
 
     return search_models(arches, workloads, model_name=model_name,
                          metric=metric, max_mappings=max_mappings,
-                         workers=workers, vectorize=vectorize)
+                         workers=workers, seed=seed, vectorize=vectorize)
 
 
 def geomean(values: Iterable[float]) -> float:

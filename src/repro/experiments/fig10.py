@@ -36,12 +36,12 @@ class Fig10Row:
         return self.feather_utilization / self.systolic_utilization
 
 
-def run(array_rows: int = 4, array_cols: int = 4, max_mappings: int = 200
-        ) -> List[Fig10Row]:
+def run(array_rows: int = 4, array_cols: int = 4, max_mappings: int = 200,
+        seed: int = 0) -> List[Fig10Row]:
     """Evaluate the four Fig. 10 workloads on a small array (4x4 as drawn)."""
     systolic = SystolicArray(array_rows, array_cols, name="systolic")
     engine = SearchEngine(feather_arch(array_rows, array_cols), metric="latency",
-                          max_mappings=max_mappings)
+                          max_mappings=max_mappings, seed=seed)
 
     rows = []
     for gemm in fig10_workloads():

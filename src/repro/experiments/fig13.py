@@ -78,7 +78,7 @@ def workloads_for(name: str, max_layers: Optional[int] = None) -> Sequence:
 def run(workload_names: Sequence[str] = ("bert", "resnet50", "mobilenet_v3"),
         rows: int = 16, cols: int = 16, max_mappings: int = 50,
         max_layers: Optional[int] = None,
-        workers: Optional[int] = None) -> Dict[str, Fig13Series]:
+        workers: Optional[int] = None, seed: int = 0) -> Dict[str, Fig13Series]:
     """Reproduce Fig. 13's three charts (or a subset of them)."""
     results: Dict[str, Fig13Series] = {}
     for name in workload_names:
@@ -86,7 +86,7 @@ def run(workload_names: Sequence[str] = ("bert", "resnet50", "mobilenet_v3"),
         arches = fig13_arch_suite(rows, cols, gemm=gemm)
         costs = model_costs(arches, workloads_for(name, max_layers),
                             model_name=name, max_mappings=max_mappings,
-                            workers=workers)
+                            workers=workers, seed=seed)
         results[name] = _series(name, costs)
     return results
 

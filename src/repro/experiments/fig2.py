@@ -118,12 +118,32 @@ def _aggregate(rows: Sequence[Fig2Row], name: str) -> Fig2Row:
     )
 
 
+def motivation_workloads(model: str) -> List[ConvLayerSpec]:
+    """The Fig. 2 motivation layers of one model, in chart order.
+
+    The same lists back the ``fig2_*_motivation`` workload sets of the
+    scenario matrix, so the scenario-layer port searches exactly the
+    workloads the legacy experiment does.
+    """
+    if model == "resnet50":
+        return [layer for key, layer
+                in sorted(resnet50_motivation_layers().items()) if key != 47]
+    if model == "mobilenet_v3":
+        return [layer for _, layer
+                in sorted(mobilenet_v3_motivation_layers().items())]
+    raise ValueError(f"unknown Fig. 2 model {model!r}")
+
+
 def run(rows: int = 16, cols: int = 16, max_mappings: int = 60,
-        full_model_layers: Optional[int] = 12) -> Dict[str, List[Fig2Row]]:
+        full_model_layers: Optional[int] = 12, seed: int = 0,
+        models: Sequence[str] = ("resnet50", "mobilenet_v3"),
+        ) -> Dict[str, List[Fig2Row]]:
     """Reproduce Fig. 2.
 
     ``full_model_layers`` bounds how many (unique) layers feed the "Full
-    Model" bar to keep the run fast; ``None`` uses every layer.
+    Model" bar to keep the run fast; ``None`` uses every layer.  ``models``
+    selects which of the two charts to produce; ``seed`` feeds the mapping
+    sampler of the shared engine.
 
     All per-layer searches share one :class:`SearchEngine`, so repeated
     shapes (and the full-model bars, which revisit the motivation layers)
@@ -131,34 +151,23 @@ def run(rows: int = 16, cols: int = 16, max_mappings: int = 60,
     """
     results: Dict[str, List[Fig2Row]] = {}
     engine = SearchEngine(feather_arch(rows, cols), metric="latency",
-                          max_mappings=max_mappings)
+                          max_mappings=max_mappings, seed=seed)
     # A plain no-reorder architecture; the layout under evaluation is supplied
     # per call inside ``_policies_for_layer``, so the fixed-layout name here
     # is irrelevant.
     no_reorder_model = CostModel(sigma_like(rows, cols, layout="HWC_C32",
                                             reorder="none"))
+    full_tables = {"resnet50": lambda: resnet50_layers(include_fc=False),
+                   "mobilenet_v3": lambda: mobilenet_v3_layers(include_fc=False)}
 
-    resnet_rows = [
-        _policies_for_layer(layer, engine, no_reorder_model)
-        for key, layer in sorted(resnet50_motivation_layers().items()) if key != 47
-    ]
-    resnet_all = resnet50_layers(include_fc=False)
-    if full_model_layers:
-        resnet_all = resnet_all[:full_model_layers]
-    resnet_full = [_policies_for_layer(l, engine, no_reorder_model)
-                   for l in resnet_all]
-    resnet_rows.append(_aggregate(resnet_full, "resnet50_full_model"))
-    results["resnet50"] = resnet_rows
-
-    mob_rows = [
-        _policies_for_layer(layer, engine, no_reorder_model)
-        for _, layer in sorted(mobilenet_v3_motivation_layers().items())
-    ]
-    mob_all = mobilenet_v3_layers(include_fc=False)
-    if full_model_layers:
-        mob_all = mob_all[:full_model_layers]
-    mob_full = [_policies_for_layer(l, engine, no_reorder_model)
-                for l in mob_all]
-    mob_rows.append(_aggregate(mob_full, "mobilenet_v3_full_model"))
-    results["mobilenet_v3"] = mob_rows
+    for model in models:
+        model_rows = [_policies_for_layer(layer, engine, no_reorder_model)
+                      for layer in motivation_workloads(model)]
+        all_layers = full_tables[model]()
+        if full_model_layers:
+            all_layers = all_layers[:full_model_layers]
+        full = [_policies_for_layer(l, engine, no_reorder_model)
+                for l in all_layers]
+        model_rows.append(_aggregate(full, f"{model}_full_model"))
+        results[model] = model_rows
     return results

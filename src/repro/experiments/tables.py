@@ -61,11 +61,12 @@ def table_v_rows() -> List[Dict[str, float]]:
 def search_stats_table(workloads: Sequence, model_name: str = "model",
                        rows: int = 16, cols: int = 16, gemm: bool = False,
                        max_mappings: int = 50,
-                       workers: Optional[int] = None) -> List[Dict[str, object]]:
+                       workers: Optional[int] = None,
+                       seed: int = 0) -> List[Dict[str, object]]:
     """Engine statistics of a Fig. 13-style co-search, one row per arch."""
     costs = model_costs(fig13_arch_suite(rows, cols, gemm=gemm), workloads,
                         model_name=model_name, max_mappings=max_mappings,
-                        workers=workers)
+                        workers=workers, seed=seed)
     table = []
     for name, cost in costs.items():
         stats = cost.search_stats

@@ -1,0 +1,87 @@
+"""Sweep-level summary artifacts (CSV + markdown) for matrix runs.
+
+One row per cell, covering the headline numbers a sweep is usually read
+for: totals, utilization, engine effort and whether the cell came from the
+artifact cache.  The CSV is the machine-readable companion of the per-cell
+JSON records; the markdown table is for humans (and renders directly in a
+PR description or dashboard).
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Dict, List, Sequence
+
+#: Column order of both summary formats.
+SUMMARY_COLUMNS = (
+    "scenario", "workload_set", "arch", "metric", "seed",
+    "layers", "unique", "total_cycles", "total_energy_pj",
+    "energy_per_mac_pj", "edp", "avg_utilization",
+    "evaluations", "pruned", "cached", "elapsed_s",
+)
+
+
+def summary_rows(results: Sequence) -> List[Dict[str, object]]:
+    """One summary dict per :class:`~repro.scenarios.runner.CellResult`."""
+    rows = []
+    for result in results:
+        record = result.record
+        rows.append({
+            "scenario": record.scenario,
+            "workload_set": record.workload_set,
+            "arch": record.arch,
+            "metric": record.config["metric"],
+            "seed": record.seed,
+            "layers": record.search["layers_total"],
+            "unique": record.search["layers_unique"],
+            "total_cycles": record.totals["total_cycles"],
+            "total_energy_pj": record.totals["total_energy_pj"],
+            "energy_per_mac_pj": record.totals["energy_per_mac_pj"],
+            "edp": record.totals["edp"],
+            "avg_utilization": record.totals["avg_utilization"],
+            "evaluations": record.search["evaluations"],
+            "pruned": record.search["pruned"],
+            "cached": result.cached,
+            "elapsed_s": record.elapsed_s,
+        })
+    return rows
+
+
+def write_summary_csv(path: Path, results: Sequence) -> Path:
+    """Write the summary as CSV (floats in full repr precision)."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=SUMMARY_COLUMNS)
+        writer.writeheader()
+        for row in summary_rows(results):
+            writer.writerow({col: _csv_cell(row[col])
+                             for col in SUMMARY_COLUMNS})
+    return path
+
+
+def write_summary_md(path: Path, results: Sequence) -> Path:
+    """Write the summary as a GitHub-flavoured markdown table."""
+    path = Path(path)
+    rows = summary_rows(results)
+    lines = ["| " + " | ".join(SUMMARY_COLUMNS) + " |",
+             "| " + " | ".join("---" for _ in SUMMARY_COLUMNS) + " |"]
+    for row in rows:
+        lines.append("| " + " | ".join(_md_cell(row[col])
+                                       for col in SUMMARY_COLUMNS) + " |")
+    path.write_text("\n".join(lines) + "\n")
+    return path
+
+
+def _csv_cell(value: object) -> object:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    return value
+
+
+def _md_cell(value: object) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)

@@ -1,0 +1,100 @@
+"""The built-in scenario matrix: everything the repo can run end-to-end.
+
+Four groups, combined (deduplicated) by :func:`builtin_matrix`:
+
+* **smoke** — five tiny cells spanning every workload family (dense conv,
+  skewed GEMM, depthwise, skewed attention heads, batched conv); the CI
+  smoke sweep and the quickstart run these in seconds.
+* **figures** — the paper's co-searches (Fig. 2, Fig. 10, Fig. 13, the
+  search-stats table) at their legacy settings, via
+  :mod:`repro.scenarios.ports`.
+* **coverage** — the scenario-diversity sweep beyond the paper's grid:
+  depthwise/pointwise MobileNet blocks, the skewed BERT-head GEMM sweep
+  and batch-size (N>1) model variants, each on several architectures.
+* **golden** — four pinned micro-cells whose records are checked into
+  ``tests/golden/`` and asserted bit-identical by
+  ``tests/test_scenarios_golden.py``.
+"""
+
+from __future__ import annotations
+
+from repro.scenarios.ports import (
+    fig2_scenarios,
+    fig10_scenario,
+    fig13_scenarios,
+    tables_scenarios,
+)
+from repro.scenarios.spec import Scenario, ScenarioMatrix, SearchConfig
+
+_SMOKE_EDP = SearchConfig(name="smoke", metric="edp", max_mappings=8)
+_SMOKE_LATENCY = SearchConfig(name="smoke-latency", metric="latency",
+                              max_mappings=16)
+_SWEEP_EDP = SearchConfig(name="edp-50", metric="edp", max_mappings=50)
+
+
+def smoke_matrix() -> ScenarioMatrix:
+    """Seconds-scale cells touching every workload family once."""
+    return ScenarioMatrix(name="smoke", scenarios=[
+        Scenario("smoke-resnet50", "resnet50[:2]", "FEATHER",
+                 _SMOKE_EDP, tags=("smoke",)),
+        Scenario("smoke-fig10-gemms", "fig10_gemms", "FEATHER-4x4",
+                 _SMOKE_LATENCY, tags=("smoke",)),
+        Scenario("smoke-mobilenet-depthwise", "mobilenet_v3_depthwise[:2]",
+                 "FEATHER", _SMOKE_EDP, tags=("smoke",)),
+        Scenario("smoke-bert-heads", "bert_head_sweep[:2]",
+                 "SIGMA-like (MK_K32)", _SMOKE_EDP, tags=("smoke",)),
+        Scenario("smoke-resnet50-batch4", "resnet50_batch4[:2]", "FEATHER",
+                 _SMOKE_EDP, tags=("smoke", "batch")),
+    ])
+
+
+def figure_matrix() -> ScenarioMatrix:
+    """The paper's co-searches at their legacy settings."""
+    matrix = ScenarioMatrix(name="figures")
+    matrix.extend(fig2_scenarios())
+    matrix.add(fig10_scenario())
+    matrix.extend(fig13_scenarios())
+    matrix.extend(tables_scenarios())
+    return matrix
+
+
+def coverage_matrix() -> ScenarioMatrix:
+    """Scenario-diversity sweep beyond the paper's fixed evaluation grid."""
+    matrix = ScenarioMatrix(name="coverage")
+    matrix.cross(["mobilenet_v3_depthwise", "mobilenet_v3_pointwise"],
+                 ["FEATHER", "Eyeriss-like"], [_SWEEP_EDP],
+                 tags=("coverage", "mobilenet"))
+    matrix.cross(["bert_head_sweep"], ["FEATHER", "SIGMA-like (MK_K32)"],
+                 [_SWEEP_EDP], tags=("coverage", "bert"))
+    matrix.cross(["resnet50_batch4[:12]", "mobilenet_v3_batch4[:12]"],
+                 ["FEATHER"], [_SWEEP_EDP], tags=("coverage", "batch"))
+    return matrix
+
+
+def golden_matrix() -> ScenarioMatrix:
+    """The pinned micro-cells backing the golden-file regression tests.
+
+    Changing anything here (or anything these cells execute) shows up as a
+    golden diff; regenerate with
+    ``pytest tests/test_scenarios_golden.py --update-golden``.
+    """
+    golden_edp = SearchConfig(name="golden-edp", metric="edp",
+                              max_mappings=12)
+    golden_latency = SearchConfig(name="golden-latency", metric="latency",
+                                  max_mappings=40)
+    return ScenarioMatrix(name="golden", scenarios=[
+        Scenario("golden-resnet50-head", "resnet50[:2]", "FEATHER",
+                 golden_edp, tags=("golden",)),
+        Scenario("golden-fig10-gemms", "fig10_gemms", "FEATHER-4x4",
+                 golden_latency, tags=("golden",)),
+        Scenario("golden-mobilenet-depthwise", "mobilenet_v3_depthwise[:2]",
+                 "Eyeriss-like", golden_edp, tags=("golden",)),
+        Scenario("golden-bert-heads", "bert_head_sweep[:2]",
+                 "SIGMA-like (MK_K32)", golden_edp, tags=("golden",)),
+    ])
+
+
+def builtin_matrix() -> ScenarioMatrix:
+    """All built-in cells (smoke + figures + coverage + golden), dedup'd."""
+    return ScenarioMatrix(name="builtin").merged(
+        smoke_matrix(), figure_matrix(), coverage_matrix(), golden_matrix())

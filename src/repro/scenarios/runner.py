@@ -1,0 +1,207 @@
+"""Execute scenario cells through the co-search engine, with result caching.
+
+:func:`run_cell` is the unit of work: resolve the cell's workload set and
+architecture, run :func:`repro.search.engine.search_model` with the cell's
+config, and wrap the outcome in a :class:`~repro.scenarios.record.ScenarioRecord`.
+
+Artifacts are **content-addressed**: every record embeds a sha256 ``key``
+over the *resolved* cell definition — the workload shape signatures, the
+full architecture + energy signature, the search-config identity and the
+``repro`` version.  When a runs directory is given, a cell whose artifact
+already exists with a matching key is skipped and the stored record is
+returned (``cached=True``); editing a workload table, an architecture or
+the package version changes the key and forces a re-run, so a stale
+artifact can never masquerade as a fresh result.
+
+``workers`` and ``vectorize`` deliberately stay *out* of the key: the
+engine guarantees bit-identical results for any worker count and for the
+vectorized vs scalar kernel, so they are execution details, not identity.
+The golden regression tests pin that guarantee.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, List, Optional
+
+import repro
+from repro.layoutloop.cost_model import DEFAULT_ENERGY_TABLE
+from repro.scenarios.record import (
+    SCHEMA_VERSION,
+    ScenarioRecord,
+    record_from_model_cost,
+)
+from repro.scenarios.registry import resolve_arch, resolve_workload_set
+from repro.scenarios.spec import Scenario, ScenarioMatrix, SearchConfig, slugify
+from repro.search.signatures import arch_signature, workload_signature
+
+#: Default artifact directory of the CLI (relative to the invocation cwd).
+DEFAULT_RUNS_DIR = Path("runs") / "scenarios"
+
+
+def cell_key(scenario: Scenario) -> str:
+    """Content address of one cell's resolved definition.
+
+    Keys on structure (shape/arch signatures), never on free-text workload
+    names, and embeds the package version so results cached by an older
+    cost model are re-run rather than trusted.
+    """
+    return _resolved_cell_key(scenario,
+                              resolve_workload_set(scenario.workload_set),
+                              resolve_arch(scenario.arch))
+
+
+def _resolved_cell_key(scenario: Scenario, workloads: List, arch) -> str:
+    """:func:`cell_key` over already-resolved workloads/architecture."""
+    payload = (
+        SCHEMA_VERSION,
+        repro.__version__,
+        tuple(workload_signature(w) for w in workloads),
+        arch_signature(arch, DEFAULT_ENERGY_TABLE),
+        scenario.config.identity(),
+    )
+    return hashlib.sha256(repr(payload).encode("utf-8")).hexdigest()
+
+
+def artifact_path(runs_dir: Path, scenario: Scenario) -> Path:
+    """Artifact location of a cell: one JSON file named after the cell.
+
+    Slugification is lossy ("a b" and "a-b" collapse to the same stem), so
+    whenever it changed the name a short hash of the exact name is
+    appended — distinct cells can never overwrite each other's artifact.
+    Slug-safe names (all the smoke/golden cells) keep their clean stem.
+    """
+    stem = slugify(scenario.name)
+    if stem != scenario.name:
+        digest = hashlib.sha256(scenario.name.encode("utf-8")).hexdigest()
+        stem = f"{stem}-{digest[:8]}"
+    return Path(runs_dir) / f"{stem}.json"
+
+
+@dataclass
+class CellResult:
+    """Outcome of :func:`run_cell`."""
+
+    record: ScenarioRecord
+    """The cell's record (freshly computed or loaded from the artifact)."""
+    cached: bool
+    """True when the artifact satisfied the request without a search."""
+    path: Optional[Path] = None
+    """Artifact location (None when running without a runs directory)."""
+
+
+def run_cell(scenario: Scenario, workers: int = 1, vectorize: bool = True,
+             runs_dir: Optional[Path] = None,
+             force: bool = False) -> CellResult:
+    """Run (or load) one scenario cell.
+
+    With ``runs_dir`` set, a previously written artifact whose embedded key
+    matches the cell's current content address is returned directly;
+    ``force=True`` always re-runs.  Without ``runs_dir`` the cell is always
+    computed and nothing is written.
+    """
+    from repro.search.engine import search_model
+
+    workloads = resolve_workload_set(scenario.workload_set)
+    arch = resolve_arch(scenario.arch)
+    key = _resolved_cell_key(scenario, workloads, arch)
+    path: Optional[Path] = None
+    if runs_dir is not None:
+        path = artifact_path(runs_dir, scenario)
+        if path.exists() and not force:
+            try:
+                existing = ScenarioRecord.read(path)
+            except (ValueError, KeyError, TypeError):
+                existing = None  # corrupt/foreign artifact: recompute
+            if existing is not None and existing.key == key:
+                return CellResult(record=existing, cached=True, path=path)
+
+    config = scenario.config
+    start = time.perf_counter()
+    cost = search_model(arch, workloads, model_name=scenario.name,
+                        metric=config.metric,
+                        max_mappings=config.max_mappings, workers=workers,
+                        prune=config.prune, seed=config.seed,
+                        vectorize=vectorize)
+    elapsed = time.perf_counter() - start
+    record = record_from_model_cost(scenario, cost, key=key,
+                                    repro_version=repro.__version__,
+                                    workers=cost.search_stats.workers,
+                                    vectorize=vectorize, elapsed_s=elapsed)
+    if path is not None:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        record.write(path)
+    return CellResult(record=record, cached=False, path=path)
+
+
+@dataclass
+class MatrixRun:
+    """Outcome of :func:`run_matrix`, in plan order."""
+
+    results: List[CellResult]
+    summary_csv: Optional[Path] = None
+    summary_md: Optional[Path] = None
+
+    @property
+    def records(self) -> List[ScenarioRecord]:
+        return [r.record for r in self.results]
+
+    @property
+    def cached_count(self) -> int:
+        return sum(r.cached for r in self.results)
+
+
+def run_matrix(matrix: ScenarioMatrix, pattern: Optional[str] = None,
+               workers: int = 1, vectorize: bool = True,
+               runs_dir: Optional[Path] = None, force: bool = False,
+               progress: Optional[Callable[[CellResult], None]] = None,
+               ) -> MatrixRun:
+    """Run every (matching) cell of a matrix and emit summary artifacts.
+
+    Cells run in plan order; ``progress`` (if given) is called after each
+    cell with its :class:`CellResult`.  With ``runs_dir`` set, per-cell JSON
+    records land there and ``summary.csv`` / ``summary.md`` are rewritten
+    to cover the cells of this invocation.
+    """
+    from repro.scenarios.artifacts import write_summary_csv, write_summary_md
+
+    cells = matrix.filter(pattern).dedup()
+    results: List[CellResult] = []
+    for scenario in cells:
+        result = run_cell(scenario, workers=workers, vectorize=vectorize,
+                          runs_dir=runs_dir, force=force)
+        results.append(result)
+        if progress is not None:
+            progress(result)
+    run = MatrixRun(results=results)
+    if runs_dir is not None:
+        runs_dir = Path(runs_dir)
+        runs_dir.mkdir(parents=True, exist_ok=True)
+        run.summary_csv = write_summary_csv(runs_dir / "summary.csv", results)
+        run.summary_md = write_summary_md(runs_dir / "summary.md", results)
+    return run
+
+
+# ------------------------------------------------------------ reproduction
+def scenario_from_record(record: ScenarioRecord) -> Scenario:
+    """Rebuild the declarative cell a record was produced from.
+
+    The record's embedded config (including its RNG seed) is authoritative,
+    which is what makes the single-argument ``repro.scenarios diff
+    <record>`` replay and the determinism tests possible: any record can be
+    replayed exactly.
+    """
+    return Scenario(name=record.scenario, workload_set=record.workload_set,
+                    arch=record.arch,
+                    config=SearchConfig.from_dict(record.config))
+
+
+def rerun_record(record: ScenarioRecord, workers: int = 1,
+                 vectorize: bool = True) -> ScenarioRecord:
+    """Re-run a record's cell from its embedded definition (no caching)."""
+    scenario = scenario_from_record(record)
+    return run_cell(scenario, workers=workers, vectorize=vectorize,
+                    runs_dir=None).record

@@ -15,11 +15,17 @@ from repro.workloads.resnet50 import (
     resnet50_motivation_layers,
 )
 from repro.workloads.mobilenet_v3 import (
+    mobilenet_v3_depthwise_layers,
     mobilenet_v3_layer,
     mobilenet_v3_layers,
     mobilenet_v3_motivation_layers,
+    mobilenet_v3_pointwise_layers,
 )
-from repro.workloads.bert import bert_base_gemms, bert_unique_gemms
+from repro.workloads.bert import (
+    bert_base_gemms,
+    bert_head_gemm_sweep,
+    bert_unique_gemms,
+)
 
 __all__ = [
     "CONV_DIMS",
@@ -33,9 +39,12 @@ __all__ = [
     "resnet50_layer",
     "resnet50_layers",
     "resnet50_motivation_layers",
+    "mobilenet_v3_depthwise_layers",
     "mobilenet_v3_layer",
     "mobilenet_v3_layers",
     "mobilenet_v3_motivation_layers",
+    "mobilenet_v3_pointwise_layers",
     "bert_base_gemms",
+    "bert_head_gemm_sweep",
     "bert_unique_gemms",
 ]

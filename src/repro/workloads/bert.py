@@ -48,3 +48,23 @@ def bert_unique_gemms(seq_len: int = 512) -> list:
     evaluate these and weight the results by 12.
     """
     return bert_base_gemms(seq_len=seq_len, per_layer=True)
+
+
+def bert_head_gemm_sweep(seq_lens: tuple = (64, 128, 256, 512),
+                         head_dim: int = HEAD_DIM) -> list:
+    """Skewed per-head attention GEMMs across sequence lengths.
+
+    One attention head computes a score GEMM (``seq x head_dim x seq``) and
+    a context GEMM (``seq x seq x head_dim``); at long sequence lengths both
+    are strongly skewed (K or N far smaller than the other dims), the regime
+    where rigid reduction fabrics collapse.  The paper only evaluates the
+    head-folded batch shapes, so this sweep widens the GEMM coverage of the
+    scenario matrix.
+    """
+    gemms = []
+    for seq in seq_lens:
+        gemms.append(GemmSpec(f"bert_head_scores_s{seq}", m=seq, k=head_dim,
+                              n=seq))
+        gemms.append(GemmSpec(f"bert_head_context_s{seq}", m=seq, k=seq,
+                              n=head_dim))
+    return gemms

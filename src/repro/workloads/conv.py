@@ -16,6 +16,7 @@ simulator — consumes this specification.
 
 from __future__ import annotations
 
+import dataclasses
 import enum
 import math
 from dataclasses import dataclass, field
@@ -150,6 +151,19 @@ class ConvLayerSpec:
         baselines (e.g. SIGMA-like configurations).
         """
         return (self.m, (self.c // self.groups) * self.r * self.s, self.n * self.p * self.q)
+
+    def with_batch(self, n: int) -> "ConvLayerSpec":
+        """Return a copy running ``n`` inputs per pass (batch dimension N).
+
+        Used by the scenario matrix to widen the evaluation beyond the
+        paper's N=1 grid; all other shape fields (including the grouping of
+        depthwise layers) are preserved.
+        """
+        if n < 1:
+            raise ValueError(f"batch size must be >= 1, got {n}")
+        if n == self.n:
+            return self
+        return dataclasses.replace(self, name=f"{self.name}_n{n}", n=n)
 
     def scaled(self, factor: float) -> "ConvLayerSpec":
         """Return a copy with channel counts scaled (used in sweeps)."""

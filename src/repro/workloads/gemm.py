@@ -52,6 +52,20 @@ class GemmSpec:
         except KeyError as exc:
             raise KeyError(f"unknown GEMM dimension {name!r}") from exc
 
+    def with_batch(self, batch: int) -> "GemmSpec":
+        """Return a copy with ``batch`` stacked input matrices.
+
+        A batched GEMM concatenates the batch along the output rows
+        (``M' = batch * M``), matching how the BERT attention GEMMs already
+        fold their head count into M.
+        """
+        if batch < 1:
+            raise ValueError(f"batch size must be >= 1, got {batch}")
+        if batch == 1:
+            return self
+        return GemmSpec(name=f"{self.name}_b{batch}", m=batch * self.m,
+                        k=self.k, n=self.n, bits=self.bits)
+
     def as_conv(self) -> ConvLayerSpec:
         """Express the GEMM as a 1x1 convolution so conv-only tooling can run it.
 

@@ -94,3 +94,22 @@ def mobilenet_v3_layer(index: int) -> ConvLayerSpec:
 def mobilenet_v3_motivation_layers() -> dict:
     """Layers 7, 25 and 40 used in the paper's Fig. 2 motivation study."""
     return {i: mobilenet_v3_layer(i) for i in (7, 25, 40)}
+
+
+def mobilenet_v3_depthwise_layers() -> list:
+    """All depthwise convolutions, in execution order.
+
+    Depthwise layers stress the mapping space differently from dense convs
+    (each output channel reads one input channel, so C cannot be spatially
+    reduced); the scenario matrix sweeps them as a standalone workload set.
+    """
+    return [l for l in _build() if l.kind is LayerKind.DEPTHWISE]
+
+
+def mobilenet_v3_pointwise_layers() -> list:
+    """All pointwise (1x1 expansion/projection) convolutions, in order.
+
+    Pointwise layers are pure channel-mixing GEMM-like convs (R = S = 1)
+    and dominate MobileNet-V3's MAC count; the final FC head is excluded.
+    """
+    return [l for l in _build() if l.kind is LayerKind.POINTWISE]

@@ -10,6 +10,19 @@ from repro.workloads.conv import ConvLayerSpec
 from repro.workloads.gemm import GemmSpec
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden", action="store_true", default=False,
+        help="regenerate the pinned scenario records under tests/golden/ "
+             "from the current code instead of comparing against them")
+
+
+@pytest.fixture
+def update_golden(request):
+    """True when the run should rewrite the golden files."""
+    return request.config.getoption("--update-golden")
+
+
 @pytest.fixture
 def rng():
     return np.random.default_rng(1234)

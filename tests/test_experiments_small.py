@@ -1,9 +1,12 @@
-"""Tests for the lightweight experiment modules (Fig. 4, 9, 10, 11, 14, tables)."""
+"""Tests for the lightweight experiment modules (Fig. 4, 9, 10, 11, 14, tables)
+and for the scenario-layer ports of the figure co-searches."""
 
 import pytest
 
-from repro.experiments import fig4, fig9, fig10, fig11, fig14, tables
+from repro.experiments import fig2, fig4, fig9, fig10, fig11, fig13, fig14, tables
 from repro.experiments.common import format_table, geomean, normalize
+from repro.scenarios import ports, run_cell
+from repro.workloads.resnet50 import resnet50_layers
 
 
 class TestCommonHelpers:
@@ -152,3 +155,57 @@ class TestTables:
     def test_table_v(self):
         rows = tables.table_v_rows()
         assert len(rows) == 7
+
+
+class TestScenarioPorts:
+    """Each ported figure must reproduce its legacy output *exactly*.
+
+    The scenario layer re-runs the same workload sets with the same engine
+    settings, so any inequality here means the port silently drifted —
+    every comparison below is ``==``, never ``approx``.
+    """
+
+    def test_fig2_port_matches_legacy_feather_column(self):
+        legacy = fig2.run(max_mappings=20, full_model_layers=2,
+                          models=("resnet50",))
+        matrix = ports.fig2_scenarios(max_mappings=20, models=("resnet50",))
+        record = run_cell(matrix[0]).record
+        latencies = ports.fig2_feather_latencies(record)
+        motivation_rows = legacy["resnet50"][:-1]  # drop the full-model bar
+        assert len(latencies) == len(motivation_rows)
+        for row in motivation_rows:
+            assert latencies[row.workload] == row.feather_latency
+
+    def test_fig10_port_matches_legacy_feather_column(self):
+        legacy = fig10.run(max_mappings=150)
+        record = run_cell(ports.fig10_scenario(max_mappings=150)).record
+        utilizations = ports.fig10_feather_utilizations(record)
+        assert len(utilizations) == len(legacy)
+        for row in legacy:
+            assert utilizations[row.workload] == row.feather_utilization
+
+    def test_fig13_port_matches_legacy_series(self):
+        legacy = fig13.run(workload_names=("bert",), max_mappings=12,
+                           max_layers=2)["bert"]
+        matrix = ports.fig13_scenarios(("bert",), max_layers=2,
+                                       max_mappings=12)
+        records = [run_cell(scenario).record for scenario in matrix]
+        series = ports.fig13_series_from_records("bert", records)
+        assert series.normalized_latency == legacy.normalized_latency
+        assert (series.normalized_energy_per_mac
+                == legacy.normalized_energy_per_mac)
+        assert series.utilization == legacy.utilization
+        assert series.stall_fraction == legacy.stall_fraction
+        assert series.reorder_fraction == legacy.reorder_fraction
+
+    def test_tables_port_matches_legacy_search_stats(self):
+        workloads = resnet50_layers(include_fc=False)[:2]
+        legacy = tables.search_stats_table(workloads, max_mappings=12)
+        matrix = ports.tables_scenarios("resnet50[:2]", max_mappings=12)
+        rows = ports.search_stats_rows_from_records(
+            [run_cell(scenario).record for scenario in matrix])
+        assert len(rows) == len(legacy)
+        deterministic = ("arch", "unique_layers", "evaluations", "pruned",
+                         "cache_hit_rate")
+        for legacy_row, port_row in zip(legacy, rows):
+            assert {k: legacy_row[k] for k in deterministic} == port_row

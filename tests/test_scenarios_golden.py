@@ -1,0 +1,91 @@
+"""Golden-file regressions: pinned scenario records must stay bit-identical.
+
+Every cell of :func:`repro.scenarios.builtin.golden_matrix` has its
+deterministic payload checked into ``tests/golden/``.  Each cell is
+executed under three engine variants — serial vectorized (the default
+path), serial scalar (``vectorize=False``, the reference oracle) and
+``workers=2`` vectorized — and all three must match the golden file
+float-for-float.  Together they pin (a) the cost model's numbers against
+drift from future perf work and (b) the engine's bit-identity guarantee
+across the vectorize flag and the worker count.
+
+Regenerate after an *intended* numeric change with::
+
+    PYTHONPATH=src python -m pytest tests/test_scenarios_golden.py --update-golden
+
+(the update run still asserts the variants agree before pinning).
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.scenarios import diff_payloads, golden_matrix, run_cell, slugify
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+SCENARIOS = list(golden_matrix())
+VARIANTS = [
+    ("serial-vectorized", 1, True),
+    ("serial-scalar", 1, False),
+    ("workers2-vectorized", 2, True),
+]
+
+# Each (cell, variant) is a real engine run; share them across the
+# per-variant tests instead of recomputing.
+_PAYLOADS = {}
+
+
+def _payload(scenario, workers, vectorize):
+    key = (scenario.name, workers, vectorize)
+    if key not in _PAYLOADS:
+        record = run_cell(scenario, workers=workers,
+                          vectorize=vectorize).record
+        _PAYLOADS[key] = record.deterministic_payload()
+    return _PAYLOADS[key]
+
+
+def _golden_path(scenario) -> Path:
+    return GOLDEN_DIR / f"{slugify(scenario.name)}.json"
+
+
+@pytest.mark.parametrize("variant,workers,vectorize", VARIANTS,
+                         ids=[v[0] for v in VARIANTS])
+@pytest.mark.parametrize("scenario", SCENARIOS,
+                         ids=[s.name for s in SCENARIOS])
+def test_golden_record_bit_identical(scenario, variant, workers, vectorize,
+                                     update_golden):
+    payload = _payload(scenario, workers, vectorize)
+    path = _golden_path(scenario)
+    if update_golden:
+        # Pin the canonical (serial, vectorized) payload; the comparison
+        # below then asserts every variant agrees with it before it lands.
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        canonical = _payload(scenario, 1, True)
+        path.write_text(json.dumps(canonical, indent=2, sort_keys=True)
+                        + "\n")
+    if not path.exists():
+        pytest.fail(f"golden file {path} missing; run with --update-golden")
+    expected = json.loads(path.read_text())
+    diffs = diff_payloads(expected, payload)
+    assert not diffs, (
+        f"{scenario.name} [{variant}] drifted from {path.name}:\n  "
+        + "\n  ".join(diffs))
+
+
+def test_golden_directory_has_no_orphans():
+    """Every pinned file corresponds to a current golden cell."""
+    expected = {_golden_path(s).name for s in SCENARIOS}
+    actual = {p.name for p in GOLDEN_DIR.glob("*.json")}
+    assert actual == expected
+
+
+def test_golden_records_embed_reproducibility_metadata():
+    """Pinned payloads carry the seed/config needed to re-run them — and no
+    provenance that would churn on a version bump."""
+    for scenario in SCENARIOS:
+        data = json.loads(_golden_path(scenario).read_text())
+        assert data["seed"] == scenario.config.seed
+        assert data["config"]["max_mappings"] == scenario.config.max_mappings
+        assert "key" not in data and "repro_version" not in data
+        assert data["layers"], f"{scenario.name} pinned an empty record"

@@ -6,7 +6,8 @@ no README.  Every fenced ``python`` block is executed in its own namespace
 with ``src/`` on ``sys.path`` (the documented ``PYTHONPATH=src`` setup).
 Blocks can opt out by putting ``# doc-no-exec`` on their first line.
 
-Usage: python tools/check_readme_snippets.py [files...]   (default: README.md)
+Usage: python tools/check_readme_snippets.py [files...]
+       (default: README.md and docs/architecture.md)
 """
 
 from __future__ import annotations
@@ -41,7 +42,8 @@ def run_block(source: str, label: str) -> bool:
 
 def main(argv: list) -> int:
     sys.path.insert(0, str(REPO_ROOT / "src"))
-    files = [Path(a) for a in argv] or [REPO_ROOT / "README.md"]
+    files = [Path(a) for a in argv] or [REPO_ROOT / "README.md",
+                                        REPO_ROOT / "docs" / "architecture.md"]
     failures = 0
     for path in files:
         blocks = extract_python_blocks(path.read_text())
