@@ -1,9 +1,10 @@
-"""Shared timing helper for the benchmark suite and CI performance gates.
+"""Shared best-of-N timing helper (pytest-free).
 
-``benchmarks/test_bench_search.py``, ``benchmarks/test_bench_cost_model.py``
-and ``tools/bench_guard.py`` all compare two implementations by wall clock
-and gate on the ratio; they must de-noise measurements the same way, so the
-best-of-N loop lives here once.
+``benchmarks/conftest.py`` (the benchmark suite) and ``tools/bench_guard.py``
+(a standalone CLI gate) both compare two implementations by wall clock and
+gate on the ratio; they must de-noise measurements the same way, so the
+loop lives here once — importable by the conftest and loadable by file
+path from the guard without dragging in pytest.
 """
 
 from __future__ import annotations

@@ -21,7 +21,6 @@ from __future__ import annotations
 import pytest
 
 from repro.baselines.registry import sigma_like
-from repro.benchmarking import best_of
 from repro.dataflow.space import MappingSpace
 from repro.layout.library import conv_layout_library
 from repro.layoutloop.arch import feather_arch
@@ -59,7 +58,7 @@ def _run_batched(model: CostModel, cases, layouts):
     pytest.param(lambda: sigma_like(reorder="offchip"), 3.0, id="offchip"),
     pytest.param(feather_arch, 1.2, id="feather-rir"),
 ])
-def test_batched_evaluate_speedup(benchmark, arch_fn, min_speedup):
+def test_batched_evaluate_speedup(benchmark, arch_fn, min_speedup, best_of):
     arch = arch_fn()
     model = CostModel(arch)
     cases, layouts = _workbench()

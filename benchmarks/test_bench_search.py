@@ -26,7 +26,6 @@ import time
 
 import pytest
 
-from repro.benchmarking import best_of
 from repro.layoutloop.arch import feather_arch
 from repro.layoutloop.cosearch import LayerChoice, ModelCost, unique_workloads
 from repro.layoutloop.mapper import Mapper
@@ -54,7 +53,7 @@ def _naive_cosearch(layers) -> ModelCost:
 
 
 @pytest.mark.benchmark(group="search")
-def test_search_engine_speedup_resnet50(benchmark):
+def test_search_engine_speedup_resnet50(benchmark, best_of):
     layers = resnet50_layers(include_fc=False)
 
     t0 = time.perf_counter()

@@ -1,0 +1,58 @@
+"""Multi-fidelity co-search: analytical shortlist, simulator verification.
+
+The analytical cost model ranks thousands of (mapping, layout) candidates
+per second but prices every layout on FEATHER as stall-free (reorder in
+reduction); the cycle-level simulator measures bank conflicts from the
+actual StaB access stream but costs milliseconds-to-seconds per cell.
+Multi-fidelity search composes them: rank the full candidate space
+analytically, then let the simulator re-price only the top-k.
+
+This script shows both outcomes on micro workloads:
+
+* cells where the simulator confirms the analytical winner (agreement), and
+* the 7x7/stride-2 head conv, where every layout ties analytically and the
+  simulator breaks the tie with a genuinely conflict-free layout.
+
+Run with ``PYTHONPATH=src python examples/multifidelity_cosearch.py``.
+"""
+
+from repro.backends import multifidelity_search, multifidelity_search_layer
+from repro.layout.library import conv_layout_library
+from repro.layoutloop.arch import feather_arch
+from repro.workloads.micro import micro_gemm_layers, resnet50_head_micro
+
+
+def main() -> None:
+    arch = feather_arch(4, 4)
+
+    print("== micro GEMMs on FEATHER-4x4 (latency, top-3 verified) ==")
+    result = multifidelity_search(arch, micro_gemm_layers(),
+                                  model_name="micro_gemms",
+                                  metric="latency", max_mappings=6, top_k=3)
+    for layer, count in result.layers:
+        best = layer.best
+        print(f"  {layer.workload:20s} x{count}: {best.layout.name:10s} "
+              f"analytical {best.analytical.total_cycles:7.1f} cy, "
+              f"simulated {best.simulated.total_cycles:7.1f} cy "
+              f"(delta {best.cycle_delta():+6.1%}, rank {best.rank})")
+    print(f"  verified winners match pure-analytical search: "
+          f"{result.agreement}")
+
+    print("\n== head conv on FEATHER-8x8: the simulator breaks a tie ==")
+    workload = resnet50_head_micro()
+    layer = multifidelity_search_layer(
+        feather_arch(8, 8), workload, metric="latency", max_mappings=8,
+        top_k=len(conv_layout_library()))
+    for candidate in layer.candidates:
+        marker = " <- verified winner" if candidate is layer.best else ""
+        print(f"  rank {candidate.rank}: {candidate.layout.name:12s} "
+              f"simulated {candidate.simulated.total_cycles:7.1f} cy, "
+              f"read slowdown "
+              f"{candidate.simulated.extra['read_slowdown']:.3f}{marker}")
+    assert layer.best.simulated.extra["read_slowdown"] == 1.0
+    print("  analytical search saw all layouts as equal (RIR prices them "
+          "stall-free);\n  the simulator picked one that really is.")
+
+
+if __name__ == "__main__":
+    main()

@@ -7,9 +7,12 @@ onto hardware, ``noc``/``nest``/``feather`` implement the accelerator itself
 ``layoutloop`` is the Timeloop-style analytical cost model extended with
 physical-storage and layout awareness used for all cross-accelerator studies.
 ``search`` is the parallel, cached co-search engine every experiment runs
-its (dataflow, layout) exploration through, and ``scenarios`` turns the
-paper's fixed evaluation grid into declarative workload x architecture x
-search-config sweeps with golden-pinned JSON records.
+its (dataflow, layout) exploration through, ``backends`` puts the
+analytical model and the cycle-level simulator behind one pluggable
+evaluation protocol (with multi-fidelity search and analytical-vs-simulated
+cross-validation on top), and ``scenarios`` turns the paper's fixed
+evaluation grid into declarative workload x architecture x search-config
+sweeps with golden-pinned JSON records.
 
 Typical entry points:
 
@@ -23,6 +26,7 @@ Typical entry points:
 
 from repro import (
     area,
+    backends,
     baselines,
     buffer,
     dataflow,
@@ -41,6 +45,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "area",
+    "backends",
     "baselines",
     "buffer",
     "dataflow",

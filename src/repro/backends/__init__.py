@@ -1,0 +1,83 @@
+"""Unified evaluation backends: analytical model and cycle-level simulator.
+
+One protocol (:class:`EvaluationBackend`), one comparable result type
+(:class:`BackendReport`, in :class:`CostReport` vocabulary), two built-in
+implementations behind a name registry:
+
+* ``"analytical"`` — the Timeloop-style Layoutloop cost model (§V),
+  memoized + vectorized, bit-identical to calling it directly;
+* ``"simulator"`` — the numerically-exact cycle-accounting FEATHER
+  simulator (§III), with deterministic seeded weight/iAct generation.
+
+On top of the protocol:
+
+* :func:`multifidelity_search` — analytical shortlist, simulator
+  verification of the top-k (mapping, layout) pairs per shape;
+* :func:`cross_validate_model` — execute every analytically co-searched
+  winner on the simulator and record per-cell cycle/utilization deltas
+  (the machine-check of the paper's reorder-in-reduction claim).
+
+`repro.search`, `repro.layoutloop.mapper` and `repro.scenarios` all take a
+``backend=`` argument resolved through this registry (default
+``"analytical"``); ``python -m repro.scenarios run --backend simulator``
+is the CLI front.
+"""
+
+from repro.backends.analytical import AnalyticalBackend
+from repro.backends.base import (
+    DEFAULT_BACKEND,
+    BackendReport,
+    EvaluationBackend,
+    backend_names,
+    create_backend,
+    register_backend,
+    report_from_cost,
+)
+from repro.backends.crossval import (
+    CellValidation,
+    CrossValidation,
+    cross_validate_model,
+)
+from repro.backends.multifidelity import (
+    MultiFidelityModelResult,
+    MultiFidelityResult,
+    VerifiedCandidate,
+    multifidelity_search,
+    multifidelity_search_layer,
+)
+from repro.backends.simulator import (
+    BackendCompatibilityError,
+    SimulatorBackend,
+    cell_rng,
+    feather_config_for,
+    seeded_conv_tensors,
+    seeded_gemm_tensors,
+)
+
+register_backend("analytical", AnalyticalBackend)
+register_backend("simulator", SimulatorBackend)
+
+__all__ = [
+    "AnalyticalBackend",
+    "BackendCompatibilityError",
+    "BackendReport",
+    "CellValidation",
+    "CrossValidation",
+    "DEFAULT_BACKEND",
+    "EvaluationBackend",
+    "MultiFidelityModelResult",
+    "MultiFidelityResult",
+    "SimulatorBackend",
+    "VerifiedCandidate",
+    "backend_names",
+    "cell_rng",
+    "create_backend",
+    "cross_validate_model",
+    "feather_config_for",
+    "multifidelity_search",
+    "multifidelity_search_layer",
+    "register_backend",
+    "report_from_cost",
+    "seeded_conv_tensors",
+    "seeded_gemm_tensors",
+]

@@ -20,7 +20,8 @@ from typing import Dict, Iterable, List, Optional, Sequence
 def model_costs(arches: Sequence, workloads: Sequence, model_name: str = "model",
                 metric: str = "edp", max_mappings: int = 50,
                 workers: Optional[int] = None,
-                vectorize: bool = True, seed: int = 0) -> Dict[str, object]:
+                vectorize: bool = True, seed: int = 0,
+                backend: str = "analytical") -> Dict[str, object]:
     """Co-search ``workloads`` on every architecture via the shared engine.
 
     Returns ``{arch name: ModelCost}`` like
@@ -32,13 +33,16 @@ def model_costs(arches: Sequence, workloads: Sequence, model_name: str = "model"
     ``REPRO_SEARCH_WORKERS`` (the library API defaults to serial), and
     ``max_mappings=50`` matches the figure reproductions.  ``seed`` feeds
     the pruned-random mapping sampler and is forwarded unchanged so a
-    recorded run can be reproduced exactly.
+    recorded run can be reproduced exactly.  ``backend`` selects the
+    :mod:`repro.backends` evaluation backend (the figures run the default
+    analytical model; the simulator is for micro-scale cells only).
     """
     from repro.search.engine import search_models
 
     return search_models(arches, workloads, model_name=model_name,
                          metric=metric, max_mappings=max_mappings,
-                         workers=workers, seed=seed, vectorize=vectorize)
+                         workers=workers, seed=seed, vectorize=vectorize,
+                         backend=backend)
 
 
 def geomean(values: Iterable[float]) -> float:

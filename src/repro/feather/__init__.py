@@ -23,6 +23,7 @@ from repro.feather.model_runner import (
     ModelRunner,
     PoolStage,
     reference_model,
+    seeded_stages,
 )
 
 __all__ = [
@@ -47,4 +48,5 @@ __all__ = [
     "ModelRunner",
     "PoolStage",
     "reference_model",
+    "seeded_stages",
 ]

@@ -59,6 +59,54 @@ class ExecutionStats:
             return 0.0
         return self.macs / (self.cycles * self.num_pes)
 
+    # -------------------------------------------------- CostReport conventions
+    # Derived views matching repro.layoutloop.cost_model.CostReport field
+    # names, so analytical and simulated results compare like for like
+    # (repro.backends builds its common report from these).
+
+    @property
+    def total_cycles(self) -> float:
+        """End-to-end latency (cycles) — ``CostReport.total_cycles``."""
+        return self.cycles
+
+    @property
+    def slowdown(self) -> float:
+        """Effective stall factor: the binding of read conflicts and write
+        serialization (dimensionless, >= 1)."""
+        return max(self.read_slowdown, self.write_serialization, 1.0)
+
+    @property
+    def compute_cycles(self) -> float:
+        """Ideal latency before stalls (cycles).
+
+        Exact for single-layer stats (``cycles`` is the ideal timing scaled
+        by ``slowdown``); for merged whole-model stats it is a lower-bound
+        estimate because ``slowdown`` merges as a max across layers.
+        """
+        return self.cycles / self.slowdown
+
+    @property
+    def stall_cycles(self) -> float:
+        """Cycles lost to bank conflicts and write serialization."""
+        return self.cycles - self.compute_cycles
+
+    @property
+    def practical_utilization(self) -> float:
+        """Utilization including stalls (0..1) — already what
+        :attr:`utilization` measures, aliased for CostReport parity."""
+        return self.utilization
+
+    @property
+    def avg_utilization(self) -> float:
+        """Alias matching ``ModelCost.avg_utilization`` naming."""
+        return self.utilization
+
+    @property
+    def macs_per_cycle(self) -> float:
+        """Achieved throughput (MACs/cycle) — ``energy_per_mac_pj``-style
+        derived convenience."""
+        return self.macs / self.cycles if self.cycles > 0 else 0.0
+
     @property
     def routed_fraction(self) -> float:
         if self.birrd_cycles == 0:

@@ -54,6 +54,27 @@ class PoolStage:
 Stage = Union[ConvStage, PoolStage]
 
 
+def iter_conv_groups(layer: ConvLayerSpec, iacts: np.ndarray,
+                     weights: np.ndarray):
+    """Decompose a grouped/depthwise conv into independent sub-convs.
+
+    Yields ``(sub_layer, sub_acts, sub_weights, m_slice)`` per group, where
+    ``m_slice`` locates the group's output channels in the full ``(M, P, Q)``
+    result.  Single-sourced so the model runner, the numpy reference and
+    the simulator backend can never diverge on the decomposition.
+    """
+    c_per_group = layer.c // layer.groups
+    m_per_group = layer.m // layer.groups
+    for g in range(layer.groups):
+        sub_layer = ConvLayerSpec(
+            f"{layer.name}_g{g}", m=m_per_group, c=c_per_group, h=layer.h,
+            w=layer.w, r=layer.r, s=layer.s, stride=layer.stride,
+            padding=layer.padding)
+        m_slice = slice(g * m_per_group, (g + 1) * m_per_group)
+        yield (sub_layer, iacts[g * c_per_group:(g + 1) * c_per_group],
+               weights[m_slice], m_slice)
+
+
 @dataclass
 class ModelRunResult:
     """Output activations plus per-layer and aggregate statistics."""
@@ -146,24 +167,44 @@ class ModelRunner:
                 layer, acts, stage.weights,
                 output_layout=output_layout, input_layout=input_layout)
 
-        c_per_group = layer.c // layer.groups
-        m_per_group = layer.m // layer.groups
         outputs = np.zeros((layer.m, layer.p, layer.q), dtype=np.int64)
         total = ExecutionStats()
-        for g in range(layer.groups):
-            sub_layer = ConvLayerSpec(
-                f"{layer.name}_g{g}", m=m_per_group, c=c_per_group, h=layer.h,
-                w=layer.w, r=layer.r, s=layer.s, stride=layer.stride,
-                padding=layer.padding)
-            sub_acts = acts[g * c_per_group:(g + 1) * c_per_group]
-            sub_weights = stage.weights[g * m_per_group:(g + 1) * m_per_group]
+        for sub_layer, sub_acts, sub_weights, m_slice in iter_conv_groups(
+                layer, acts, stage.weights):
             sub_out, stats = self.accelerator.run_conv(
                 sub_layer, sub_acts, sub_weights,
                 output_layout=self._layout_for(sub_layer),
                 input_layout=self._input_layout(sub_layer))
-            outputs[g * m_per_group:(g + 1) * m_per_group] = sub_out
+            outputs[m_slice] = sub_out
             total = total.merge(stats)
         return outputs, total
+
+
+def seeded_stages(layers: Sequence[ConvLayerSpec], seed: int = 0,
+                  apply_relu: bool = False
+                  ) -> Tuple[List[ConvStage], np.ndarray]:
+    """Deterministic ``(stages, input activations)`` for a conv-layer chain.
+
+    Weights and the initial iActs are drawn from per-layer RNG streams that
+    depend only on ``seed`` and each layer's *shape signature*
+    (:func:`repro.backends.simulator.cell_rng`), so a whole-model simulator
+    run is exactly reproducible from a recorded seed — same contract as the
+    scenario records' embedded-seed replay.
+    """
+    from repro.backends.simulator import seeded_conv_tensors
+
+    layers = list(layers)
+    if not layers:
+        raise ValueError("seeded_stages requires at least one layer")
+    stages = []
+    for layer in layers:
+        _, weights = seeded_conv_tensors(layer, seed)
+        stages.append(ConvStage(layer=layer, weights=weights,
+                                apply_relu=apply_relu))
+    # The first layer's iActs are the first draw of its cell stream, so a
+    # standalone simulator evaluation of that cell sees identical data.
+    iacts, _ = seeded_conv_tensors(layers[0], seed)
+    return stages, iacts
 
 
 def reference_model(stages: Sequence[Stage], iacts: np.ndarray) -> np.ndarray:
@@ -177,17 +218,10 @@ def reference_model(stages: Sequence[Stage], iacts: np.ndarray) -> np.ndarray:
         if layer.groups == 1:
             acts = reference_conv(acts, stage.weights, layer)
         else:
-            c_per_group = layer.c // layer.groups
-            m_per_group = layer.m // layer.groups
             out = np.zeros((layer.m, layer.p, layer.q), dtype=np.int64)
-            for g in range(layer.groups):
-                sub_layer = ConvLayerSpec(
-                    f"{layer.name}_ref_g{g}", m=m_per_group, c=c_per_group,
-                    h=layer.h, w=layer.w, r=layer.r, s=layer.s,
-                    stride=layer.stride, padding=layer.padding)
-                out[g * m_per_group:(g + 1) * m_per_group] = reference_conv(
-                    acts[g * c_per_group:(g + 1) * c_per_group],
-                    stage.weights[g * m_per_group:(g + 1) * m_per_group], sub_layer)
+            for sub_layer, sub_acts, sub_weights, m_slice in iter_conv_groups(
+                    layer, acts, stage.weights):
+                out[m_slice] = reference_conv(sub_acts, sub_weights, sub_layer)
             acts = out
         if stage.batch_norm is not None:
             acts = stage.batch_norm.apply(acts)

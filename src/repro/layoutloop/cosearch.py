@@ -184,13 +184,15 @@ def evaluate_model(arch: ArchSpec, workloads: Sequence, model_name: str = "model
                    energy: Optional[EnergyTable] = None,
                    mapper: Optional[Mapper] = None,
                    workers: Optional[int] = 1,
-                   vectorize: bool = True) -> ModelCost:
+                   vectorize: bool = True,
+                   backend: str = "analytical") -> ModelCost:
     """Run the per-layer co-search over a whole model and aggregate the result.
 
     Delegates to :func:`repro.search.engine.search_model` (memoized, pruned,
     optionally parallel across ``workers`` processes).  Passing an explicit
     ``mapper`` forces the serial path with that mapper's configuration and
-    caches.  Raises ``ValueError`` on an empty layer list — summing over
+    caches (including its evaluation backend — ``backend`` is then
+    ignored).  Raises ``ValueError`` on an empty layer list — summing over
     nothing would silently report a free model.
     """
     workloads = list(workloads)
@@ -203,7 +205,7 @@ def evaluate_model(arch: ArchSpec, workloads: Sequence, model_name: str = "model
         return search_model(arch, workloads, model_name=model_name,
                             metric=metric, max_mappings=max_mappings,
                             energy=energy, workers=workers,
-                            vectorize=vectorize)
+                            vectorize=vectorize, backend=backend)
     cost = ModelCost(arch=arch.name, model=model_name)
     for workload, count in unique_workloads(workloads):
         result = mapper.search(workload)
@@ -216,16 +218,18 @@ def compare_architectures(arches: Sequence[ArchSpec], workloads: Sequence,
                           max_mappings: int = 200,
                           energy: Optional[EnergyTable] = None,
                           workers: Optional[int] = 1,
-                          vectorize: bool = True) -> Dict[str, ModelCost]:
+                          vectorize: bool = True,
+                          backend: str = "analytical") -> Dict[str, ModelCost]:
     """Evaluate several architectures on the same model (Fig. 13 style).
 
     ``workers`` is forwarded to the engine's process fan-out; results are
-    bit-identical for any worker count.
+    bit-identical for any worker count.  ``backend`` selects the
+    evaluation backend per :mod:`repro.backends`.
     """
     return {
         arch.name: evaluate_model(arch, workloads, model_name=model_name,
                                   metric=metric, max_mappings=max_mappings,
                                   energy=energy, workers=workers,
-                                  vectorize=vectorize)
+                                  vectorize=vectorize, backend=backend)
         for arch in arches
     }

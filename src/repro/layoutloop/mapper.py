@@ -16,6 +16,13 @@ evaluations are memoized in an :class:`~repro.search.cache.EvaluationCache`
 without evaluating any layout.  Both optimisations are exact — the search
 returns the same best (mapping, layout) pair it would have found
 exhaustively, just faster.
+
+Scoring itself goes through an :mod:`repro.backends` evaluation backend.
+The default ``"analytical"`` backend runs the exact cached/batched path
+described above (bit-identical to the pre-backend mapper); any other
+registered backend (e.g. ``"simulator"``) scores candidates through its
+``evaluate_mapping`` — with admissible pruning disabled, since the bounds
+are statements about the analytical model only.
 """
 
 from __future__ import annotations
@@ -55,7 +62,10 @@ class SearchResult:
     arch: str
     """Name of the architecture the search ran on."""
     best_report: CostReport
-    """Full cost report (cycles, pJ breakdown) of the winning pair."""
+    """Full cost report (cycles, pJ breakdown) of the winning pair.  A
+    :class:`~repro.layoutloop.cost_model.CostReport` on the analytical
+    backend, a field-compatible :class:`~repro.backends.base.BackendReport`
+    on any other."""
     best_mapping: Mapping
     """The winning dataflow."""
     best_layout: Layout
@@ -95,24 +105,55 @@ class Mapper:
     :mod:`repro.kernel` fast path (streaming mapping sampling plus batched
     layout evaluation); disabling it runs the scalar reference oracle —
     results are bit-identical either way, only the speed differs.
+
+    ``backend`` selects the evaluation backend scoring candidates: a
+    :mod:`repro.backends` registry name, an already-constructed
+    :class:`~repro.backends.base.EvaluationBackend`, or ``None`` for the
+    default analytical backend (in which case ``evaluation_cache`` and
+    ``vectorize`` configure it exactly as before).  Non-analytical
+    backends disable pruning — the admissible bounds only hold for the
+    analytical model.
     """
 
     def __init__(self, arch: ArchSpec, energy: Optional[EnergyTable] = None,
                  metric: str = "edp", max_mappings: int = 200, seed: int = 0,
                  prune: bool = True,
                  evaluation_cache: Optional[EvaluationCache] = None,
-                 vectorize: bool = True):
+                 vectorize: bool = True, backend=None):
+        from repro.backends import (
+            AnalyticalBackend,
+            EvaluationBackend,
+            create_backend,
+        )
+
         if metric not in _METRICS:
             raise ValueError(f"metric must be one of {_METRICS}")
         self.arch = arch
-        self.cost_model = CostModel(arch, energy)
         self.metric = metric
         self.max_mappings = max_mappings
         self.seed = seed
         self.prune = prune
         self.vectorize = vectorize
-        self.evaluation_cache = (evaluation_cache if evaluation_cache is not None
-                                 else EvaluationCache())
+        if backend is None or backend == "analytical":
+            self.backend = AnalyticalBackend(arch, energy=energy,
+                                             cache=evaluation_cache,
+                                             vectorize=vectorize)
+        elif isinstance(backend, EvaluationBackend):
+            self.backend = backend
+        else:
+            self.backend = create_backend(backend, arch, energy=energy,
+                                          seed=seed)
+        self._analytical = isinstance(self.backend, AnalyticalBackend)
+        if self._analytical:
+            self.cost_model = self.backend.cost_model
+            self.evaluation_cache = self.backend.cache
+        else:
+            # Kept for API compatibility (bound statics, shared-cache
+            # callers); the search loop does not consult them.
+            self.cost_model = CostModel(arch, energy)
+            self.evaluation_cache = (evaluation_cache
+                                     if evaluation_cache is not None
+                                     else EvaluationCache())
         self._cache: Dict[Tuple, SearchResult] = {}
 
     # ------------------------------------------------------------- candidates
@@ -217,14 +258,17 @@ class Mapper:
         ties never replace the incumbent.
         """
         key = (getattr(workload, "name", str(workload)), self._workload_signature(workload),
-               self.metric, self.max_mappings,
+               self.metric, self.max_mappings, self.backend.name,
                tuple(l.name for l in layouts) if layouts else None)
         if key in self._cache:
             return self._cache[key]
 
         layouts = list(layouts) if layouts else self.candidate_layouts(workload)
         mappings = self.candidate_mappings(workload)
-        statics = bound_statics(self.cost_model, workload) if self.prune else None
+        # The admissible bounds are statements about the analytical cost
+        # model; any other backend scans exhaustively.
+        statics = (bound_statics(self.cost_model, workload)
+                   if self.prune and self._analytical else None)
 
         best: Optional[CostReport] = None
         best_value = math.inf
@@ -241,7 +285,11 @@ class Mapper:
                 if bound >= best_value:
                     pruned += len(layouts)
                     continue
-            if self.vectorize:
+            if not self._analytical:
+                scored = [(report, False) for report in
+                          self.backend.evaluate_mapping(workload, mapping,
+                                                        layouts)]
+            elif self.vectorize:
                 scored = self.evaluation_cache.evaluate_batch(
                     self.cost_model, workload, mapping, layouts)
             else:
@@ -281,7 +329,7 @@ class Mapper:
         """
         key = (getattr(workload, "name", str(workload)),
                self._workload_signature(workload), self.metric,
-               self.max_mappings, None)
+               self.max_mappings, self.backend.name, None)
         self._cache.setdefault(key, result)
 
     # ---------------------------------------------------------------- helpers

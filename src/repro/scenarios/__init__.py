@@ -25,8 +25,10 @@ cells are never recomputed.
 from repro.scenarios.builtin import (
     builtin_matrix,
     coverage_matrix,
+    crossval_matrix,
     figure_matrix,
     golden_matrix,
+    simulator_matrix,
     smoke_matrix,
 )
 from repro.scenarios.record import (
@@ -56,6 +58,7 @@ from repro.scenarios.spec import (
     Scenario,
     ScenarioMatrix,
     SearchConfig,
+    scenario_backend_names,
     slugify,
 )
 
@@ -71,6 +74,7 @@ __all__ = [
     "builtin_matrix",
     "cell_key",
     "coverage_matrix",
+    "crossval_matrix",
     "diff_payloads",
     "figure_matrix",
     "golden_matrix",
@@ -82,7 +86,9 @@ __all__ = [
     "resolve_workload_set",
     "run_cell",
     "run_matrix",
+    "scenario_backend_names",
     "scenario_from_record",
+    "simulator_matrix",
     "slugify",
     "smoke_matrix",
     "workload_set_names",

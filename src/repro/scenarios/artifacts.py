@@ -15,7 +15,7 @@ from typing import Dict, List, Sequence
 
 #: Column order of both summary formats.
 SUMMARY_COLUMNS = (
-    "scenario", "workload_set", "arch", "metric", "seed",
+    "scenario", "workload_set", "arch", "backend", "metric", "seed",
     "layers", "unique", "total_cycles", "total_energy_pj",
     "energy_per_mac_pj", "edp", "avg_utilization",
     "evaluations", "pruned", "cached", "elapsed_s",
@@ -31,6 +31,7 @@ def summary_rows(results: Sequence) -> List[Dict[str, object]]:
             "scenario": record.scenario,
             "workload_set": record.workload_set,
             "arch": record.arch,
+            "backend": record.backend,
             "metric": record.config["metric"],
             "seed": record.seed,
             "layers": record.search["layers_total"],

@@ -1,6 +1,6 @@
 """The built-in scenario matrix: everything the repo can run end-to-end.
 
-Four groups, combined (deduplicated) by :func:`builtin_matrix`:
+Six groups, combined (deduplicated) by :func:`builtin_matrix`:
 
 * **smoke** — five tiny cells spanning every workload family (dense conv,
   skewed GEMM, depthwise, skewed attention heads, batched conv); the CI
@@ -11,9 +11,14 @@ Four groups, combined (deduplicated) by :func:`builtin_matrix`:
 * **coverage** — the scenario-diversity sweep beyond the paper's grid:
   depthwise/pointwise MobileNet blocks, the skewed BERT-head GEMM sweep
   and batch-size (N>1) model variants, each on several architectures.
-* **golden** — four pinned micro-cells whose records are checked into
-  ``tests/golden/`` and asserted bit-identical by
-  ``tests/test_scenarios_golden.py``.
+* **simulator** — micro-cells co-searched on the cycle-level FEATHER
+  simulator backend (``backend="simulator"``).
+* **crossval** — micro-cells cross-validating the analytical model
+  against the simulator; their records embed per-cell
+  analytical-vs-simulated cycle/utilization deltas.
+* **golden** — pinned micro-cells (analytical, simulator and crossval)
+  whose records are checked into ``tests/golden/`` and asserted
+  bit-identical by ``tests/test_scenarios_golden.py``.
 """
 
 from __future__ import annotations
@@ -71,6 +76,41 @@ def coverage_matrix() -> ScenarioMatrix:
     return matrix
 
 
+_SIM_EDP = SearchConfig(name="sim-edp", metric="edp", max_mappings=4)
+_SIM_LATENCY = SearchConfig(name="sim-latency", metric="latency",
+                            max_mappings=6)
+
+
+def simulator_matrix() -> ScenarioMatrix:
+    """Micro-cells co-searched on the cycle-level simulator backend."""
+    return ScenarioMatrix(name="simulator", scenarios=[
+        Scenario("sim-micro-convs", "micro_convs", "FEATHER-4x4",
+                 _SIM_EDP, backend="simulator", tags=("simulator", "micro")),
+        Scenario("sim-micro-gemms", "micro_gemms", "FEATHER-4x4",
+                 _SIM_LATENCY, backend="simulator",
+                 tags=("simulator", "micro")),
+        Scenario("sim-fig10-gemms", "fig10_gemms", "FEATHER-4x4",
+                 _SIM_LATENCY, backend="simulator",
+                 tags=("simulator", "micro", "fig10")),
+    ])
+
+
+def crossval_matrix() -> ScenarioMatrix:
+    """Analytical-vs-simulator cross-validation micro-cells.
+
+    Each record embeds the per-cell cycle/utilization deltas and the
+    simulator's independently measured read slowdown / write
+    serialization — the machine-check of the RIR claim.
+    """
+    return ScenarioMatrix(name="crossval", scenarios=[
+        Scenario("crossval-micro-convs", "micro_convs", "FEATHER-4x4",
+                 _SIM_EDP, backend="crossval", tags=("crossval", "micro")),
+        Scenario("crossval-micro-gemms", "micro_gemms", "FEATHER-4x4",
+                 _SIM_LATENCY, backend="crossval",
+                 tags=("crossval", "micro")),
+    ])
+
+
 def golden_matrix() -> ScenarioMatrix:
     """The pinned micro-cells backing the golden-file regression tests.
 
@@ -91,10 +131,20 @@ def golden_matrix() -> ScenarioMatrix:
                  "Eyeriss-like", golden_edp, tags=("golden",)),
         Scenario("golden-bert-heads", "bert_head_sweep[:2]",
                  "SIGMA-like (MK_K32)", golden_edp, tags=("golden",)),
+        Scenario("golden-sim-micro-convs", "micro_convs", "FEATHER-4x4",
+                 SearchConfig(name="golden-sim", metric="edp",
+                              max_mappings=4),
+                 backend="simulator", tags=("golden", "simulator")),
+        Scenario("golden-crossval-micro-gemms", "micro_gemms", "FEATHER-4x4",
+                 SearchConfig(name="golden-crossval", metric="latency",
+                              max_mappings=6),
+                 backend="crossval", tags=("golden", "crossval")),
     ])
 
 
 def builtin_matrix() -> ScenarioMatrix:
-    """All built-in cells (smoke + figures + coverage + golden), dedup'd."""
+    """All built-in cells (smoke + figures + coverage + simulator +
+    crossval + golden), deduplicated."""
     return ScenarioMatrix(name="builtin").merged(
-        smoke_matrix(), figure_matrix(), coverage_matrix(), golden_matrix())
+        smoke_matrix(), figure_matrix(), coverage_matrix(),
+        simulator_matrix(), crossval_matrix(), golden_matrix())

@@ -4,9 +4,12 @@ Subcommands:
 
 * ``list [--filter PAT]`` — show the built-in matrix (name, workload set,
   architecture, objective, budget, tags).
-* ``run [--filter PAT] [--runs-dir DIR] [--workers N] [--no-vectorize]
-  [--force]`` — execute the matching cells with content-addressed artifact
-  caching; re-running a completed sweep reports every cell as a cache hit.
+* ``run [--filter PAT] [--backend NAME] [--runs-dir DIR] [--workers N]
+  [--no-vectorize] [--force]`` — execute the matching cells with
+  content-addressed artifact caching; re-running a completed sweep reports
+  every cell as a cache hit.  ``--backend`` overrides every cell's
+  evaluation backend (``analytical``, ``simulator`` or ``crossval``); by
+  default each cell runs on the backend its scenario declares.
 * ``diff A [B]`` — compare the deterministic payloads of two record files;
   with a single argument, re-run the record's cell from its embedded
   seed/config and compare against the stored numbers (a reproducibility
@@ -22,6 +25,7 @@ from typing import List, Optional
 
 from repro.scenarios.builtin import builtin_matrix
 from repro.scenarios.record import ScenarioRecord, diff_payloads
+from repro.scenarios.spec import scenario_backend_names
 from repro.scenarios.runner import (
     DEFAULT_RUNS_DIR,
     CellResult,
@@ -44,6 +48,10 @@ def _build_parser() -> argparse.ArgumentParser:
     run_cmd = sub.add_parser("run", help="execute matching cells")
     run_cmd.add_argument("--filter", default=None, metavar="PAT",
                          help="substring match on cell names and tags")
+    run_cmd.add_argument("--backend", default=None,
+                         choices=list(scenario_backend_names()),
+                         help="override every cell's evaluation backend "
+                              "(default: each cell's declared backend)")
     run_cmd.add_argument("--runs-dir", type=Path, default=DEFAULT_RUNS_DIR,
                          help=f"artifact directory (default: "
                               f"{DEFAULT_RUNS_DIR})")
@@ -71,10 +79,11 @@ def _cmd_list(args: argparse.Namespace) -> int:
     if not len(cells):
         print(f"no scenarios match {args.filter!r}")
         return 1
-    rows = [("name", "workload set", "arch", "metric", "budget", "tags")]
+    rows = [("name", "workload set", "arch", "backend", "metric", "budget",
+             "tags")]
     for scenario in cells:
         rows.append((scenario.name, scenario.workload_set, scenario.arch,
-                     scenario.config.metric,
+                     scenario.backend, scenario.config.metric,
                      str(scenario.config.max_mappings),
                      ",".join(scenario.tags)))
     widths = [max(len(row[i]) for row in rows) for i in range(len(rows[0]))]
@@ -90,22 +99,42 @@ def _cmd_run(args: argparse.Namespace) -> int:
     def progress(result: CellResult) -> None:
         record = result.record
         status = "cached" if result.cached else f"{record.elapsed_s:6.2f}s"
-        print(f"[{status:>7}] {record.scenario}: "
-              f"{record.totals['total_cycles']:.4g} cycles, "
-              f"{record.totals['energy_per_mac_pj']:.3f} pJ/MAC, "
-              f"util {record.totals['avg_utilization']:.2%}")
+        line = (f"[{status:>7}] {record.scenario} ({record.backend}): "
+                f"{record.totals['total_cycles']:.4g} cycles, "
+                f"{record.totals['energy_per_mac_pj']:.3f} pJ/MAC, "
+                f"util {record.totals['avg_utilization']:.2%}")
+        if record.crossval is not None:
+            line += (f", sim delta <= "
+                     f"{record.crossval['max_abs_cycle_delta']:.1%}")
+        print(line)
 
     matrix = builtin_matrix()
     if not len(matrix.filter(args.filter)):
         print(f"no scenarios match {args.filter!r}")
         return 1
-    run = run_matrix(matrix, pattern=args.filter, workers=args.workers,
-                     vectorize=not args.no_vectorize,
-                     runs_dir=args.runs_dir, force=args.force,
-                     progress=progress)
-    print(f"{len(run.results)} cell(s), {run.cached_count} from cache "
-          f"-> {args.runs_dir} (summary.csv, summary.md)")
-    return 0
+    try:
+        # With an explicit --backend override, cells that backend cannot
+        # run (paper-scale cells vs the simulator's MAC bound, non-RIR
+        # architectures) are skipped with their reason instead of
+        # aborting the sweep.
+        run = run_matrix(matrix, pattern=args.filter, workers=args.workers,
+                         vectorize=not args.no_vectorize,
+                         runs_dir=args.runs_dir, force=args.force,
+                         progress=progress, backend=args.backend,
+                         skip_incompatible=args.backend is not None)
+    except ValueError as exc:
+        # A declared-backend cell failing is a configuration error: fail
+        # with the reason, not a traceback.
+        print(f"error: {exc}")
+        return 1
+    for scenario, reason in run.skipped:
+        print(f"[   skip] {scenario.name}: {reason}")
+    line = (f"{len(run.results)} cell(s), {run.cached_count} from cache "
+            f"-> {args.runs_dir} (summary.csv, summary.md)")
+    if run.skipped:
+        line += f"; {len(run.skipped)} skipped by --backend {args.backend}"
+    print(line)
+    return 1 if not run.results else 0
 
 
 def _cmd_diff(args: argparse.Namespace) -> int:

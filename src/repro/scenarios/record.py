@@ -23,7 +23,7 @@ from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import Dict, List, Optional
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 #: Record fields excluded from the deterministic payload: they describe how
 #: a run executed (or which release produced it), not what it computed.
@@ -77,8 +77,9 @@ class ScenarioRecord:
     config: Dict[str, object]
     """The :class:`~repro.scenarios.spec.SearchConfig` as a dict."""
     seed: int
-    """RNG seed of the mapping sampler (duplicated from ``config`` so the
-    reproducibility contract is visible at the top level)."""
+    """RNG seed of the mapping sampler — and, on simulator-backed cells, of
+    the deterministic weight/iAct generation (duplicated from ``config`` so
+    the reproducibility contract is visible at the top level)."""
     key: str
     """Content address: sha256 over the resolved cell definition."""
     totals: Dict[str, float]
@@ -87,6 +88,14 @@ class ScenarioRecord:
     """Per-unique-shape winners, in first-seen order."""
     search: Dict[str, object]
     """Deterministic engine counters (evaluations, pruned, cache hits...)."""
+    backend: str = "analytical"
+    """Evaluation backend the cell ran on (``analytical``, ``simulator`` or
+    ``crossval``); part of the deterministic payload — backends produce
+    different numbers by design."""
+    crossval: Optional[Dict[str, object]] = None
+    """Per-cell analytical-vs-simulated deltas
+    (:meth:`repro.backends.crossval.CrossValidation.as_dict`); only present
+    on ``crossval``-backed cells."""
     repro_version: str = ""
     """``repro.__version__`` that produced the record."""
     workers: int = 1
@@ -140,8 +149,16 @@ class ScenarioRecord:
 
 def record_from_model_cost(scenario, cost, key: str, repro_version: str,
                            workers: int = 1, vectorize: bool = True,
-                           elapsed_s: float = 0.0) -> ScenarioRecord:
-    """Build a record from a :class:`~repro.layoutloop.cosearch.ModelCost`."""
+                           elapsed_s: float = 0.0,
+                           backend: str = "analytical",
+                           crossval: Optional[Dict[str, object]] = None,
+                           ) -> ScenarioRecord:
+    """Build a record from a :class:`~repro.layoutloop.cosearch.ModelCost`.
+
+    ``backend`` names the evaluation backend that produced ``cost``;
+    ``crossval`` attaches the per-cell analytical-vs-simulated deltas on
+    cross-validation cells (whose ``cost``/totals are the analytical side).
+    """
     layers = []
     for choice in cost.layer_choices:
         result = choice.result
@@ -172,6 +189,7 @@ def record_from_model_cost(scenario, cost, key: str, repro_version: str,
     }
     stats = cost.search_stats
     search = {
+        "backend": stats.backend,
         "layers_total": stats.layers_total,
         "layers_unique": stats.layers_unique,
         "evaluations": stats.evaluations,
@@ -189,6 +207,8 @@ def record_from_model_cost(scenario, cost, key: str, repro_version: str,
         totals=totals,
         layers=layers,
         search=search,
+        backend=backend,
+        crossval=crossval,
         repro_version=repro_version,
         workers=workers,
         vectorize=vectorize,

@@ -21,6 +21,7 @@ from repro.baselines.registry import fig13_arch_suite
 from repro.layoutloop.arch import ArchSpec, feather_arch
 from repro.workloads.bert import bert_head_gemm_sweep, bert_unique_gemms
 from repro.workloads.gemm import fig10_workloads
+from repro.workloads.micro import micro_conv_layers, micro_gemm_layers
 from repro.workloads.mobilenet_v3 import (
     mobilenet_v3_depthwise_layers,
     mobilenet_v3_layers,
@@ -130,6 +131,11 @@ def _register_builtin_workload_sets() -> None:
         "mobilenet_v3_batch4",
         lambda: [l.with_batch(4)
                  for l in mobilenet_v3_layers(include_fc=False)])
+    # Micro sets sized for the cycle-level simulator backend (the
+    # functional NEST runs every MAC in Python, so simulator/crossval
+    # cells need shapes a few orders of magnitude below the paper's).
+    register_workload_set("micro_convs", micro_conv_layers)
+    register_workload_set("micro_gemms", micro_gemm_layers)
 
 
 def _register_builtin_arches() -> None:

@@ -23,9 +23,9 @@ from __future__ import annotations
 
 import hashlib
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Tuple
 
 import repro
 from repro.layoutloop.cost_model import DEFAULT_ENERGY_TABLE
@@ -62,6 +62,7 @@ def _resolved_cell_key(scenario: Scenario, workloads: List, arch) -> str:
         tuple(workload_signature(w) for w in workloads),
         arch_signature(arch, DEFAULT_ENERGY_TABLE),
         scenario.config.identity(),
+        scenario.backend,
     )
     return hashlib.sha256(repr(payload).encode("utf-8")).hexdigest()
 
@@ -73,11 +74,15 @@ def artifact_path(runs_dir: Path, scenario: Scenario) -> Path:
     whenever it changed the name a short hash of the exact name is
     appended — distinct cells can never overwrite each other's artifact.
     Slug-safe names (all the smoke/golden cells) keep their clean stem.
+    Non-analytical backends get a ``--<backend>`` suffix so re-running the
+    same cells under another backend never evicts the analytical artifacts.
     """
     stem = slugify(scenario.name)
     if stem != scenario.name:
         digest = hashlib.sha256(scenario.name.encode("utf-8")).hexdigest()
         stem = f"{stem}-{digest[:8]}"
+    if scenario.backend != "analytical":
+        stem = f"{stem}--{scenario.backend}"
     return Path(runs_dir) / f"{stem}.json"
 
 
@@ -94,16 +99,27 @@ class CellResult:
 
 
 def run_cell(scenario: Scenario, workers: int = 1, vectorize: bool = True,
-             runs_dir: Optional[Path] = None,
-             force: bool = False) -> CellResult:
-    """Run (or load) one scenario cell.
+             runs_dir: Optional[Path] = None, force: bool = False,
+             backend: Optional[str] = None) -> CellResult:
+    """Run (or load) one scenario cell on its evaluation backend.
+
+    ``backend`` overrides the scenario's declared backend for this run
+    (the CLI's ``--backend`` flag); the override participates in the
+    content key and the artifact name, so the same cell run under two
+    backends produces two independent artifacts.
 
     With ``runs_dir`` set, a previously written artifact whose embedded key
     matches the cell's current content address is returned directly;
     ``force=True`` always re-runs.  Without ``runs_dir`` the cell is always
     computed and nothing is written.
     """
+    import dataclasses
+
+    from repro.backends.crossval import cross_validate_model
     from repro.search.engine import search_model
+
+    if backend is not None and backend != scenario.backend:
+        scenario = dataclasses.replace(scenario, backend=backend)
 
     workloads = resolve_workload_set(scenario.workload_set)
     arch = resolve_arch(scenario.arch)
@@ -120,17 +136,28 @@ def run_cell(scenario: Scenario, workers: int = 1, vectorize: bool = True,
                 return CellResult(record=existing, cached=True, path=path)
 
     config = scenario.config
+    crossval_payload = None
     start = time.perf_counter()
-    cost = search_model(arch, workloads, model_name=scenario.name,
-                        metric=config.metric,
-                        max_mappings=config.max_mappings, workers=workers,
-                        prune=config.prune, seed=config.seed,
-                        vectorize=vectorize)
+    if scenario.backend == "crossval":
+        cost, validation = cross_validate_model(
+            arch, workloads, model_name=scenario.name, metric=config.metric,
+            max_mappings=config.max_mappings, seed=config.seed,
+            workers=workers, vectorize=vectorize, prune=config.prune,
+            arch_label=scenario.arch)
+        crossval_payload = validation.as_dict()
+    else:
+        cost = search_model(arch, workloads, model_name=scenario.name,
+                            metric=config.metric,
+                            max_mappings=config.max_mappings, workers=workers,
+                            prune=config.prune, seed=config.seed,
+                            vectorize=vectorize, backend=scenario.backend)
     elapsed = time.perf_counter() - start
     record = record_from_model_cost(scenario, cost, key=key,
                                     repro_version=repro.__version__,
                                     workers=cost.search_stats.workers,
-                                    vectorize=vectorize, elapsed_s=elapsed)
+                                    vectorize=vectorize, elapsed_s=elapsed,
+                                    backend=scenario.backend,
+                                    crossval=crossval_payload)
     if path is not None:
         path.parent.mkdir(parents=True, exist_ok=True)
         record.write(path)
@@ -144,6 +171,9 @@ class MatrixRun:
     results: List[CellResult]
     summary_csv: Optional[Path] = None
     summary_md: Optional[Path] = None
+    skipped: List[Tuple[Scenario, str]] = field(default_factory=list)
+    """Cells a backend override could not run (scenario, reason) — only
+    populated when ``run_matrix`` is called with ``skip_incompatible``."""
 
     @property
     def records(self) -> List[ScenarioRecord]:
@@ -158,25 +188,40 @@ def run_matrix(matrix: ScenarioMatrix, pattern: Optional[str] = None,
                workers: int = 1, vectorize: bool = True,
                runs_dir: Optional[Path] = None, force: bool = False,
                progress: Optional[Callable[[CellResult], None]] = None,
-               ) -> MatrixRun:
+               backend: Optional[str] = None,
+               skip_incompatible: bool = False) -> MatrixRun:
     """Run every (matching) cell of a matrix and emit summary artifacts.
 
     Cells run in plan order; ``progress`` (if given) is called after each
     cell with its :class:`CellResult`.  With ``runs_dir`` set, per-cell JSON
     records land there and ``summary.csv`` / ``summary.md`` are rewritten
-    to cover the cells of this invocation.
+    to cover the cells of this invocation.  ``backend`` (if given)
+    overrides every cell's declared backend for this sweep; with
+    ``skip_incompatible=True`` cells the chosen backend declares it cannot
+    run by design (:class:`~repro.backends.simulator.BackendCompatibilityError`:
+    a cell over the simulator's MAC bound, a non-RIR architecture) are
+    collected in :attr:`MatrixRun.skipped` with their reason instead of
+    aborting the sweep — genuine configuration errors still raise.
     """
+    from repro.backends.simulator import BackendCompatibilityError
     from repro.scenarios.artifacts import write_summary_csv, write_summary_md
 
     cells = matrix.filter(pattern).dedup()
     results: List[CellResult] = []
+    skipped: List[Tuple[Scenario, str]] = []
     for scenario in cells:
-        result = run_cell(scenario, workers=workers, vectorize=vectorize,
-                          runs_dir=runs_dir, force=force)
+        try:
+            result = run_cell(scenario, workers=workers, vectorize=vectorize,
+                              runs_dir=runs_dir, force=force, backend=backend)
+        except BackendCompatibilityError as exc:
+            if not skip_incompatible:
+                raise
+            skipped.append((scenario, str(exc)))
+            continue
         results.append(result)
         if progress is not None:
             progress(result)
-    run = MatrixRun(results=results)
+    run = MatrixRun(results=results, skipped=skipped)
     if runs_dir is not None:
         runs_dir = Path(runs_dir)
         runs_dir.mkdir(parents=True, exist_ok=True)
@@ -196,7 +241,8 @@ def scenario_from_record(record: ScenarioRecord) -> Scenario:
     """
     return Scenario(name=record.scenario, workload_set=record.workload_set,
                     arch=record.arch,
-                    config=SearchConfig.from_dict(record.config))
+                    config=SearchConfig.from_dict(record.config),
+                    backend=record.backend)
 
 
 def rerun_record(record: ScenarioRecord, workers: int = 1,

@@ -67,9 +67,19 @@ class SearchConfig:
                    seed=int(data["seed"]), prune=bool(data["prune"]))
 
 
+def scenario_backend_names() -> Tuple[str, ...]:
+    """Backends a scenario cell may run on: every :mod:`repro.backends`
+    registry name (including downstream-registered ones) plus the
+    composite ``"crossval"`` mode (analytical search, then simulator
+    execution of every winner with per-cell deltas)."""
+    from repro.backends import backend_names
+
+    return tuple(backend_names()) + ("crossval",)
+
+
 @dataclass(frozen=True)
 class Scenario:
-    """One named (workload set, architecture, search config) cell."""
+    """One named (workload set, architecture, search config, backend) cell."""
 
     name: str
     """Unique human-readable cell name (doubles as the artifact stem)."""
@@ -81,13 +91,24 @@ class Scenario:
     """Search settings of this cell."""
     tags: Tuple[str, ...] = ()
     """Free-form labels the CLI filter matches (e.g. ``("smoke",)``)."""
+    backend: str = "analytical"
+    """Evaluation backend of the cell (:func:`scenario_backend_names`); the
+    CLI's ``run --backend`` overrides it for a whole sweep."""
+
+    def __post_init__(self) -> None:
+        allowed = scenario_backend_names()
+        if self.backend not in allowed:
+            raise ValueError(
+                f"backend must be one of {allowed}, "
+                f"got {self.backend!r}")
 
     def matches(self, pattern: Optional[str]) -> bool:
-        """Case-insensitive substring match against the name and the tags."""
+        """Case-insensitive substring match on name, tags and backend."""
         if not pattern:
             return True
         needle = pattern.lower()
         return (needle in self.name.lower()
+                or needle in self.backend.lower()
                 or any(needle in tag.lower() for tag in self.tags))
 
 
@@ -143,13 +164,14 @@ class ScenarioMatrix:
         return self
 
     def cross(self, workload_sets: Sequence[str], arches: Sequence[str],
-              configs: Sequence[SearchConfig],
-              tags: Sequence[str] = ()) -> "ScenarioMatrix":
+              configs: Sequence[SearchConfig], tags: Sequence[str] = (),
+              backend: str = "analytical") -> "ScenarioMatrix":
         """Append the full cross product, row-major in argument order.
 
         Every combination is appended exactly once per call (cardinality is
         ``len(workload_sets) * len(arches) * len(configs)``); duplicates
-        across calls are resolved later by :meth:`dedup`.  Returns ``self``.
+        across calls are resolved later by :meth:`dedup`.  ``backend``
+        applies to every appended cell.  Returns ``self``.
         """
         tag_tuple = tuple(tags)
         for wset in workload_sets:
@@ -158,7 +180,7 @@ class ScenarioMatrix:
                     self.scenarios.append(Scenario(
                         name=default_cell_name(wset, arch, config),
                         workload_set=wset, arch=arch, config=config,
-                        tags=tag_tuple))
+                        tags=tag_tuple, backend=backend))
         return self
 
     # ------------------------------------------------------------ refinement
@@ -187,8 +209,10 @@ class ScenarioMatrix:
                 keep[scenario.name] = scenario
                 order.append(scenario.name)
                 continue
-            if (scenario.workload_set, scenario.arch, scenario.config) != (
-                    existing.workload_set, existing.arch, existing.config):
+            if (scenario.workload_set, scenario.arch, scenario.config,
+                    scenario.backend) != (
+                    existing.workload_set, existing.arch, existing.config,
+                    existing.backend):
                 raise ValueError(
                     f"scenario name {scenario.name!r} is reused for "
                     f"different cell content; rename one of the cells")

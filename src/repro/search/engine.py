@@ -52,6 +52,8 @@ class SearchStats:
     """Number of unique layer shapes actually searched."""
     evaluations: int = 0
     """(mapping, layout) candidates scored, including cache hits."""
+    backend: str = "analytical"
+    """Evaluation backend the candidates were scored on."""
     pruned: int = 0
     """Candidates skipped by the admissible lower bound."""
     cache: CacheStats = field(default_factory=CacheStats)
@@ -83,7 +85,7 @@ class SearchEngine:
     def __init__(self, arch: ArchSpec, energy: Optional[EnergyTable] = None,
                  metric: str = "edp", max_mappings: int = 200, seed: int = 0,
                  prune: bool = True, cache: Optional[EvaluationCache] = None,
-                 vectorize: bool = True):
+                 vectorize: bool = True, backend: str = "analytical"):
         self.arch = arch
         self.energy = energy
         self.metric = metric
@@ -91,11 +93,12 @@ class SearchEngine:
         self.seed = seed
         self.prune = prune
         self.vectorize = vectorize
+        self.backend = backend
         self.cache = cache if cache is not None else EvaluationCache()
         self.mapper = Mapper(arch, energy=energy, metric=metric,
                              max_mappings=max_mappings, seed=seed,
                              prune=prune, evaluation_cache=self.cache,
-                             vectorize=vectorize)
+                             vectorize=vectorize, backend=backend)
 
     @property
     def cache_stats(self) -> CacheStats:
@@ -117,13 +120,17 @@ class SearchEngine:
         and always build their own.  Either way, the per-shape results are
         adopted into the engine afterwards, so follow-up
         :meth:`search_layer` calls for the same shapes return instantly.
+        The engine's live backend *instance* is forwarded, so on a
+        non-analytical backend repeat batches reuse its simulation memos
+        (the analytical instance resolves to the normal fan-out path).
         """
+        backend = self.mapper.backend
         cost = search_model(self.arch, workloads, model_name=model_name,
                             metric=self.metric, max_mappings=self.max_mappings,
                             energy=self.energy, workers=workers,
                             chunk_size=chunk_size, prune=self.prune,
                             seed=self.seed, cache=self.cache,
-                            vectorize=self.vectorize)
+                            vectorize=self.vectorize, backend=backend)
         for (workload, _), choice in zip(unique_workloads(workloads),
                                          cost.layer_choices):
             self.mapper.adopt_result(workload, choice.result)
@@ -154,7 +161,8 @@ def search_model(arch: ArchSpec, workloads: Sequence, model_name: str = "model",
                  workers: Optional[int] = 1,
                  chunk_size: Optional[int] = None, prune: bool = True,
                  seed: int = 0, cache: Optional[EvaluationCache] = None,
-                 vectorize: bool = True) -> ModelCost:
+                 vectorize: bool = True,
+                 backend="analytical") -> ModelCost:
     """Co-search a whole model on one architecture and aggregate the cost.
 
     Parameters mirror :class:`~repro.layoutloop.mapper.Mapper`; the batch
@@ -171,6 +179,12 @@ def search_model(arch: ArchSpec, workloads: Sequence, model_name: str = "model",
     * ``vectorize`` — run the :mod:`repro.kernel` fast path (streaming
       mapping sampling + batched layout evaluation).  ``False`` runs the
       scalar reference oracle; results are bit-identical either way.
+    * ``backend`` — the :mod:`repro.backends` evaluation backend scoring
+      the candidates: a registry name (default ``"analytical"``) or an
+      already-constructed backend instance (reused as-is, keeping its
+      simulation memos warm).  Non-analytical backends run serially (their
+      in-process state — accelerator instances, simulation memos — does
+      not ship to worker processes) and without pruning.
 
     Raises ``ValueError`` on an empty workload list — silently returning an
     all-zero :class:`ModelCost` hid bugs in callers.
@@ -180,16 +194,35 @@ def search_model(arch: ArchSpec, workloads: Sequence, model_name: str = "model",
         raise ValueError(
             f"search_model({model_name!r}) requires at least one workload")
 
+    from repro.backends import AnalyticalBackend
+
+    if isinstance(backend, AnalyticalBackend):
+        # An analytical *instance* is configuration, not a detour: adopt
+        # its cache (unless one was passed explicitly) and vectorize flag,
+        # then run the full analytical path — fan-out, pruning, stats.
+        if cache is None:
+            cache = backend.cache
+        vectorize = backend.vectorize
+        backend = "analytical"
+    analytical = backend is None or backend == "analytical"
     start = time.perf_counter()
     grouped = unique_workloads(workloads)
     shapes = [wl for wl, _ in grouped]
-    workers = resolve_workers(workers)
+    workers = resolve_workers(workers) if analytical else 1
 
+    backend_name = ("analytical" if analytical
+                    else getattr(backend, "name", None) or str(backend))
     stats = SearchStats(model=model_name, arch=arch.name,
                         layers_total=len(workloads),
-                        layers_unique=len(grouped), workers=workers)
+                        layers_unique=len(grouped), workers=workers,
+                        backend=backend_name)
 
-    if workers <= 1 or len(shapes) <= 1:
+    if not analytical:
+        mapper = Mapper(arch, energy=energy, metric=metric,
+                        max_mappings=max_mappings, seed=seed, prune=prune,
+                        vectorize=vectorize, backend=backend)
+        results = [mapper.search(wl) for wl in shapes]
+    elif workers <= 1 or len(shapes) <= 1:
         stats.workers = 1
         eval_cache = cache if cache is not None else EvaluationCache()
         # Shared caches outlive this call: report this run's delta, not the
@@ -231,13 +264,14 @@ def search_models(arches: Sequence[ArchSpec], workloads: Sequence,
                   energy: Optional[EnergyTable] = None,
                   workers: Optional[int] = 1,
                   chunk_size: Optional[int] = None, prune: bool = True,
-                  seed: int = 0, vectorize: bool = True) -> Dict[str, ModelCost]:
+                  seed: int = 0, vectorize: bool = True,
+                  backend: str = "analytical") -> Dict[str, ModelCost]:
     """Run :func:`search_model` for several architectures (Fig. 13 style)."""
     return {
         arch.name: search_model(arch, workloads, model_name=model_name,
                                 metric=metric, max_mappings=max_mappings,
                                 energy=energy, workers=workers,
                                 chunk_size=chunk_size, prune=prune, seed=seed,
-                                vectorize=vectorize)
+                                vectorize=vectorize, backend=backend)
         for arch in arches
     }

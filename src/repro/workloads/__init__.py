@@ -26,6 +26,12 @@ from repro.workloads.bert import (
     bert_head_gemm_sweep,
     bert_unique_gemms,
 )
+from repro.workloads.micro import (
+    bert_head_micro,
+    micro_conv_layers,
+    micro_gemm_layers,
+    resnet50_head_micro,
+)
 
 __all__ = [
     "CONV_DIMS",
@@ -46,5 +52,9 @@ __all__ = [
     "mobilenet_v3_pointwise_layers",
     "bert_base_gemms",
     "bert_head_gemm_sweep",
+    "bert_head_micro",
     "bert_unique_gemms",
+    "micro_conv_layers",
+    "micro_gemm_layers",
+    "resnet50_head_micro",
 ]

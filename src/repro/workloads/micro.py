@@ -1,0 +1,55 @@
+"""Micro workloads sized for the cycle-level simulator backend.
+
+The functional FEATHER model executes every MAC in Python, so
+simulator-backed scenario cells need shapes a few orders of magnitude
+smaller than the paper's networks.  These tables keep one representative
+of each conv family (dense 3x3, pointwise 1x1, depthwise) plus a
+scaled-down ResNet-50 stem and BERT attention head, all small enough that
+a full co-search-and-simulate cell finishes in seconds.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.workloads.conv import ConvLayerSpec, LayerKind
+from repro.workloads.gemm import GemmSpec
+
+
+def micro_conv_layers() -> List[ConvLayerSpec]:
+    """One tiny layer per conv family (dense, pointwise, depthwise)."""
+    return [
+        ConvLayerSpec("micro_conv3x3", m=8, c=4, h=8, w=8, r=3, s=3,
+                      padding=1),
+        ConvLayerSpec("micro_pointwise", m=8, c=8, h=6, w=6, r=1, s=1,
+                      kind=LayerKind.POINTWISE),
+        ConvLayerSpec("micro_depthwise", m=4, c=4, h=6, w=6, r=3, s=3,
+                      padding=1, kind=LayerKind.DEPTHWISE),
+    ]
+
+
+def resnet50_head_micro() -> ConvLayerSpec:
+    """The ResNet-50 stem convolution at 1/16 spatial scale.
+
+    Same kernel/stride/padding structure as ``conv1`` (7x7/2, 3 input
+    channels) with M and H/W shrunk so the cell simulates in about a
+    second — the shape the backend-parity tests machine-check the RIR
+    claim on.
+    """
+    return ConvLayerSpec("resnet50_head_micro", m=16, c=3, h=14, w=14,
+                         r=7, s=7, stride=2, padding=3)
+
+
+def bert_head_micro(seq_len: int = 32, head_dim: int = 16) -> GemmSpec:
+    """A scaled-down BERT attention-score GEMM (``seq x head_dim x seq``)."""
+    return GemmSpec(f"bert_head_micro_s{seq_len}", m=seq_len, k=head_dim,
+                    n=seq_len)
+
+
+def micro_gemm_layers() -> List[GemmSpec]:
+    """Tiny GEMMs spanning square, skewed-K and skewed-N shapes."""
+    return [
+        GemmSpec("micro_gemm_square", m=12, k=8, n=12),
+        GemmSpec("micro_gemm_deep", m=6, k=24, n=4),
+        bert_head_micro(),
+    ]

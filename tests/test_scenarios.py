@@ -387,3 +387,81 @@ class TestCli:
         assert (scalar.deterministic_payload()
                 == record.deterministic_payload())
         assert scalar.vectorize is False
+
+
+class TestBackendCells:
+    """Scenario cells running on the simulator / crossval backends."""
+
+    SIM = "sim-micro-gemms"
+    XVAL = "crossval-micro-gemms"
+
+    def test_scenario_validates_backend(self):
+        with pytest.raises(ValueError, match="backend"):
+            Scenario("bad", "micro_convs", "FEATHER-4x4",
+                     SearchConfig(name="c"), backend="quantum")
+
+    def test_simulator_cell_runs_and_replays(self):
+        from repro.scenarios import simulator_matrix
+
+        scenario = simulator_matrix().get(self.SIM)
+        record = run_cell(scenario).record
+        assert record.backend == "simulator"
+        assert record.search["backend"] == "simulator"
+        assert record.totals["total_cycles"] > 0
+        replay = rerun_record(record)
+        assert (replay.deterministic_payload()
+                == record.deterministic_payload())
+
+    def test_crossval_cell_embeds_deltas(self):
+        from repro.scenarios import crossval_matrix
+
+        scenario = crossval_matrix().get(self.XVAL)
+        record = run_cell(scenario).record
+        assert record.backend == "crossval"
+        crossval = record.crossval
+        assert crossval is not None
+        assert crossval["rir_claim_holds"] is True
+        assert len(crossval["cells"]) == len(record.layers)
+        for cell, layer in zip(crossval["cells"], record.layers):
+            assert cell["workload"] == layer.workload
+            # The record's totals are the analytical side, cell for cell.
+            assert cell["analytical_cycles"] == layer.total_cycles
+            assert cell["cycle_delta"] == pytest.approx(
+                cell["simulated_cycles"] / cell["analytical_cycles"] - 1.0)
+
+    def test_backend_override_gets_its_own_artifact(self, tmp_path):
+        scenario = smoke_matrix().get(TINY)  # analytical by default
+        analytical = run_cell(scenario, runs_dir=tmp_path)
+        simulated = run_cell(scenario, runs_dir=tmp_path,
+                             backend="simulator")
+        assert analytical.path != simulated.path
+        assert simulated.path.name.endswith("--simulator.json")
+        assert simulated.record.backend == "simulator"
+        assert analytical.record.key != simulated.record.key
+        # Both artifacts now satisfy their own backend from cache.
+        assert run_cell(scenario, runs_dir=tmp_path).cached
+        assert run_cell(scenario, runs_dir=tmp_path,
+                        backend="simulator").cached
+
+    def test_cli_run_backend_override(self, tmp_path, capsys):
+        args = ["run", "--filter", TINY, "--runs-dir", str(tmp_path),
+                "--backend", "simulator"]
+        assert cli.main(args) == 0
+        out = capsys.readouterr().out
+        assert "(simulator)" in out
+        assert (tmp_path / f"{slugify(TINY)}--simulator.json").exists()
+
+    def test_cli_surfaces_simulator_bound_errors(self, tmp_path, capsys):
+        args = ["run", "--filter", "smoke-resnet50", "--runs-dir",
+                str(tmp_path), "--backend", "simulator"]
+        assert cli.main(args) == 1
+        assert "micro-cells" in capsys.readouterr().out
+
+    def test_schema1_record_defaults_to_analytical(self):
+        scenario = smoke_matrix().get(TINY)
+        record = run_cell(scenario).record
+        data = record.to_dict()
+        del data["backend"], data["crossval"]
+        legacy = ScenarioRecord.from_dict(data)
+        assert legacy.backend == "analytical"
+        assert legacy.crossval is None
