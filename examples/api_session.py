@@ -1,0 +1,67 @@
+"""One Session, every verb: eval + search + sweep + submit through repro.api.
+
+The story: a long-lived :class:`repro.api.Session` is the front door to
+the whole reproduction.  Requests are plain, JSON-round-trippable
+dataclasses — the same payloads ``python -m repro.serve`` accepts over
+HTTP — and the session amortizes its evaluation cache, per-configuration
+mappers and worker pool across them, so repeat traffic gets cheaper the
+longer the session lives.
+
+Run me:  PYTHONPATH=src python examples/api_session.py
+"""
+
+from repro.api import EvalRequest, SearchRequest, Session, SweepRequest
+
+with Session(name="example") as session:
+    # -- 1. Price one cell: an EvalRequest is a (workload, mapping, layout)
+    #       triple on one architecture, priced by one backend.
+    evald = session.run(EvalRequest(workload="fig10_gemms#0",
+                                    arch="FEATHER-4x4", layout="MK_K32"))
+    report = evald.report
+    print(f"eval    : {report['workload']} under {report['layout']}: "
+          f"{report['total_cycles']:.0f} cycles, "
+          f"{report['energy_per_mac_pj']:.2f} pJ/MAC "
+          f"(key {evald.key[:12]})")
+
+    # -- 2. Co-search a model head: the request round-trips through JSON
+    #       (what a wire client would send) before running.
+    request = SearchRequest.from_json(SearchRequest(
+        workloads="resnet50[:4]", arch="FEATHER", model="resnet50-head",
+        max_mappings=20).to_json())
+    search = session.run(request)
+    print(f"search  : {search.model} on {search.arch}: "
+          f"{search.totals['total_cycles']:.4g} cycles, "
+          f"{search.totals['energy_per_mac_pj']:.2f} pJ/MAC, "
+          f"{len(search.layers)} unique layers")
+
+    # -- 3. Same request again: served from the warm session (zero
+    #       evaluation-cache misses — the whole point of a Session).
+    warm = session.run(request)
+    print(f"warm    : identical totals={warm.totals == search.totals}, "
+          f"cache misses={warm.search['cache_misses']}")
+
+    # -- 4. submit() returns futures; identical in-flight requests
+    #       coalesce to one execution and share the response object (a
+    #       whole-model search is slow enough that the second submit lands
+    #       while the first is still running).
+    futures = [session.submit(SearchRequest(workloads="mobilenet_v3",
+                                            arch="FEATHER",
+                                            model="mobilenet_v3",
+                                            max_mappings=16))
+               for _ in range(2)]
+    responses = [f.result() for f in futures]
+    print(f"submit  : 2 futures, shared future={futures[0] is futures[1]}, "
+          f"shared response={responses[0] is responses[1]}")
+
+    # -- 5. A sweep request runs scenario cells (here: one smoke cell of
+    #       the built-in matrix) through the same session.
+    sweep = session.run(SweepRequest(filter="smoke-fig10"))
+    record = sweep.records[0]
+    print(f"sweep   : {record['scenario']}: "
+          f"{record['totals']['total_cycles']:.4g} cycles "
+          f"(backend {record['backend']}, cached={sweep.cached[0]})")
+
+    stats = session.describe()
+    print(f"session : {stats['requests']} requests, {stats['executed']} "
+          f"executed, {stats['coalesced']} coalesced, "
+          f"{stats['evaluation_cache_entries']} cached evaluations")

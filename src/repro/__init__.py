@@ -16,11 +16,16 @@ sweeps with golden-pinned JSON records.
 
 Typical entry points:
 
+* :class:`repro.api.Session` with :class:`repro.api.EvalRequest` /
+  :class:`repro.api.SearchRequest` / :class:`repro.api.SweepRequest` —
+  **the** documented façade: typed, JSON-round-trippable requests on a
+  long-lived session (shared caches, persistent worker pool, in-flight
+  dedup); ``python -m repro.serve`` exposes the same surface over HTTP
 * :class:`repro.workloads.ConvLayerSpec` / :func:`repro.workloads.resnet50_layers`
 * :class:`repro.feather.FeatherAccelerator` — functional + timing model
 * :class:`repro.layoutloop.CostModel` and :func:`repro.layoutloop.cosearch`
-* :func:`repro.search.search_model` — batch co-search (memoized, pruned,
-  optionally fanned out over worker processes)
+* :func:`repro.search.search_model` — the legacy batch co-search front
+  (now a deprecation shim over the module-default session)
 * :mod:`repro.experiments` — one module per paper figure/table
 """
 
@@ -30,6 +35,7 @@ from repro import (
     baselines,
     buffer,
     dataflow,
+    errors,
     experiments,
     feather,
     layout,
@@ -40,15 +46,30 @@ from repro import (
     search,
     workloads,
 )
+from repro import api
+from repro.api import (
+    EvalRequest,
+    EvalResponse,
+    SearchRequest,
+    SearchResponse,
+    Session,
+    SweepRequest,
+    SweepResponse,
+    default_session,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "api",
     "area",
     "backends",
     "baselines",
     "buffer",
     "dataflow",
+    "errors",
+    "EvalRequest",
+    "EvalResponse",
     "experiments",
     "feather",
     "layout",
@@ -57,6 +78,12 @@ __all__ = [
     "noc",
     "scenarios",
     "search",
+    "SearchRequest",
+    "SearchResponse",
+    "Session",
+    "SweepRequest",
+    "SweepResponse",
+    "default_session",
     "workloads",
     "__version__",
 ]

@@ -1,0 +1,259 @@
+"""Typed, JSON-round-trippable request dataclasses.
+
+One request class per verb of the façade:
+
+* :class:`EvalRequest` — price one (workload, mapping, layout) cell on one
+  architecture and backend (the :class:`~repro.backends.base.BackendReport`
+  vocabulary).
+* :class:`SearchRequest` — whole-model (dataflow, layout) co-search: the
+  verb behind ``search_model`` / ``evaluate_model`` / every figure
+  co-search.
+* :class:`SweepRequest` — a scenario-matrix sweep: named cells (or a
+  filter over the built-in matrix) executed with content-addressed
+  artifact caching.
+
+Requests are frozen dataclasses with **plain-JSON field values only**
+(strings, numbers, booleans, lists/objects), so ``to_json -> from_json``
+reconstructs an equal request; every request carries a ``schema_version``
+(rejected when unsupported — wire formats drift, silent coercion hides
+it) and resolves to a sha256 **content key** (via
+:func:`repro.api.session.content_key`) that reuses the scenario-record
+hashing: keys are computed over resolved *structure* — workload shape
+signatures, the full architecture signature, the search-config identity —
+plus the labels that appear in the response, never over the request's
+spelling.  Execution knobs that are guaranteed result-neutral
+(``workers``, ``vectorize``, ``fresh_cache``) stay out of the key, which
+is what lets identical in-flight requests coalesce across callers that
+parallelise differently.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, fields
+from typing import Dict, Optional, Tuple, Union
+
+from repro.errors import InvalidRequestError
+
+#: Version of the request/response wire format (bumped on breaking change).
+API_SCHEMA_VERSION = 1
+
+_METRICS = ("edp", "latency", "energy")
+
+
+def _check_schema_version(version: int, what: str) -> None:
+    if version != API_SCHEMA_VERSION:
+        raise InvalidRequestError(
+            f"{what} schema_version {version!r} is not supported "
+            f"(this build speaks version {API_SCHEMA_VERSION})")
+
+
+def _from_dict(cls, data: Dict[str, object]):
+    """Shared ``from_dict``: reject unknown fields, surface bad values."""
+    if not isinstance(data, dict):
+        raise InvalidRequestError(
+            f"{cls.__name__} payload must be an object, "
+            f"got {type(data).__name__}")
+    known = {f.name for f in fields(cls)}
+    unknown = sorted(set(data) - known)
+    if unknown:
+        raise InvalidRequestError(
+            f"{cls.__name__} does not accept field(s) {unknown}; "
+            f"known fields: {sorted(known)}")
+    try:
+        return cls(**data)
+    except TypeError as exc:
+        raise InvalidRequestError(f"bad {cls.__name__}: {exc}") from exc
+
+
+class _RequestBase:
+    """JSON round trip shared by all request classes."""
+
+    def to_dict(self) -> Dict[str, object]:
+        """The request as plain JSON-compatible data."""
+        return asdict(self)
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]):
+        return _from_dict(cls, dict(data))
+
+    @classmethod
+    def from_json(cls, text: str):
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise InvalidRequestError(f"request is not valid JSON: {exc}"
+                                      ) from exc
+        return cls.from_dict(data)
+
+
+def _normalize(obj, name: str, value):
+    """Convert a JSON list field back to the tuple the dataclass declares."""
+    object.__setattr__(obj, name, value)
+
+
+@dataclass(frozen=True)
+class EvalRequest(_RequestBase):
+    """Price one (workload, mapping, layout) cell on one backend."""
+
+    workload: Union[str, Dict[str, object]]
+    """``"<set spec>#<index>"`` (registry form) or an inline payload
+    (:func:`repro.api.codec.workload_payload`)."""
+    arch: Union[str, Dict[str, object]]
+    """Architecture registry name or inline payload."""
+    layout: str
+    """Layout name string (``"HWC_C32"``-style, parsed exactly)."""
+    mapping: Union[str, Dict[str, object]] = "output_stationary"
+    """``"output_stationary"`` (derived from workload + arch) or an inline
+    mapping payload."""
+    backend: str = "analytical"
+    """Evaluation-backend registry name."""
+    seed: int = 0
+    """Deterministic-generation seed of stochastic backends (simulator)."""
+    schema_version: int = API_SCHEMA_VERSION
+
+    def __post_init__(self) -> None:
+        _check_schema_version(self.schema_version, "EvalRequest")
+        if not isinstance(self.backend, str) or not self.backend:
+            raise InvalidRequestError(
+                f"backend must be a registry name, got {self.backend!r}")
+        _normalize(self, "seed", int(self.seed))
+
+
+@dataclass(frozen=True)
+class SearchRequest(_RequestBase):
+    """Whole-model (dataflow, layout) co-search on one architecture.
+
+    ``workers``/``vectorize``/``fresh_cache`` are execution knobs the
+    engine guarantees result-neutral; they are carried for execution but
+    excluded from the content key.  ``fresh_cache=True`` gives the search
+    a private evaluation cache instead of the session's shared one — the
+    deprecation shims and the scenario runner use it so per-call cache
+    counters (embedded in records and golden files) stay deterministic;
+    native façade callers leave it off and get cross-request reuse.
+    """
+
+    workloads: Union[str, Tuple[Dict[str, object], ...]]
+    """Workload-set spec (``"resnet50[:4]"``) or inline payload tuple."""
+    arch: Union[str, Dict[str, object]]
+    """Architecture registry name or inline payload."""
+    model: str = "model"
+    """Model label carried into the response (and per-layer weighting)."""
+    metric: str = "edp"
+    """Objective: ``edp``, ``latency`` or ``energy``."""
+    max_mappings: int = 50
+    """Pruned-random mapping budget per unique layer shape."""
+    seed: int = 0
+    """RNG seed of the mapping sampler."""
+    prune: bool = True
+    """Admissible lower-bound pruning (exact)."""
+    backend: str = "analytical"
+    """Evaluation-backend registry name, or ``"crossval"`` for the
+    analytical-search + simulator-execution composite."""
+    layouts: Optional[Tuple[str, ...]] = None
+    """Optional restriction of the candidate layout library (names)."""
+    workers: Optional[int] = None
+    """Worker processes; None resolves through the session (env/default)."""
+    vectorize: bool = True
+    """Vectorized kernel fast path (bit-identical to the scalar oracle)."""
+    fresh_cache: bool = False
+    """Use a private evaluation cache for this request (legacy semantics)."""
+    schema_version: int = API_SCHEMA_VERSION
+
+    def __post_init__(self) -> None:
+        _check_schema_version(self.schema_version, "SearchRequest")
+        if self.metric not in _METRICS:
+            raise InvalidRequestError(
+                f"metric must be one of {_METRICS}, got {self.metric!r}")
+        if int(self.max_mappings) < 1:
+            raise InvalidRequestError(
+                f"max_mappings must be >= 1, got {self.max_mappings}")
+        if self.workers is not None and int(self.workers) < 1:
+            raise InvalidRequestError(
+                f"workers must be >= 1 (or None), got {self.workers}")
+        if not isinstance(self.backend, str) or not self.backend:
+            raise InvalidRequestError(
+                f"backend must be a registry name, got {self.backend!r}")
+        if not isinstance(self.workloads, str):
+            _normalize(self, "workloads", tuple(self.workloads))
+        if self.layouts is not None:
+            _normalize(self, "layouts",
+                       tuple(str(n) for n in self.layouts))
+        _normalize(self, "max_mappings", int(self.max_mappings))
+        _normalize(self, "seed", int(self.seed))
+        if self.workers is not None:
+            _normalize(self, "workers", int(self.workers))
+
+
+@dataclass(frozen=True)
+class SweepRequest(_RequestBase):
+    """Run a scenario-matrix sweep (the ``python -m repro.scenarios run``
+    verb as a request).
+
+    Exactly one of ``scenarios`` (inline cell payloads) or ``filter``
+    (substring filter over the built-in matrix; ``None`` filter with no
+    scenarios means the whole built-in matrix) selects the cells.
+    """
+
+    scenarios: Optional[Tuple[Dict[str, object], ...]] = None
+    """Inline scenario payloads (:func:`repro.api.codec.scenario_payload`)."""
+    filter: Optional[str] = None
+    """Substring filter over the built-in matrix (when no inline cells)."""
+    backend: Optional[str] = None
+    """Override every cell's declared evaluation backend for this sweep."""
+    skip_incompatible: bool = False
+    """Skip (with reasons) cells the backend cannot run by design."""
+    force: bool = False
+    """Recompute cells even when a fresh artifact exists."""
+    workers: Optional[int] = None
+    """Worker processes per cell; None resolves through the session."""
+    vectorize: bool = True
+    """Vectorized kernel fast path."""
+    schema_version: int = API_SCHEMA_VERSION
+
+    def __post_init__(self) -> None:
+        _check_schema_version(self.schema_version, "SweepRequest")
+        if self.scenarios is not None:
+            if not self.scenarios:
+                raise InvalidRequestError(
+                    "scenarios, when given, must not be empty")
+            if self.filter is not None:
+                raise InvalidRequestError(
+                    "pass either inline scenarios or a filter, not both")
+            _normalize(self, "scenarios", tuple(self.scenarios))
+        if self.workers is not None and int(self.workers) < 1:
+            raise InvalidRequestError(
+                f"workers must be >= 1 (or None), got {self.workers}")
+        if self.workers is not None:
+            _normalize(self, "workers", int(self.workers))
+
+
+#: Union of the three request types (isinstance checks, annotations).
+Request = Union[EvalRequest, SearchRequest, SweepRequest]
+
+_REQUEST_TYPES: Dict[str, type] = {"eval": EvalRequest,
+                                   "search": SearchRequest,
+                                   "sweep": SweepRequest}
+
+
+def request_type_name(request: Request) -> str:
+    """The wire name of a request's type (``eval``/``search``/``sweep``)."""
+    for name, cls in _REQUEST_TYPES.items():
+        if isinstance(request, cls):
+            return name
+    raise InvalidRequestError(
+        f"unsupported request type {type(request).__name__!r}")
+
+
+def request_from_dict(kind: str, data: Dict[str, object]) -> Request:
+    """Build the request class named ``kind`` from plain data."""
+    try:
+        cls = _REQUEST_TYPES[kind]
+    except KeyError:
+        raise InvalidRequestError(
+            f"unknown request kind {kind!r}; expected one of "
+            f"{sorted(_REQUEST_TYPES)}") from None
+    return cls.from_dict(data)

@@ -1,0 +1,588 @@
+"""The long-lived :class:`Session`: one object behind every façade request.
+
+A ``Session`` is the amortization layer the per-call entry points never
+had.  It owns, for its whole lifetime:
+
+* the **evaluation cache** (:class:`~repro.search.cache.EvaluationCache`)
+  shared by every analytical evaluation it runs — a second request touching
+  the same (shape, arch, mapping, layout) cells is served from memory;
+* the **backend instances** (one per (backend, architecture, seed)), so a
+  simulator backend keeps its simulation memos warm across requests;
+* a **persistent** ``ProcessPoolExecutor`` reused by every parallel search
+  instead of paying pool startup per call;
+* the **in-flight request table**: two identical requests submitted while
+  the first is still running coalesce to one evaluation and share the same
+  response object.
+
+Worker-count resolution lives here and only here (explicit request value
+over the session default over the ``REPRO_SEARCH_WORKERS`` environment
+variable over serial) — the engine below executes a concrete count, and
+the scenarios CLI, the experiments and the deprecation shims all inherit
+the same precedence by routing through a session.
+
+``run`` executes synchronously in the calling thread; ``submit`` returns a
+``concurrent.futures.Future`` from a small session-owned thread pool.
+Responses of coalesced requests are shared objects — treat them (and the
+``ModelCost`` handles they carry) as immutable.
+
+The module-default session (:func:`default_session`) is what the
+deprecation shims and ``python -m repro.serve`` use; construct your own
+``Session`` for isolated caches or an artifact directory.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import time
+from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Dict, Optional, Tuple
+
+import repro
+from repro.api import codec
+from repro.api.requests import (
+    API_SCHEMA_VERSION,
+    EvalRequest,
+    Request,
+    SearchRequest,
+    SweepRequest,
+)
+from repro.api.responses import EvalResponse, SearchResponse, SweepResponse
+from repro.errors import InvalidRequestError
+from repro.search.cache import EvaluationCache
+from repro.search.parallel import resolve_workers as _env_workers
+from repro.search.signatures import (
+    arch_signature,
+    layout_signature,
+    mapping_signature,
+    workload_signature,
+)
+
+
+@dataclass
+class SessionStats:
+    """Request counters of one session (monotonic, thread-safe enough)."""
+
+    requests: int = 0
+    """Requests accepted (run + submit, coalesced ones included)."""
+    executed: int = 0
+    """Requests that actually ran an evaluation."""
+    coalesced: int = 0
+    """Requests served by joining an identical in-flight request."""
+
+
+def _digest(payload: Tuple) -> str:
+    return hashlib.sha256(repr(payload).encode("utf-8")).hexdigest()
+
+
+@dataclass
+class _Resolved:
+    """Domain objects a request resolved to — computed once per request
+    (key derivation and execution share them, never re-resolve)."""
+
+    workload: object = None
+    workloads: Optional[list] = None
+    arch: object = None
+    mapping: object = None
+    layout: object = None
+    layouts: Optional[list] = None
+    cells: Optional[list] = None
+
+
+def _resolve_request(request: Request) -> Tuple[str, _Resolved]:
+    """Resolve a request's references and derive its content key.
+
+    Raises :class:`InvalidRequestError` when the request does not resolve.
+    """
+    from repro.layoutloop.cost_model import DEFAULT_ENERGY_TABLE
+
+    if isinstance(request, EvalRequest):
+        resolved = _Resolved(
+            workload=codec.resolve_workload(request.workload),
+            arch=codec.resolve_arch(request.arch))
+        resolved.mapping = codec.resolve_mapping(request.mapping,
+                                                 resolved.workload,
+                                                 resolved.arch)
+        resolved.layout = codec.resolve_layout(request.layout)
+        return _digest((
+            "eval", API_SCHEMA_VERSION, repro.__version__,
+            workload_signature(resolved.workload),
+            getattr(resolved.workload, "name", ""),
+            arch_signature(resolved.arch, DEFAULT_ENERGY_TABLE),
+            mapping_signature(resolved.mapping), resolved.mapping.name,
+            layout_signature(resolved.layout), request.backend,
+            request.seed)), resolved
+    if isinstance(request, SearchRequest):
+        resolved = _Resolved(
+            workloads=codec.resolve_workloads(request.workloads),
+            arch=codec.resolve_arch(request.arch),
+            layouts=codec.resolve_layouts(request.layouts))
+        return _digest((
+            "search", API_SCHEMA_VERSION, repro.__version__, request.model,
+            tuple(workload_signature(w) for w in resolved.workloads),
+            tuple(getattr(w, "name", "") for w in resolved.workloads),
+            arch_signature(resolved.arch, DEFAULT_ENERGY_TABLE),
+            (request.metric, request.max_mappings, request.seed,
+             request.prune),
+            request.layouts, request.backend)), resolved
+    if isinstance(request, SweepRequest):
+        from repro.scenarios.runner import cell_key
+
+        resolved = _Resolved(cells=_sweep_cells(request))
+        return _digest((
+            "sweep", API_SCHEMA_VERSION, repro.__version__,
+            tuple(cell_key(c) for c in resolved.cells), request.backend,
+            request.force, request.skip_incompatible)), resolved
+    raise InvalidRequestError(
+        f"unsupported request type {type(request).__name__!r}")
+
+
+def content_key(request: Request) -> str:
+    """sha256 content address of a resolved request.
+
+    Reuses the scenario-record hashing discipline
+    (:func:`repro.scenarios.runner.cell_key`): keys cover resolved
+    *structure* — workload shape signatures, the full architecture
+    signature, the search-config identity, the package version — plus the
+    labels that appear in the response; the guaranteed result-neutral
+    execution knobs (``workers``, ``vectorize``, ``fresh_cache``) stay
+    out.  Raises :class:`InvalidRequestError` when the request does not
+    resolve.
+    """
+    return _resolve_request(request)[0]
+
+
+def _sweep_cells(request: SweepRequest):
+    """The deduplicated plan-order cells a sweep request selects."""
+    from repro.scenarios.builtin import builtin_matrix
+    from repro.scenarios.spec import ScenarioMatrix
+
+    if request.scenarios is not None:
+        matrix = ScenarioMatrix(name="request", scenarios=[
+            codec.scenario_from_payload(p) for p in request.scenarios])
+        return list(matrix.dedup())
+    return list(builtin_matrix().filter(request.filter).dedup())
+
+
+class Session:
+    """A configured, long-lived façade context (see module docstring).
+
+    Parameters:
+
+    * ``workers`` — session-default worker count; ``None`` falls through
+      to the ``REPRO_SEARCH_WORKERS`` environment variable, then serial.
+    * ``runs_dir`` — artifact directory for sweep requests
+      (content-addressed per-cell records + summaries); ``None`` keeps
+      sweeps in memory.
+    * ``name`` — label in ``describe()`` output (service health checks).
+
+    Sessions are usable from several threads (the JSON service shares one
+    across its handler threads); close with :meth:`close` or use as a
+    context manager.
+    """
+
+    def __init__(self, workers: Optional[int] = None,
+                 runs_dir: Optional[Path] = None, name: str = "session"):
+        self.name = name
+        self.workers = workers
+        self.runs_dir = Path(runs_dir) if runs_dir is not None else None
+        self.cache = EvaluationCache()
+        self.stats = SessionStats()
+        self.created_at = time.time()
+        self._backends: Dict[Tuple, object] = {}
+        self._mappers: Dict[Tuple, object] = {}
+        self._lock = threading.Lock()
+        self._inflight: Dict[str, Future] = {}
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._pool_size = 0
+        self._pool_busy = 0
+        self._pool_unavailable = False
+        self._threads: Optional[ThreadPoolExecutor] = None
+        self._closed = False
+
+    # ------------------------------------------------------------ lifecycle
+    def close(self) -> None:
+        """Shut down the worker pools (idempotent; caches are kept until
+        the session is garbage collected)."""
+        with self._lock:
+            pool, self._pool = self._pool, None
+            threads, self._threads = self._threads, None
+            self._pool_size = 0
+            self._closed = True
+        if pool is not None:
+            pool.shutdown()
+        if threads is not None:
+            threads.shutdown()
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------- workers
+    def resolve_workers(self, explicit: Optional[int] = None) -> int:
+        """The one place worker counts are resolved.
+
+        Precedence: explicit argument > session default >
+        ``REPRO_SEARCH_WORKERS`` environment variable > 1 (serial).
+        Results are bit-identical for any resolved count.
+        """
+        if explicit is not None:
+            return max(1, int(explicit))
+        if self.workers is not None:
+            return max(1, int(self.workers))
+        return _env_workers(None)
+
+    def _executor_for(self, workers: int) -> Optional[ProcessPoolExecutor]:
+        """The persistent process pool (None = serial, or pools unavailable
+        in this environment).
+
+        Grown to ``workers`` only while no other request is using it — a
+        concurrent user keeps the existing (possibly smaller) pool, which
+        is safe because the engine caps effective workers at the pool
+        size.  A pool broken by a dead worker process is replaced rather
+        than cached forever; if replacement also fails, parallel requests
+        degrade to serial (bit-identical either way).
+        """
+        if workers <= 1:
+            return None
+        with self._lock:
+            if self._closed or self._pool_unavailable:
+                return None
+            pool = self._pool
+            broken = pool is not None and getattr(pool, "_broken", False)
+            if pool is not None and not broken:
+                if self._pool_size >= workers or self._pool_busy > 0:
+                    self._pool_busy += 1
+                    return pool
+            stale = pool
+            try:
+                self._pool = ProcessPoolExecutor(max_workers=workers)
+            except (OSError, NotImplementedError):
+                self._pool = None
+                self._pool_size = 0
+                self._pool_unavailable = True
+                return None
+            self._pool_size = workers
+            self._pool_busy = 1
+        if stale is not None:
+            stale.shutdown(wait=False)
+        return self._pool
+
+    def _release_executor(self, pool: Optional[ProcessPoolExecutor]) -> None:
+        if pool is None:
+            return
+        with self._lock:
+            if pool is self._pool and self._pool_busy > 0:
+                self._pool_busy -= 1
+
+    def _thread_pool(self) -> ThreadPoolExecutor:
+        with self._lock:
+            if self._closed:
+                raise RuntimeError(f"Session {self.name!r} is closed")
+            if self._threads is None:
+                self._threads = ThreadPoolExecutor(
+                    max_workers=4, thread_name_prefix=f"repro-{self.name}")
+            return self._threads
+
+    # ------------------------------------------------------------- backends
+    def backend_for(self, name: str, arch, seed: int = 0):
+        """The session's memoized backend instance for (name, arch, seed).
+
+        Analytical backends share the session evaluation cache; stateful
+        backends (the simulator) keep their memos warm across requests.
+        Unknown names raise :class:`~repro.errors.UnknownBackendError`.
+        """
+        from repro.backends import create_backend
+        from repro.layoutloop.cost_model import DEFAULT_ENERGY_TABLE
+
+        key = (name, arch_signature(arch, DEFAULT_ENERGY_TABLE), seed)
+        with self._lock:
+            instance = self._backends.get(key)
+        if instance is not None:
+            return instance
+        if name == "analytical":
+            instance = create_backend(name, arch, cache=self.cache)
+        else:
+            instance = create_backend(name, arch, seed=seed)
+        with self._lock:
+            return self._backends.setdefault(key, instance)
+
+    def _mapper_for(self, arch, request: SearchRequest, backend):
+        """A persistent per-configuration mapper (shared-cache serial path).
+
+        Its whole-result memo is what makes repeat search requests near
+        instant: determinism guarantees the memoized
+        :class:`~repro.layoutloop.mapper.SearchResult` objects equal a
+        fresh search's, so only the engine *counters* differ (a full memo
+        hit reports zero evaluations) — ``fresh_cache`` requests bypass
+        this layer for exactly that reason.
+        """
+        from repro.layoutloop.cost_model import DEFAULT_ENERGY_TABLE
+        from repro.layoutloop.mapper import Mapper
+
+        key = (arch_signature(arch, DEFAULT_ENERGY_TABLE), request.metric,
+               request.max_mappings, request.seed, request.prune,
+               request.backend, request.vectorize)
+        with self._lock:
+            mapper = self._mappers.get(key)
+        if mapper is not None:
+            return mapper
+        mapper = Mapper(arch, metric=request.metric,
+                        max_mappings=request.max_mappings, seed=request.seed,
+                        prune=request.prune, evaluation_cache=self.cache,
+                        vectorize=request.vectorize, backend=backend)
+        with self._lock:
+            return self._mappers.setdefault(key, mapper)
+
+    # ------------------------------------------------------------ run/submit
+    def run(self, request: Request):
+        """Execute a request synchronously and return its typed response.
+
+        An identical in-flight request (same content key and cache policy)
+        is joined rather than re-executed — both callers receive the same
+        response object.
+        """
+        key, resolved, future, owner = self._claim(request)
+        if not owner:
+            return future.result()
+        try:
+            response = self._execute(request, resolved, key)
+        except BaseException as exc:
+            future.set_exception(exc)
+            self._release(request, key)
+            raise
+        future.set_result(response)
+        self._release(request, key)
+        return response
+
+    def submit(self, request: Request) -> "Future":
+        """Enqueue a request on the session's thread pool; returns a future.
+
+        Two identical in-flight submissions return the *same* future (one
+        engine evaluation, shared response object).
+        """
+        key, resolved, future, owner = self._claim(request)
+        if not owner:
+            return future
+
+        def _work() -> None:
+            try:
+                future.set_result(self._execute(request, resolved, key))
+            except BaseException as exc:  # delivered via future.result()
+                future.set_exception(exc)
+            finally:
+                self._release(request, key)
+
+        self._thread_pool().submit(_work)
+        return future
+
+    @staticmethod
+    def _dedup_key(request: Request, key: str) -> str:
+        # fresh_cache requests promise per-call-deterministic engine
+        # counters; joining them onto a warm shared-cache execution (or
+        # vice versa) would leak the other policy's counters into records,
+        # so the two policies never coalesce with each other.
+        if isinstance(request, SearchRequest) and request.fresh_cache:
+            return key + ":fresh"
+        return key
+
+    def _claim(self, request: Request
+               ) -> Tuple[str, _Resolved, Future, bool]:
+        if self._closed:
+            raise RuntimeError(f"Session {self.name!r} is closed")
+        key, resolved = _resolve_request(request)
+        dedup = self._dedup_key(request, key)
+        with self._lock:
+            self.stats.requests += 1
+            existing = self._inflight.get(dedup)
+            if existing is not None:
+                self.stats.coalesced += 1
+                return key, resolved, existing, False
+            future: Future = Future()
+            self._inflight[dedup] = future
+            return key, resolved, future, True
+
+    def _release(self, request: Request, key: str) -> None:
+        with self._lock:
+            self._inflight.pop(self._dedup_key(request, key), None)
+
+    # ------------------------------------------------------------- execution
+    def _execute(self, request: Request, resolved: _Resolved, key: str):
+        with self._lock:
+            self.stats.executed += 1
+        if isinstance(request, EvalRequest):
+            return self._execute_eval(request, resolved, key)
+        if isinstance(request, SearchRequest):
+            return self._execute_search(request, resolved, key)
+        if isinstance(request, SweepRequest):
+            return self._execute_sweep(request, resolved, key)
+        raise InvalidRequestError(
+            f"unsupported request type {type(request).__name__!r}")
+
+    def _execute_eval(self, request: EvalRequest, resolved: _Resolved,
+                      key: str) -> EvalResponse:
+        workload, arch = resolved.workload, resolved.arch
+        mapping, layout = resolved.mapping, resolved.layout
+        backend = self.backend_for(request.backend, arch, request.seed)
+        start = time.perf_counter()
+        report = backend.evaluate(workload, mapping, layout)
+        elapsed = time.perf_counter() - start
+        payload = asdict(report)
+        payload["total_energy_pj"] = report.total_energy_pj
+        payload["energy_per_mac_pj"] = report.energy_per_mac_pj
+        payload["edp"] = report.edp
+        return EvalResponse(report=payload, backend=request.backend, key=key,
+                            elapsed_s=elapsed, backend_report=report)
+
+    def _execute_search(self, request: SearchRequest, resolved: _Resolved,
+                        key: str) -> SearchResponse:
+        from repro.scenarios.record import (
+            model_cost_layers,
+            model_cost_totals,
+            search_stats_payload,
+        )
+        from repro.search.engine import _search_model_impl
+
+        from repro.layoutloop.cosearch import unique_workloads
+
+        workloads, arch = resolved.workloads, resolved.arch
+        layouts = resolved.layouts
+        workers = self.resolve_workers(request.workers)
+        crossval = request.backend == "crossval"
+        if crossval and layouts is not None:
+            raise InvalidRequestError(
+                "crossval does not support a layout restriction")
+        crossval_payload = None
+        start = time.perf_counter()
+        search_backend = request.backend
+        if crossval or request.backend == "analytical":
+            search_backend = "analytical"
+        else:
+            search_backend = self.backend_for(request.backend, arch,
+                                              request.seed)
+        mapper = (self._mapper_for(arch, request, search_backend)
+                  if not request.fresh_cache and workers <= 1 and not crossval
+                  else None)
+        if crossval:
+            # Fail fast on incompatible cells before burning a co-search,
+            # exactly like the legacy front.
+            simulator = self.backend_for("simulator", arch, request.seed)
+            for workload, _ in unique_workloads(workloads):
+                simulator.check_cell(workload)
+        pool = self._executor_for(workers)
+        try:
+            cost = _search_model_impl(
+                arch, workloads, model_name=request.model,
+                metric=request.metric, max_mappings=request.max_mappings,
+                workers=workers, prune=request.prune, seed=request.seed,
+                cache=None if request.fresh_cache else self.cache,
+                vectorize=request.vectorize, backend=search_backend,
+                layouts=layouts, executor=pool, mapper=mapper)
+        finally:
+            self._release_executor(pool)
+        if crossval:
+            from repro.backends.crossval import cross_validate_model
+
+            # The analytical co-search above ran with this session's
+            # caches/pool; the simulator leg reuses the session's memoized
+            # backend instance.  The validation embeds the arch label the
+            # caller asked for (the registry name when the request came by
+            # name).
+            label = (request.arch if isinstance(request.arch, str)
+                     else arch.name)
+            cost, validation = cross_validate_model(
+                arch, workloads, model_name=request.model,
+                metric=request.metric, max_mappings=request.max_mappings,
+                seed=request.seed, prune=request.prune, arch_label=label,
+                cost=cost, simulator=simulator)
+            crossval_payload = validation.as_dict()
+        elapsed = time.perf_counter() - start
+        stats = cost.search_stats
+        arch_label = (request.arch if isinstance(request.arch, str)
+                      else cost.arch)
+        return SearchResponse(
+            model=request.model, arch=arch_label, backend=request.backend,
+            key=key, totals=model_cost_totals(cost),
+            layers=[asdict(layer) for layer in model_cost_layers(cost)],
+            search=search_stats_payload(stats), crossval=crossval_payload,
+            workers=stats.workers, elapsed_s=elapsed, cost=cost)
+
+    def _execute_sweep(self, request: SweepRequest, resolved: _Resolved,
+                       key: str) -> SweepResponse:
+        from repro.scenarios.runner import run_matrix
+        from repro.scenarios.spec import ScenarioMatrix
+
+        matrix = ScenarioMatrix(name="request", scenarios=resolved.cells)
+        start = time.perf_counter()
+        run = run_matrix(matrix, workers=request.workers,
+                         vectorize=request.vectorize, runs_dir=self.runs_dir,
+                         force=request.force, backend=request.backend,
+                         skip_incompatible=request.skip_incompatible,
+                         session=self)
+        elapsed = time.perf_counter() - start
+        return SweepResponse(
+            records=[r.record.to_dict() for r in run.results],
+            cached=[r.cached for r in run.results],
+            skipped=[{"scenario": s.name, "reason": reason}
+                     for s, reason in run.skipped],
+            key=key, elapsed_s=elapsed, results=run)
+
+    # ------------------------------------------------------------ inspection
+    def describe(self) -> Dict[str, object]:
+        """Health/inspection payload (what ``/v1/healthz`` reports)."""
+        from repro.backends import backend_names
+        from repro.kernel.compiled import _compile
+
+        compiled = _compile.cache_info()
+        return {
+            "name": self.name,
+            "version": repro.__version__,
+            "schema_version": API_SCHEMA_VERSION,
+            "uptime_s": time.time() - self.created_at,
+            "requests": self.stats.requests,
+            "executed": self.stats.executed,
+            "coalesced": self.stats.coalesced,
+            "inflight": len(self._inflight),
+            "evaluation_cache_entries": len(self.cache),
+            "evaluation_cache_hits": self.cache.stats.hits,
+            "evaluation_cache_misses": self.cache.stats.misses,
+            "compiled_layout_cache_entries": compiled.currsize,
+            "backend_instances": len(self._backends),
+            "backends": backend_names(),
+            "workers_default": self.resolve_workers(),
+            "pool_size": self._pool_size,
+        }
+
+
+# ------------------------------------------------------------ default session
+_DEFAULT_LOCK = threading.Lock()
+_DEFAULT: Optional[Session] = None
+
+
+def default_session() -> Session:
+    """The lazily-created module-default session.
+
+    This is the session behind the deprecation shims
+    (``search_model``/``evaluate_model``/``model_costs``), the scenario
+    runner's default, and ``python -m repro.serve``; sharing it is what
+    turns N independent call sites into one warm cache and one pool.
+    """
+    global _DEFAULT
+    with _DEFAULT_LOCK:
+        if _DEFAULT is None:
+            _DEFAULT = Session(name="default")
+        return _DEFAULT
+
+
+def reset_default_session() -> Session:
+    """Replace the module-default session with a fresh one (tests)."""
+    global _DEFAULT
+    with _DEFAULT_LOCK:
+        old, _DEFAULT = _DEFAULT, Session(name="default")
+    if old is not None:
+        old.close()
+    return _DEFAULT

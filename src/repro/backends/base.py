@@ -30,6 +30,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
+from repro.errors import UnknownBackendError
 from repro.layoutloop.arch import ArchSpec
 
 #: The default backend everywhere a ``backend=`` parameter exists.
@@ -187,7 +188,7 @@ def create_backend(backend, arch: ArchSpec, **kwargs) -> EvaluationBackend:
     try:
         factory = _BACKENDS[name]
     except KeyError:
-        raise ValueError(
+        raise UnknownBackendError(
             f"unknown backend {name!r}; registered: "
             f"{', '.join(backend_names())}") from None
     return factory(arch, **kwargs)

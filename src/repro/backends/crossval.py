@@ -109,6 +109,8 @@ def cross_validate_model(arch: ArchSpec, workloads: Sequence,
                          workers: Optional[int] = 1, vectorize: bool = True,
                          prune: bool = True,
                          arch_label: Optional[str] = None,
+                         cost: Optional[ModelCost] = None,
+                         simulator: Optional[SimulatorBackend] = None,
                          ) -> Tuple[ModelCost, CrossValidation]:
     """Analytical co-search plus simulator execution of every winner.
 
@@ -119,6 +121,14 @@ def cross_validate_model(arch: ArchSpec, workloads: Sequence,
     the architecture name embedded in the validation (the scenario runner
     passes its registry name so record and payload agree).
 
+    ``cost`` (if given) is an already-computed analytical co-search of
+    exactly these arguments and skips the internal search — the
+    :class:`repro.api.Session` passes its own so the analytical leg runs
+    on the session's caches and pool rather than this function's;
+    ``simulator`` likewise substitutes a caller-owned (memo-warm) backend
+    instance for the same ``(arch, energy, seed)``.  Results are
+    bit-identical either way.
+
     Simulator compatibility is checked *before* the analytical search —
     an incompatible cell (non-RIR arch, workload over the MAC bound)
     fails fast instead of burning a full co-search first.
@@ -127,13 +137,15 @@ def cross_validate_model(arch: ArchSpec, workloads: Sequence,
     from repro.search.engine import search_model
 
     workloads = list(workloads)
-    simulator = SimulatorBackend(arch, energy=energy, seed=seed)
+    if simulator is None:
+        simulator = SimulatorBackend(arch, energy=energy, seed=seed)
     for workload, _ in unique_workloads(workloads):
         simulator.check_cell(workload)
-    cost = search_model(arch, workloads, model_name=model_name, metric=metric,
-                        max_mappings=max_mappings, energy=energy,
-                        workers=workers, seed=seed, vectorize=vectorize,
-                        prune=prune)
+    if cost is None:
+        cost = search_model(arch, workloads, model_name=model_name,
+                            metric=metric, max_mappings=max_mappings,
+                            energy=energy, workers=workers, seed=seed,
+                            vectorize=vectorize, prune=prune)
     validation = CrossValidation(arch=arch_label or cost.arch,
                                  model=cost.model, seed=seed)
     for choice, (workload, count) in zip(cost.layer_choices,

@@ -31,6 +31,7 @@ from typing import Dict, Optional, Tuple
 import numpy as np
 
 from repro.backends.base import BackendReport, EvaluationBackend
+from repro.errors import IncompatibleCellError
 from repro.feather.accelerator import (
     ExecutionStats,
     FeatherAccelerator,
@@ -53,11 +54,16 @@ from repro.workloads.gemm import GemmSpec
 DEFAULT_MAX_MACS = 500_000
 
 
-class BackendCompatibilityError(ValueError):
+class BackendCompatibilityError(IncompatibleCellError):
     """A cell this backend cannot run by design (not a configuration bug):
     a non-RIR architecture, a non-power-of-two array width, or a workload
     over the simulator's MAC bound.  ``run_matrix(skip_incompatible=True)``
-    skips exactly these; any other ``ValueError`` still propagates."""
+    skips exactly these; any other ``ValueError`` still propagates.
+
+    Subclasses :class:`repro.errors.IncompatibleCellError` (the API-level
+    error the service maps to a stable ``incompatible_cell`` code); kept
+    under its historical name for existing callers.
+    """
 
 
 def cell_rng(seed: int, workload) -> np.random.Generator:

@@ -1,0 +1,60 @@
+"""The ``repro`` exception hierarchy: typed errors with stable wire codes.
+
+Every error the public API surface (``repro.api``, ``repro.serve``, the
+scenarios CLI) can raise deliberately derives from :class:`ReproError` and
+carries a stable machine-readable ``code``.  The JSON service maps these to
+structured error payloads (:meth:`ReproError.payload`), so a client can
+branch on ``error.code`` without parsing prose, and the prose can keep
+improving without breaking anyone.
+
+The concrete classes also derive from :class:`ValueError`: the package
+raised plain ``ValueError`` for all of these before the hierarchy existed,
+and existing ``except ValueError`` callers (and tests) must keep working.
+
+* :class:`InvalidRequestError` — the request itself is malformed: unknown
+  workload set / architecture / scenario names, out-of-range parameters,
+  an unsupported schema version, an empty workload list.
+* :class:`UnknownBackendError` — a backend name that is not registered.
+* :class:`IncompatibleCellError` — a cell a backend cannot run *by
+  design* (not a configuration bug): e.g. the cycle-level simulator on a
+  non-RIR architecture or a workload over its MAC bound.  Sweeps may skip
+  these with a reason instead of aborting.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+
+class ReproError(Exception):
+    """Base class of all deliberate ``repro`` errors.
+
+    ``code`` is the stable wire identifier of the error class (never of the
+    message); subclasses override it.  ``payload`` is what the JSON service
+    returns, shaped ``{"code", "type", "message"}``.
+    """
+
+    code: str = "repro_error"
+
+    def payload(self) -> Dict[str, str]:
+        """The structured JSON error payload of this exception."""
+        return {"code": self.code, "type": type(self).__name__,
+                "message": str(self)}
+
+
+class InvalidRequestError(ReproError, ValueError):
+    """A malformed or unresolvable request (bad names, bad parameters)."""
+
+    code = "invalid_request"
+
+
+class UnknownBackendError(ReproError, ValueError):
+    """A backend name absent from the :mod:`repro.backends` registry."""
+
+    code = "unknown_backend"
+
+
+class IncompatibleCellError(ReproError, ValueError):
+    """A cell the selected backend cannot run by design."""
+
+    code = "incompatible_cell"

@@ -22,27 +22,40 @@ def model_costs(arches: Sequence, workloads: Sequence, model_name: str = "model"
                 workers: Optional[int] = None,
                 vectorize: bool = True, seed: int = 0,
                 backend: str = "analytical") -> Dict[str, object]:
-    """Co-search ``workloads`` on every architecture via the shared engine.
+    """Co-search ``workloads`` on every architecture via the shared façade.
+
+    .. deprecated:: 1.1
+        A thin shim over :mod:`repro.api`: one
+        :class:`~repro.api.SearchRequest` per architecture, run on the
+        module-default :class:`~repro.api.Session` (bit-identical to the
+        legacy engine path, pinned by the experiment-equality tests).
 
     Returns ``{arch name: ModelCost}`` like
     :func:`repro.layoutloop.cosearch.compare_architectures`; each
     ``ModelCost`` carries its engine statistics in ``search_stats``.
 
-    Differs from :func:`repro.search.engine.search_models` only in its
-    experiment-friendly defaults: ``workers=None`` honours
-    ``REPRO_SEARCH_WORKERS`` (the library API defaults to serial), and
+    ``workers=None`` (the default) follows the session's resolution —
+    explicit argument > ``REPRO_SEARCH_WORKERS`` > serial — and
     ``max_mappings=50`` matches the figure reproductions.  ``seed`` feeds
     the pruned-random mapping sampler and is forwarded unchanged so a
     recorded run can be reproduced exactly.  ``backend`` selects the
     :mod:`repro.backends` evaluation backend (the figures run the default
     analytical model; the simulator is for micro-scale cells only).
     """
-    from repro.search.engine import search_models
+    from repro.api import SearchRequest, default_session
+    from repro.api.codec import arch_payload, workload_payload
 
-    return search_models(arches, workloads, model_name=model_name,
-                         metric=metric, max_mappings=max_mappings,
-                         workers=workers, seed=seed, vectorize=vectorize,
-                         backend=backend)
+    session = default_session()
+    payloads = tuple(workload_payload(wl) for wl in workloads)
+    costs = {}
+    for arch in arches:
+        response = session.run(SearchRequest(
+            workloads=payloads, arch=arch_payload(arch), model=model_name,
+            metric=metric, max_mappings=max_mappings, seed=seed,
+            backend=backend, workers=workers, vectorize=vectorize,
+            fresh_cache=True))
+        costs[arch.name] = response.cost
+    return costs
 
 
 def geomean(values: Iterable[float]) -> float:

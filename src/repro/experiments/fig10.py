@@ -12,9 +12,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List
 
+from repro.api import SearchRequest, Session
+from repro.api.codec import arch_payload, workload_payload
 from repro.baselines.systolic import SystolicArray
 from repro.layoutloop.arch import feather_arch
-from repro.search.engine import SearchEngine
 from repro.workloads.gemm import GemmSpec, fig10_workloads
 
 
@@ -38,21 +39,31 @@ class Fig10Row:
 
 def run(array_rows: int = 4, array_cols: int = 4, max_mappings: int = 200,
         seed: int = 0) -> List[Fig10Row]:
-    """Evaluate the four Fig. 10 workloads on a small array (4x4 as drawn)."""
+    """Evaluate the four Fig. 10 workloads on a small array (4x4 as drawn).
+
+    The FEATHER side runs through the :mod:`repro.api` façade: one
+    :class:`~repro.api.SearchRequest` per GEMM on a shared
+    :class:`~repro.api.Session`, whose evaluation cache plays the role the
+    per-experiment ``SearchEngine`` cache used to (bit-identical results).
+    """
     systolic = SystolicArray(array_rows, array_cols, name="systolic")
-    engine = SearchEngine(feather_arch(array_rows, array_cols), metric="latency",
-                          max_mappings=max_mappings, seed=seed)
+    arch = arch_payload(feather_arch(array_rows, array_cols))
 
     rows = []
-    for gemm in fig10_workloads():
-        sa_util = systolic.steady_state_utilization_gemm(gemm)
-        feather_result = engine.search_layer(gemm)
-        rows.append(Fig10Row(
-            workload=gemm.name,
-            m=gemm.m, k=gemm.k, n=gemm.n,
-            systolic_utilization=sa_util,
-            feather_utilization=feather_result.best_report.practical_utilization,
-        ))
+    with Session(name="fig10") as session:
+        for gemm in fig10_workloads():
+            sa_util = systolic.steady_state_utilization_gemm(gemm)
+            response = session.run(SearchRequest(
+                workloads=(workload_payload(gemm),), arch=arch,
+                model=gemm.name, metric="latency",
+                max_mappings=max_mappings, seed=seed))
+            feather_report = response.cost.layer_choices[0].result.best_report
+            rows.append(Fig10Row(
+                workload=gemm.name,
+                m=gemm.m, k=gemm.k, n=gemm.n,
+                systolic_utilization=sa_util,
+                feather_utilization=feather_report.practical_utilization,
+            ))
     return rows
 
 

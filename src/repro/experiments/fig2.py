@@ -23,11 +23,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-from repro.dataflow.mapping import output_stationary_mapping
+from repro.api import EvalRequest, SearchRequest, Session
+from repro.api.codec import arch_payload, mapping_payload, workload_payload
 from repro.layout.library import conv_layout_library
 from repro.layoutloop.arch import feather_arch
-from repro.layoutloop.cost_model import CostModel
-from repro.search.engine import SearchEngine
 from repro.baselines.registry import sigma_like
 from repro.workloads.conv import ConvLayerSpec
 from repro.workloads.resnet50 import resnet50_layers, resnet50_motivation_layers
@@ -67,31 +66,50 @@ class Fig2Row:
         }
 
 
-def _policies_for_layer(layer: ConvLayerSpec, engine: SearchEngine,
-                        no_reorder_model: CostModel) -> Fig2Row:
+def _policies_for_layer(layer: ConvLayerSpec, session: Session,
+                        feather_payload: Dict, no_reorder_payload: Dict,
+                        max_mappings: int, seed: int) -> Fig2Row:
+    """Price the four policies for one layer through the façade.
+
+    Policies 1 and 3 are plain cell evaluations
+    (:class:`~repro.api.EvalRequest` on the no-reorder baseline arch);
+    policies 2 and 4 are per-layer co-searches
+    (:class:`~repro.api.SearchRequest` on FEATHER, policy 2 with the
+    candidate library pinned to a single layout — the layout-blind
+    "theory" search).  The shared session cache plays the old engine
+    cache's role: revisited shapes skip the concordance analysis for
+    every policy (keys embed the (arch, energy) signature, so the two
+    architectures never collide).
+    """
     layouts = conv_layout_library()
-    rows, cols = engine.arch.pe_rows, engine.arch.pe_cols
-    # The engine's evaluation cache keys embed the (arch, energy) signature,
-    # so the no-reorder model's evaluations can share it safely: revisited
-    # shapes skip the concordance analysis for policies 1 and 3 too.
-    cached_eval = engine.cache.evaluate
+    workload = workload_payload(layer)
+
+    def _eval_cycles(mapping, layout) -> float:
+        response = session.run(EvalRequest(
+            workload=workload, arch=no_reorder_payload, mapping=mapping,
+            layout=layout.name))
+        return response.backend_report.total_cycles
+
+    def _search(layout_names=None):
+        response = session.run(SearchRequest(
+            workloads=(workload,), arch=feather_payload, model=layer.name,
+            metric="latency", max_mappings=max_mappings, seed=seed,
+            layouts=layout_names))
+        return response.cost.layer_choices[0].result
 
     # Policy 1: fixed output-stationary dataflow across layouts.
-    fixed_mapping = output_stationary_mapping(layer, rows, cols)
-    fixed_lat = [cached_eval(no_reorder_model, layer, fixed_mapping, lay)[0]
-                 .total_cycles for lay in layouts]
+    fixed_lat = [_eval_cycles("output_stationary", lay) for lay in layouts]
 
     # Policy 2: layout-blind best dataflow (slowdown ignored => FEATHER model).
-    theory = engine.search_layer(layer, layouts=[layouts[0]])
-    theory_mapping = theory.best_mapping
+    theory = _search(layout_names=(layouts[0].name,))
+    theory_mapping = mapping_payload(theory.best_mapping)
     theory_lat = theory.best_report.total_cycles
 
     # Policy 3: that dataflow under real layouts with conflicts.
-    practice_lat = [cached_eval(no_reorder_model, layer, theory_mapping, lay)[0]
-                    .total_cycles for lay in layouts]
+    practice_lat = [_eval_cycles(theory_mapping, lay) for lay in layouts]
 
     # Policy 4: FEATHER co-switching (dataflow, layout).
-    feather_lat = engine.search_layer(layer).best_report.total_cycles
+    feather_lat = _search().best_report.total_cycles
 
     return Fig2Row(
         workload=layer.name,
@@ -143,31 +161,34 @@ def run(rows: int = 16, cols: int = 16, max_mappings: int = 60,
     ``full_model_layers`` bounds how many (unique) layers feed the "Full
     Model" bar to keep the run fast; ``None`` uses every layer.  ``models``
     selects which of the two charts to produce; ``seed`` feeds the mapping
-    sampler of the shared engine.
+    sampler of the per-run session.
 
-    All per-layer searches share one :class:`SearchEngine`, so repeated
-    shapes (and the full-model bars, which revisit the motivation layers)
-    hit the engine's result and evaluation caches instead of re-searching.
+    All per-layer requests share one :class:`~repro.api.Session`, so
+    repeated shapes (and the full-model bars, which revisit the motivation
+    layers) hit the session's evaluation cache instead of re-pricing.
     """
     results: Dict[str, List[Fig2Row]] = {}
-    engine = SearchEngine(feather_arch(rows, cols), metric="latency",
-                          max_mappings=max_mappings, seed=seed)
+    feather_payload = arch_payload(feather_arch(rows, cols))
     # A plain no-reorder architecture; the layout under evaluation is supplied
-    # per call inside ``_policies_for_layer``, so the fixed-layout name here
-    # is irrelevant.
-    no_reorder_model = CostModel(sigma_like(rows, cols, layout="HWC_C32",
-                                            reorder="none"))
+    # per request inside ``_policies_for_layer``, so the fixed-layout name
+    # here is irrelevant.
+    no_reorder_payload = arch_payload(sigma_like(rows, cols, layout="HWC_C32",
+                                                 reorder="none"))
     full_tables = {"resnet50": lambda: resnet50_layers(include_fc=False),
                    "mobilenet_v3": lambda: mobilenet_v3_layers(include_fc=False)}
 
-    for model in models:
-        model_rows = [_policies_for_layer(layer, engine, no_reorder_model)
-                      for layer in motivation_workloads(model)]
-        all_layers = full_tables[model]()
-        if full_model_layers:
-            all_layers = all_layers[:full_model_layers]
-        full = [_policies_for_layer(l, engine, no_reorder_model)
-                for l in all_layers]
-        model_rows.append(_aggregate(full, f"{model}_full_model"))
-        results[model] = model_rows
+    with Session(name="fig2") as session:
+        for model in models:
+            model_rows = [
+                _policies_for_layer(layer, session, feather_payload,
+                                    no_reorder_payload, max_mappings, seed)
+                for layer in motivation_workloads(model)]
+            all_layers = full_tables[model]()
+            if full_model_layers:
+                all_layers = all_layers[:full_model_layers]
+            full = [_policies_for_layer(l, session, feather_payload,
+                                        no_reorder_payload, max_mappings, seed)
+                    for l in all_layers]
+            model_rows.append(_aggregate(full, f"{model}_full_model"))
+            results[model] = model_rows
     return results

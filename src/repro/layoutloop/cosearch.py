@@ -188,12 +188,17 @@ def evaluate_model(arch: ArchSpec, workloads: Sequence, model_name: str = "model
                    backend: str = "analytical") -> ModelCost:
     """Run the per-layer co-search over a whole model and aggregate the result.
 
-    Delegates to :func:`repro.search.engine.search_model` (memoized, pruned,
-    optionally parallel across ``workers`` processes).  Passing an explicit
-    ``mapper`` forces the serial path with that mapper's configuration and
-    caches (including its evaluation backend — ``backend`` is then
-    ignored).  Raises ``ValueError`` on an empty layer list — summing over
-    nothing would silently report a free model.
+    .. deprecated:: 1.1
+        A thin shim over the :mod:`repro.api` façade: it delegates to
+        :func:`repro.search.engine.search_model`, which builds a
+        :class:`~repro.api.SearchRequest` against the module-default
+        :class:`~repro.api.Session` (bit-identical outputs).  New code
+        should run requests on a session directly.
+
+    Passing an explicit ``mapper`` forces the serial path with that
+    mapper's configuration and caches (including its evaluation backend —
+    ``backend`` is then ignored).  Raises ``ValueError`` on an empty layer
+    list — summing over nothing would silently report a free model.
     """
     workloads = list(workloads)
     if not workloads:
@@ -221,6 +226,11 @@ def compare_architectures(arches: Sequence[ArchSpec], workloads: Sequence,
                           vectorize: bool = True,
                           backend: str = "analytical") -> Dict[str, ModelCost]:
     """Evaluate several architectures on the same model (Fig. 13 style).
+
+    .. deprecated:: 1.1
+        A thin shim over the :mod:`repro.api` façade (one
+        :class:`~repro.api.SearchRequest` per architecture on the
+        module-default session); bit-identical to the legacy path.
 
     ``workers`` is forwarded to the engine's process fan-out; results are
     bit-identical for any worker count.  ``backend`` selects the

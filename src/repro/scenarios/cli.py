@@ -55,9 +55,11 @@ def _build_parser() -> argparse.ArgumentParser:
     run_cmd.add_argument("--runs-dir", type=Path, default=DEFAULT_RUNS_DIR,
                          help=f"artifact directory (default: "
                               f"{DEFAULT_RUNS_DIR})")
-    run_cmd.add_argument("--workers", type=int, default=1,
-                         help="worker processes per cell (results are "
-                              "bit-identical for any count)")
+    run_cmd.add_argument("--workers", type=int, default=None,
+                         help="worker processes per cell (default: the "
+                              "REPRO_SEARCH_WORKERS environment variable, "
+                              "then serial; results are bit-identical for "
+                              "any count)")
     run_cmd.add_argument("--no-vectorize", action="store_true",
                          help="run the scalar reference kernel instead of "
                               "the vectorized fast path (bit-identical)")

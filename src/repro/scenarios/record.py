@@ -147,18 +147,10 @@ class ScenarioRecord:
         return cls.from_json(Path(path).read_text())
 
 
-def record_from_model_cost(scenario, cost, key: str, repro_version: str,
-                           workers: int = 1, vectorize: bool = True,
-                           elapsed_s: float = 0.0,
-                           backend: str = "analytical",
-                           crossval: Optional[Dict[str, object]] = None,
-                           ) -> ScenarioRecord:
-    """Build a record from a :class:`~repro.layoutloop.cosearch.ModelCost`.
-
-    ``backend`` names the evaluation backend that produced ``cost``;
-    ``crossval`` attaches the per-cell analytical-vs-simulated deltas on
-    cross-validation cells (whose ``cost``/totals are the analytical side).
-    """
+def model_cost_layers(cost) -> List[LayerRecord]:
+    """Per-unique-shape winner rows of a
+    :class:`~repro.layoutloop.cosearch.ModelCost` — the shared vocabulary
+    of scenario records and :class:`repro.api` search responses."""
     layers = []
     for choice in cost.layer_choices:
         result = choice.result
@@ -177,7 +169,12 @@ def record_from_model_cost(scenario, cost, key: str, repro_version: str,
             utilization=report.utilization,
             practical_utilization=report.practical_utilization,
         ))
-    totals = {
+    return layers
+
+
+def model_cost_totals(cost) -> Dict[str, float]:
+    """Whole-model aggregate row of a ``ModelCost`` (shared vocabulary)."""
+    return {
         "total_cycles": cost.total_cycles,
         "total_energy_pj": cost.total_energy_pj,
         "total_macs": cost.total_macs,
@@ -187,8 +184,12 @@ def record_from_model_cost(scenario, cost, key: str, repro_version: str,
         "stall_fraction": cost.stall_fraction,
         "reorder_fraction": cost.reorder_fraction,
     }
-    stats = cost.search_stats
-    search = {
+
+
+def search_stats_payload(stats) -> Dict[str, object]:
+    """Deterministic engine counters of a
+    :class:`~repro.search.engine.SearchStats` (shared vocabulary)."""
+    return {
         "backend": stats.backend,
         "layers_total": stats.layers_total,
         "layers_unique": stats.layers_unique,
@@ -197,6 +198,23 @@ def record_from_model_cost(scenario, cost, key: str, repro_version: str,
         "cache_hits": stats.cache.hits,
         "cache_misses": stats.cache.misses,
     }
+
+
+def record_from_model_cost(scenario, cost, key: str, repro_version: str,
+                           workers: int = 1, vectorize: bool = True,
+                           elapsed_s: float = 0.0,
+                           backend: str = "analytical",
+                           crossval: Optional[Dict[str, object]] = None,
+                           ) -> ScenarioRecord:
+    """Build a record from a :class:`~repro.layoutloop.cosearch.ModelCost`.
+
+    ``backend`` names the evaluation backend that produced ``cost``;
+    ``crossval`` attaches the per-cell analytical-vs-simulated deltas on
+    cross-validation cells (whose ``cost``/totals are the analytical side).
+    """
+    layers = model_cost_layers(cost)
+    totals = model_cost_totals(cost)
+    search = search_stats_payload(cost.search_stats)
     return ScenarioRecord(
         scenario=scenario.name,
         workload_set=scenario.workload_set,

@@ -18,6 +18,7 @@ import re
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.baselines.registry import fig13_arch_suite
+from repro.errors import InvalidRequestError
 from repro.layoutloop.arch import ArchSpec, feather_arch
 from repro.workloads.bert import bert_head_gemm_sweep, bert_unique_gemms
 from repro.workloads.gemm import fig10_workloads
@@ -80,7 +81,7 @@ def resolve_workload_set(spec: str) -> List:
     try:
         factory = _WORKLOAD_SETS[base]
     except KeyError:
-        raise ValueError(
+        raise InvalidRequestError(
             f"unknown workload set {base!r}; registered: "
             f"{', '.join(workload_set_names())}") from None
     workloads = list(factory())
@@ -92,7 +93,7 @@ def resolve_arch(name: str) -> ArchSpec:
     try:
         factory = _ARCHES[name]
     except KeyError:
-        raise ValueError(
+        raise InvalidRequestError(
             f"unknown architecture {name!r}; registered: "
             f"{', '.join(arch_names())}") from None
     return factory()

@@ -1,8 +1,11 @@
-"""Execute scenario cells through the co-search engine, with result caching.
+"""Execute scenario cells through the :mod:`repro.api` façade, with result
+caching.
 
-:func:`run_cell` is the unit of work: resolve the cell's workload set and
-architecture, run :func:`repro.search.engine.search_model` with the cell's
-config, and wrap the outcome in a :class:`~repro.scenarios.record.ScenarioRecord`.
+:func:`run_cell` is the unit of work: build a
+:class:`~repro.api.SearchRequest` from the cell's declarative definition,
+run it on a :class:`~repro.api.Session` (the module-default one unless a
+session is passed), and wrap the outcome in a
+:class:`~repro.scenarios.record.ScenarioRecord`.
 
 Artifacts are **content-addressed**: every record embeds a sha256 ``key``
 over the *resolved* cell definition — the workload shape signatures, the
@@ -98,10 +101,21 @@ class CellResult:
     """Artifact location (None when running without a runs directory)."""
 
 
-def run_cell(scenario: Scenario, workers: int = 1, vectorize: bool = True,
-             runs_dir: Optional[Path] = None, force: bool = False,
-             backend: Optional[str] = None) -> CellResult:
+def run_cell(scenario: Scenario, workers: Optional[int] = None,
+             vectorize: bool = True, runs_dir: Optional[Path] = None,
+             force: bool = False, backend: Optional[str] = None,
+             session=None) -> CellResult:
     """Run (or load) one scenario cell on its evaluation backend.
+
+    The cell's co-search executes through the :mod:`repro.api` façade: a
+    :class:`~repro.api.SearchRequest` on ``session`` (the module-default
+    :func:`~repro.api.default_session` when not given).  ``workers=None``
+    therefore follows the session's documented precedence — explicit
+    argument > session default > ``REPRO_SEARCH_WORKERS`` > serial — the
+    same resolution every other entry point gets.  The request runs with a
+    private evaluation cache (``fresh_cache``) so the engine counters
+    embedded in the record stay deterministic; results are bit-identical
+    either way.
 
     ``backend`` overrides the scenario's declared backend for this run
     (the CLI's ``--backend`` flag); the override participates in the
@@ -115,11 +129,13 @@ def run_cell(scenario: Scenario, workers: int = 1, vectorize: bool = True,
     """
     import dataclasses
 
-    from repro.backends.crossval import cross_validate_model
-    from repro.search.engine import search_model
+    from repro.api import SearchRequest
+    from repro.api.session import default_session
 
     if backend is not None and backend != scenario.backend:
         scenario = dataclasses.replace(scenario, backend=backend)
+    if session is None:
+        session = default_session()
 
     workloads = resolve_workload_set(scenario.workload_set)
     arch = resolve_arch(scenario.arch)
@@ -136,28 +152,20 @@ def run_cell(scenario: Scenario, workers: int = 1, vectorize: bool = True,
                 return CellResult(record=existing, cached=True, path=path)
 
     config = scenario.config
-    crossval_payload = None
     start = time.perf_counter()
-    if scenario.backend == "crossval":
-        cost, validation = cross_validate_model(
-            arch, workloads, model_name=scenario.name, metric=config.metric,
-            max_mappings=config.max_mappings, seed=config.seed,
-            workers=workers, vectorize=vectorize, prune=config.prune,
-            arch_label=scenario.arch)
-        crossval_payload = validation.as_dict()
-    else:
-        cost = search_model(arch, workloads, model_name=scenario.name,
-                            metric=config.metric,
-                            max_mappings=config.max_mappings, workers=workers,
-                            prune=config.prune, seed=config.seed,
-                            vectorize=vectorize, backend=scenario.backend)
+    response = session.run(SearchRequest(
+        workloads=scenario.workload_set, arch=scenario.arch,
+        model=scenario.name, metric=config.metric,
+        max_mappings=config.max_mappings, seed=config.seed,
+        prune=config.prune, backend=scenario.backend, workers=workers,
+        vectorize=vectorize, fresh_cache=True))
     elapsed = time.perf_counter() - start
-    record = record_from_model_cost(scenario, cost, key=key,
+    record = record_from_model_cost(scenario, response.cost, key=key,
                                     repro_version=repro.__version__,
-                                    workers=cost.search_stats.workers,
+                                    workers=response.cost.search_stats.workers,
                                     vectorize=vectorize, elapsed_s=elapsed,
                                     backend=scenario.backend,
-                                    crossval=crossval_payload)
+                                    crossval=response.crossval)
     if path is not None:
         path.parent.mkdir(parents=True, exist_ok=True)
         record.write(path)
@@ -185,25 +193,29 @@ class MatrixRun:
 
 
 def run_matrix(matrix: ScenarioMatrix, pattern: Optional[str] = None,
-               workers: int = 1, vectorize: bool = True,
+               workers: Optional[int] = None, vectorize: bool = True,
                runs_dir: Optional[Path] = None, force: bool = False,
                progress: Optional[Callable[[CellResult], None]] = None,
                backend: Optional[str] = None,
-               skip_incompatible: bool = False) -> MatrixRun:
+               skip_incompatible: bool = False,
+               session=None) -> MatrixRun:
     """Run every (matching) cell of a matrix and emit summary artifacts.
 
-    Cells run in plan order; ``progress`` (if given) is called after each
-    cell with its :class:`CellResult`.  With ``runs_dir`` set, per-cell JSON
-    records land there and ``summary.csv`` / ``summary.md`` are rewritten
-    to cover the cells of this invocation.  ``backend`` (if given)
-    overrides every cell's declared backend for this sweep; with
-    ``skip_incompatible=True`` cells the chosen backend declares it cannot
-    run by design (:class:`~repro.backends.simulator.BackendCompatibilityError`:
-    a cell over the simulator's MAC bound, a non-RIR architecture) are
-    collected in :attr:`MatrixRun.skipped` with their reason instead of
-    aborting the sweep — genuine configuration errors still raise.
+    Cells run in plan order through one :class:`repro.api.Session`
+    (``session``, defaulting to the module-default one), so worker
+    resolution and backend instances are shared with every other façade
+    entry point; ``progress`` (if given) is called after each cell with
+    its :class:`CellResult`.  With ``runs_dir`` set, per-cell JSON records
+    land there and ``summary.csv`` / ``summary.md`` are rewritten to cover
+    the cells of this invocation.  ``backend`` (if given) overrides every
+    cell's declared backend for this sweep; with ``skip_incompatible=True``
+    cells the chosen backend declares it cannot run by design
+    (:class:`~repro.errors.IncompatibleCellError`: a cell over the
+    simulator's MAC bound, a non-RIR architecture) are collected in
+    :attr:`MatrixRun.skipped` with their reason instead of aborting the
+    sweep — genuine configuration errors still raise.
     """
-    from repro.backends.simulator import BackendCompatibilityError
+    from repro.errors import IncompatibleCellError
     from repro.scenarios.artifacts import write_summary_csv, write_summary_md
 
     cells = matrix.filter(pattern).dedup()
@@ -212,8 +224,9 @@ def run_matrix(matrix: ScenarioMatrix, pattern: Optional[str] = None,
     for scenario in cells:
         try:
             result = run_cell(scenario, workers=workers, vectorize=vectorize,
-                              runs_dir=runs_dir, force=force, backend=backend)
-        except BackendCompatibilityError as exc:
+                              runs_dir=runs_dir, force=force, backend=backend,
+                              session=session)
+        except IncompatibleCellError as exc:
             if not skip_incompatible:
                 raise
             skipped.append((scenario, str(exc)))
@@ -245,7 +258,7 @@ def scenario_from_record(record: ScenarioRecord) -> Scenario:
                     backend=record.backend)
 
 
-def rerun_record(record: ScenarioRecord, workers: int = 1,
+def rerun_record(record: ScenarioRecord, workers: Optional[int] = 1,
                  vectorize: bool = True) -> ScenarioRecord:
     """Re-run a record's cell from its embedded definition (no caching)."""
     scenario = scenario_from_record(record)

@@ -27,6 +27,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.errors import InvalidRequestError
 from repro.layoutloop.arch import ArchSpec
 from repro.layoutloop.cosearch import LayerChoice, ModelCost, unique_workloads
 from repro.layoutloop.energy import EnergyTable
@@ -35,7 +36,6 @@ from repro.search.cache import CacheStats, EvaluationCache
 from repro.search.parallel import (
     chunked,
     default_chunk_size,
-    resolve_workers,
     run_fanout,
 )
 
@@ -146,13 +146,119 @@ def _search_chunk(payload: Tuple) -> Tuple[List[SearchResult], int, int]:
     configuration, so a chunk's results do not depend on which process (or
     how many) ran it.
     """
-    arch, energy, metric, max_mappings, seed, prune, vectorize, shapes = payload
+    (arch, energy, metric, max_mappings, seed, prune, vectorize, layouts,
+     shapes) = payload
     mapper = Mapper(arch, energy=energy, metric=metric,
                     max_mappings=max_mappings, seed=seed, prune=prune,
                     evaluation_cache=EvaluationCache(), vectorize=vectorize)
-    results = [mapper.search(wl) for wl in shapes]
+    results = [mapper.search(wl, layouts=layouts) for wl in shapes]
     stats = mapper.evaluation_cache.stats
     return results, stats.hits, stats.misses
+
+
+def _search_model_impl(arch: ArchSpec, workloads: Sequence,
+                       model_name: str = "model", metric: str = "edp",
+                       max_mappings: int = 200,
+                       energy: Optional[EnergyTable] = None,
+                       workers: int = 1, chunk_size: Optional[int] = None,
+                       prune: bool = True, seed: int = 0,
+                       cache: Optional[EvaluationCache] = None,
+                       vectorize: bool = True, backend="analytical",
+                       layouts: Optional[Sequence] = None,
+                       executor=None,
+                       mapper: Optional[Mapper] = None) -> ModelCost:
+    """The whole-model co-search engine behind :func:`search_model`.
+
+    This is the execution layer: ``workers`` must already be a concrete
+    count (user-facing resolution — explicit argument over the
+    ``REPRO_SEARCH_WORKERS`` environment variable over the serial default —
+    happens in exactly one place, :meth:`repro.api.Session.resolve_workers`).
+    ``layouts`` optionally restricts the candidate layout library (used by
+    policy studies like Fig. 2's layout-blind "theory" search), and
+    ``executor`` is an optional caller-owned persistent process pool
+    (see :func:`repro.search.parallel.run_fanout`).
+
+    ``mapper`` (serial paths only) is a caller-owned persistent
+    :class:`Mapper` whose configuration must match the other arguments —
+    the :class:`repro.api.Session` passes one per configuration so repeat
+    requests hit its whole-result memo instead of re-sampling; determinism
+    makes the memoized results identical to fresh ones, but the engine
+    counters then report the memo (zero evaluations on a full hit), which
+    is why per-call-deterministic callers (records, golden files) do not
+    pass one.
+    """
+    workloads = list(workloads)
+    if not workloads:
+        raise InvalidRequestError(
+            f"search_model({model_name!r}) requires at least one workload")
+
+    from repro.backends import AnalyticalBackend
+
+    if isinstance(backend, AnalyticalBackend):
+        # An analytical *instance* is configuration, not a detour: adopt
+        # its cache (unless one was passed explicitly) and vectorize flag,
+        # then run the full analytical path — fan-out, pruning, stats.
+        if cache is None:
+            cache = backend.cache
+        vectorize = backend.vectorize
+        backend = "analytical"
+    analytical = backend is None or backend == "analytical"
+    start = time.perf_counter()
+    grouped = unique_workloads(workloads)
+    shapes = [wl for wl, _ in grouped]
+    workers = max(1, int(workers)) if analytical else 1
+    layouts = list(layouts) if layouts else None
+
+    backend_name = ("analytical" if analytical
+                    else getattr(backend, "name", None) or str(backend))
+    stats = SearchStats(model=model_name, arch=arch.name,
+                        layers_total=len(workloads),
+                        layers_unique=len(grouped), workers=workers,
+                        backend=backend_name)
+
+    if not analytical:
+        if mapper is None:
+            mapper = Mapper(arch, energy=energy, metric=metric,
+                            max_mappings=max_mappings, seed=seed, prune=prune,
+                            vectorize=vectorize, backend=backend)
+        results = [mapper.search(wl, layouts=layouts) for wl in shapes]
+    elif workers <= 1 or len(shapes) <= 1:
+        stats.workers = 1
+        if mapper is None:
+            eval_cache = cache if cache is not None else EvaluationCache()
+            mapper = Mapper(arch, energy=energy, metric=metric,
+                            max_mappings=max_mappings, seed=seed, prune=prune,
+                            evaluation_cache=eval_cache, vectorize=vectorize)
+        else:
+            eval_cache = mapper.evaluation_cache
+        # Shared caches outlive this call: report this run's delta, not the
+        # cache's cumulative counters.
+        before_hits = eval_cache.stats.hits
+        before_misses = eval_cache.stats.misses
+        results = [mapper.search(wl, layouts=layouts) for wl in shapes]
+        stats.cache = CacheStats(hits=eval_cache.stats.hits - before_hits,
+                                 misses=eval_cache.stats.misses - before_misses)
+    else:
+        size = chunk_size or default_chunk_size(len(shapes), workers)
+        payloads = [(arch, energy, metric, max_mappings, seed, prune,
+                     vectorize, layouts, chunk)
+                    for chunk in chunked(shapes, size)]
+        chunk_outputs, stats.workers = run_fanout(_search_chunk, payloads,
+                                                  workers, executor=executor)
+        results = []
+        for chunk_results, hits, misses in chunk_outputs:
+            results.extend(chunk_results)
+            stats.cache = stats.cache.merge(CacheStats(hits=hits,
+                                                       misses=misses))
+
+    cost = ModelCost(arch=arch.name, model=model_name)
+    for result, (_, count) in zip(results, grouped):
+        cost.layer_choices.append(LayerChoice(result=result, count=count))
+        stats.evaluations += result.evaluated
+        stats.pruned += result.pruned
+    stats.elapsed_s = time.perf_counter() - start
+    cost.search_stats = stats
+    return cost
 
 
 def search_model(arch: ArchSpec, workloads: Sequence, model_name: str = "model",
@@ -164,6 +270,16 @@ def search_model(arch: ArchSpec, workloads: Sequence, model_name: str = "model",
                  vectorize: bool = True,
                  backend="analytical") -> ModelCost:
     """Co-search a whole model on one architecture and aggregate the cost.
+
+    .. deprecated:: 1.1
+        This is now a thin shim over the :mod:`repro.api` façade: it builds
+        a :class:`~repro.api.SearchRequest` and runs it on the module-default
+        :class:`~repro.api.Session` (bit-identical outputs, pinned by the
+        golden tests).  New code should construct a ``Session`` and call
+        :meth:`~repro.api.Session.run` directly — a long-lived session
+        amortizes its evaluation cache and worker pool across requests,
+        which this per-call front deliberately does not
+        (``fresh_cache=True`` preserves the legacy per-call semantics).
 
     Parameters mirror :class:`~repro.layoutloop.mapper.Mapper`; the batch
     level adds:
@@ -189,73 +305,33 @@ def search_model(arch: ArchSpec, workloads: Sequence, model_name: str = "model",
     Raises ``ValueError`` on an empty workload list — silently returning an
     all-zero :class:`ModelCost` hid bugs in callers.
     """
+    from repro.api import SearchRequest, default_session
+    from repro.api.codec import arch_payload, workload_payload
+
     workloads = list(workloads)
     if not workloads:
-        raise ValueError(
+        raise InvalidRequestError(
             f"search_model({model_name!r}) requires at least one workload")
-
-    from repro.backends import AnalyticalBackend
-
-    if isinstance(backend, AnalyticalBackend):
-        # An analytical *instance* is configuration, not a detour: adopt
-        # its cache (unless one was passed explicitly) and vectorize flag,
-        # then run the full analytical path — fan-out, pruning, stats.
-        if cache is None:
-            cache = backend.cache
-        vectorize = backend.vectorize
-        backend = "analytical"
-    analytical = backend is None or backend == "analytical"
-    start = time.perf_counter()
-    grouped = unique_workloads(workloads)
-    shapes = [wl for wl, _ in grouped]
-    workers = resolve_workers(workers) if analytical else 1
-
-    backend_name = ("analytical" if analytical
-                    else getattr(backend, "name", None) or str(backend))
-    stats = SearchStats(model=model_name, arch=arch.name,
-                        layers_total=len(workloads),
-                        layers_unique=len(grouped), workers=workers,
-                        backend=backend_name)
-
-    if not analytical:
-        mapper = Mapper(arch, energy=energy, metric=metric,
-                        max_mappings=max_mappings, seed=seed, prune=prune,
-                        vectorize=vectorize, backend=backend)
-        results = [mapper.search(wl) for wl in shapes]
-    elif workers <= 1 or len(shapes) <= 1:
-        stats.workers = 1
-        eval_cache = cache if cache is not None else EvaluationCache()
-        # Shared caches outlive this call: report this run's delta, not the
-        # cache's cumulative counters.
-        before_hits = eval_cache.stats.hits
-        before_misses = eval_cache.stats.misses
-        mapper = Mapper(arch, energy=energy, metric=metric,
-                        max_mappings=max_mappings, seed=seed, prune=prune,
-                        evaluation_cache=eval_cache, vectorize=vectorize)
-        results = [mapper.search(wl) for wl in shapes]
-        stats.cache = CacheStats(hits=eval_cache.stats.hits - before_hits,
-                                 misses=eval_cache.stats.misses - before_misses)
-    else:
-        size = chunk_size or default_chunk_size(len(shapes), workers)
-        payloads = [(arch, energy, metric, max_mappings, seed, prune,
-                     vectorize, chunk)
-                    for chunk in chunked(shapes, size)]
-        chunk_outputs, stats.workers = run_fanout(_search_chunk, payloads,
-                                                  workers)
-        results = []
-        for chunk_results, hits, misses in chunk_outputs:
-            results.extend(chunk_results)
-            stats.cache = stats.cache.merge(CacheStats(hits=hits,
-                                                       misses=misses))
-
-    cost = ModelCost(arch=arch.name, model=model_name)
-    for result, (_, count) in zip(results, grouped):
-        cost.layer_choices.append(LayerChoice(result=result, count=count))
-        stats.evaluations += result.evaluated
-        stats.pruned += result.pruned
-    stats.elapsed_s = time.perf_counter() - start
-    cost.search_stats = stats
-    return cost
+    session = default_session()
+    # Live objects (a shared cache, an energy calibration, a constructed
+    # backend instance) and the chunking override are engine configuration
+    # a serializable request cannot carry; those calls go straight to the
+    # execution layer with the same session-resolved worker count.
+    if (energy is not None or cache is not None or chunk_size is not None
+            or not (backend is None or isinstance(backend, str))):
+        return _search_model_impl(
+            arch, workloads, model_name=model_name, metric=metric,
+            max_mappings=max_mappings, energy=energy,
+            workers=session.resolve_workers(workers), chunk_size=chunk_size,
+            prune=prune, seed=seed, cache=cache, vectorize=vectorize,
+            backend=backend)
+    request = SearchRequest(
+        workloads=tuple(workload_payload(wl) for wl in workloads),
+        arch=arch_payload(arch), model=model_name, metric=metric,
+        max_mappings=max_mappings, seed=seed, prune=prune,
+        backend=backend or "analytical", workers=workers,
+        vectorize=vectorize, fresh_cache=True)
+    return session.run(request).cost
 
 
 def search_models(arches: Sequence[ArchSpec], workloads: Sequence,

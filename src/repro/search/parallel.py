@@ -60,7 +60,9 @@ def default_chunk_size(num_items: int, workers: int) -> int:
 
 
 def run_fanout(fn: Callable[[T], R], payloads: Sequence[T],
-               workers: int) -> Tuple[List[R], int]:
+               workers: int,
+               executor: Optional[ProcessPoolExecutor] = None
+               ) -> Tuple[List[R], int]:
     """Apply ``fn`` to every payload, fanning out across processes.
 
     Returns ``(results, effective_workers)`` with results in payload order;
@@ -69,10 +71,17 @@ def run_fanout(fn: Callable[[T], R], payloads: Sequence[T],
     used when ``workers <= 1``, when there is at most one payload, or when
     the process pool cannot be started; exceptions raised by ``fn`` itself
     always propagate unchanged.
+
+    ``executor`` (if given) is a caller-owned persistent pool — the
+    amortization layer of :class:`repro.api.Session` — used as-is and
+    **not** shut down here; without one, a pool is created and torn down
+    per call.  Results are bit-identical either way.
     """
     if workers <= 1 or len(payloads) <= 1:
         return [fn(p) for p in payloads], 1
     pool_size = min(workers, len(payloads))
+    if executor is not None:
+        return list(executor.map(fn, payloads)), pool_size
     try:
         executor = ProcessPoolExecutor(max_workers=pool_size)
     except (OSError, NotImplementedError):  # no fork / no semaphores

@@ -1,0 +1,151 @@
+"""End-to-end ``repro.serve``: real HTTP on an ephemeral port.
+
+The server thread shares one :class:`~repro.api.Session` with the test,
+so the core assertion is direct: ``POST /v1/search`` must return exactly
+``session.run(SearchRequest(...)).to_dict()`` — the wire adds encoding,
+never numbers.  Plus health, every error path with its stable code, eval
+and sweep round trips.
+"""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.api import EvalRequest, SearchRequest, Session, SweepRequest
+from repro.serve import create_server
+
+SEARCH = {"workloads": "fig10_gemms", "arch": "FEATHER-4x4",
+          "model": "e2e", "metric": "latency", "max_mappings": 6}
+
+
+@pytest.fixture(scope="module")
+def service():
+    """A live server on an ephemeral port + the session behind it."""
+    session = Session(name="test-serve")
+    server = create_server("127.0.0.1", 0, session)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    yield f"http://{host}:{port}", session
+    server.shutdown()
+    server.server_close()
+    session.close()
+    thread.join(timeout=10)
+
+
+def _post(base: str, path: str, payload: dict):
+    request = urllib.request.Request(
+        base + path, data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"}, method="POST")
+    try:
+        with urllib.request.urlopen(request, timeout=120) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+def test_healthz(service):
+    base, session = service
+    with urllib.request.urlopen(base + "/v1/healthz", timeout=30) as resp:
+        payload = json.loads(resp.read())
+    assert payload["status"] == "ok"
+    assert payload["version"] == __import__("repro").__version__
+    assert payload["name"] == session.name
+    assert "analytical" in payload["backends"]
+
+
+def _deterministic(payload: dict) -> dict:
+    """Drop run metadata (wall clock, warm-vs-cold cache counters): the
+    comparable part must be bit-identical between wire and direct runs."""
+    data = {k: v for k, v in payload.items()
+            if k not in ("elapsed_s", "workers")}
+    data["search"] = {k: v for k, v in payload["search"].items()
+                      if k not in ("cache_hits", "cache_misses")}
+    return data
+
+
+def test_search_over_http_equals_direct_session_run(service):
+    base, session = service
+    status, served = _post(base, "/v1/search", SEARCH)
+    assert status == 200
+    direct = session.run(SearchRequest(**SEARCH))
+    assert _deterministic(served) == _deterministic(direct.to_dict())
+    # Floats survive the wire exactly (shortest-round-trip repr).
+    assert served["totals"]["total_cycles"] == direct.totals["total_cycles"]
+    assert served["layers"] == direct.layers
+    assert served["key"] == direct.key
+
+
+def test_eval_over_http_equals_direct_session_run(service):
+    base, session = service
+    body = {"workload": "fig10_gemms#1", "arch": "FEATHER-4x4",
+            "layout": "MK_M32"}
+    status, served = _post(base, "/v1/eval", body)
+    assert status == 200
+    direct = session.run(EvalRequest(**body))
+    assert served["report"] == direct.report
+    assert served["backend"] == direct.backend
+    assert served["key"] == direct.key
+
+
+def test_sweep_over_http_equals_direct_session_run(service):
+    base, session = service
+    body = {"filter": "golden-fig10"}
+    status, served = _post(base, "/v1/sweep", body)
+    assert status == 200
+    direct = session.run(SweepRequest(**body))
+
+    def _records(payloads):
+        # Wall clock is run metadata; everything else (totals, layers,
+        # engine counters, keys) must be bit-identical.
+        return [{k: v for k, v in record.items()
+                 if k not in ("elapsed_s", "workers")}
+                for record in payloads]
+
+    assert _records(served["records"]) == _records(direct.records)
+    assert [r["scenario"] for r in served["records"]] == ["golden-fig10-gemms"]
+
+
+def test_error_codes_are_stable(service):
+    base, _ = service
+    cases = [
+        ("/v1/search", {"workloads": "no-such-set", "arch": "FEATHER"},
+         400, "invalid_request"),
+        ("/v1/search", {"workloads": "micro_gemms", "arch": "FEATHER-4x4",
+                        "backend": "bogus"}, 400, "unknown_backend"),
+        ("/v1/search", {"workloads": "resnet50", "arch": "FEATHER",
+                        "backend": "simulator"}, 422, "incompatible_cell"),
+        ("/v1/search", {"workloads": "resnet50[:2]", "arch": "FEATHER",
+                        "schema_version": 99}, 400, "invalid_request"),
+        ("/v1/nope", {}, 404, "not_found"),
+    ]
+    for path, body, expected_status, expected_code in cases:
+        status, payload = _post(base, path, body)
+        assert status == expected_status, (path, body, payload)
+        assert payload["error"]["code"] == expected_code
+        assert payload["error"]["message"]
+
+
+def test_malformed_json_is_a_structured_400(service):
+    base, _ = service
+    request = urllib.request.Request(
+        base + "/v1/search", data=b"{not json",
+        headers={"Content-Type": "application/json"}, method="POST")
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        urllib.request.urlopen(request, timeout=30)
+    assert excinfo.value.code == 400
+    assert json.loads(excinfo.value.read())["error"]["code"] == \
+        "invalid_request"
+
+
+def test_repeat_traffic_is_served_warm(service):
+    base, session = service
+    before = session.describe()["evaluation_cache_entries"]
+    _post(base, "/v1/search", SEARCH)  # may or may not be first overall
+    status, warm = _post(base, "/v1/search", dict(SEARCH, model="warm"))
+    assert status == 200
+    assert warm["search"]["cache_misses"] == 0
+    assert session.describe()["evaluation_cache_entries"] >= before

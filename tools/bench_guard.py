@@ -1,19 +1,22 @@
 #!/usr/bin/env python
-"""CI performance guard: the vectorized kernel must beat the scalar oracle.
+"""CI performance guard: the fast paths must beat their reference paths.
 
-Runs two comparisons on the ResNet-50 workload set and fails (exit 1) when
-the batched path is not measurably faster than the scalar reference:
+Runs three comparisons on the ResNet-50 workload set and fails (exit 1)
+when a fast path is not measurably faster than its reference:
 
 * **kernel** — raw cost-model evaluations (every unique conv shape x sampled
   mappings x the conv layout library) on SIGMA with off-chip reordering,
   where the batched concordance analysis carries the load;
 * **cosearch** — the whole deduplicated ``search_model`` co-search on
-  FEATHER at ``workers=1``, scalar (``vectorize=False``) vs vectorized.
+  FEATHER at ``workers=1``, scalar (``vectorize=False``) vs vectorized;
+* **api** — repeat traffic on a warm :class:`repro.api.Session` vs the
+  per-call ``search_model`` shim (the session's shared evaluation cache
+  and persistent per-configuration mappers carry the load).
 
-Both comparisons also verify the results are identical — a fast wrong kernel
+All comparisons also verify the results are identical — a fast wrong path
 still fails the guard.  Thresholds are deliberately below the locally
-measured speedups (~12x and ~6x) so only a real regression trips on a noisy
-CI box, while still proving "measurably faster".
+measured speedups (~12x, ~6x and ~25x) so only a real regression trips on
+a noisy CI box, while still proving "measurably faster".
 
 Usage::
 
@@ -100,18 +103,53 @@ def cosearch_speedup(rounds: int) -> float:
     return scalar_s / vector_s
 
 
+def api_speedup(rounds: int) -> float:
+    """Warm-:class:`Session` throughput vs per-call ``search_model``.
+
+    Both run the deduplicated ResNet-50 co-search on FEATHER.  The
+    per-call shim rebuilds its evaluation cache every call (legacy
+    semantics); the session request reuses the session's shared cache, so
+    repeat traffic must be measurably faster — and bit-identical.
+    """
+    from repro.api import SearchRequest, Session
+    from repro.layoutloop.arch import feather_arch
+    from repro.search.engine import search_model
+    from repro.workloads.resnet50 import resnet50_layers
+
+    layers = resnet50_layers(include_fc=False)
+    percall_s, percall = best_of(
+        lambda: search_model(feather_arch(), layers, model_name="resnet50",
+                             max_mappings=24), rounds)
+    with Session(name="bench-guard") as session:
+        request = SearchRequest(workloads="resnet50", arch="FEATHER",
+                                model="resnet50", max_mappings=24)
+        session.run(request)  # first request pays the cache fill once
+        warm_s, warm = best_of(lambda: session.run(request), rounds)
+    if (warm.totals["total_cycles"] != percall.total_cycles
+            or warm.totals["total_energy_pj"] != percall.total_energy_pj):
+        print("FAIL: warm-session totals differ from the per-call shim")
+        sys.exit(1)
+    print(f"api      : per-call {percall_s:.3f}s  warm session {warm_s:.3f}s  "
+          f"speedup {percall_s / warm_s:.2f}x "
+          f"(ResNet-50 on FEATHER, identical totals)")
+    return percall_s / warm_s
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--min-kernel-speedup", type=float, default=3.0,
                         help="minimum scalar/batched evaluation ratio")
     parser.add_argument("--min-cosearch-speedup", type=float, default=2.0,
                         help="minimum scalar/vectorized search_model ratio")
+    parser.add_argument("--min-api-speedup", type=float, default=3.0,
+                        help="minimum per-call/warm-session ratio")
     parser.add_argument("--rounds", type=int, default=3,
                         help="timing rounds per path (best-of)")
     args = parser.parse_args(argv)
 
     kernel = kernel_speedup(args.rounds)
     cosearch = cosearch_speedup(args.rounds)
+    api = api_speedup(args.rounds)
 
     failed = False
     if kernel < args.min_kernel_speedup:
@@ -121,6 +159,10 @@ def main(argv=None) -> int:
     if cosearch < args.min_cosearch_speedup:
         print(f"FAIL: cosearch speedup {cosearch:.2f}x below the "
               f"{args.min_cosearch_speedup:.2f}x floor")
+        failed = True
+    if api < args.min_api_speedup:
+        print(f"FAIL: api speedup {api:.2f}x below the "
+              f"{args.min_api_speedup:.2f}x floor")
         failed = True
     if failed:
         return 1

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Dump the versioned request/response JSON Schemas into ``docs/schemas/``.
+
+The wire contract of ``repro.api`` / ``python -m repro.serve`` lives in
+:mod:`repro.api.schemas`; this tool materializes it as one pretty-printed
+JSON file per schema (``<name>.v<version>.json``) so clients can consume
+the contract without importing the package, and CI's ``--check`` mode
+fails when the dumped files drift from the code — a schema change cannot
+land without its exported contract.
+
+Usage::
+
+    PYTHONPATH=src python tools/schema_export.py          # (re)write files
+    PYTHONPATH=src python tools/schema_export.py --check  # CI drift gate
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SCHEMAS_DIR = REPO_ROOT / "docs" / "schemas"
+
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.api.requests import API_SCHEMA_VERSION  # noqa: E402
+from repro.api.schemas import ALL_SCHEMAS  # noqa: E402
+
+
+def schema_path(name: str) -> Path:
+    return SCHEMAS_DIR / f"{name}.v{API_SCHEMA_VERSION}.json"
+
+
+def rendered(schema: dict) -> str:
+    return json.dumps(schema, indent=2, sort_keys=True) + "\n"
+
+
+def export() -> int:
+    SCHEMAS_DIR.mkdir(parents=True, exist_ok=True)
+    for name, schema in sorted(ALL_SCHEMAS.items()):
+        path = schema_path(name)
+        path.write_text(rendered(schema))
+        print(f"wrote {path.relative_to(REPO_ROOT)}")
+    return 0
+
+
+def check() -> int:
+    failures = 0
+    expected_files = {schema_path(name).name for name in ALL_SCHEMAS}
+    for name, schema in sorted(ALL_SCHEMAS.items()):
+        path = schema_path(name)
+        if not path.exists():
+            print(f"MISSING {path.relative_to(REPO_ROOT)}")
+            failures += 1
+            continue
+        if path.read_text() != rendered(schema):
+            print(f"DRIFT   {path.relative_to(REPO_ROOT)} "
+                  "(re-run tools/schema_export.py)")
+            failures += 1
+        else:
+            print(f"OK      {path.relative_to(REPO_ROOT)}")
+    for stray in sorted(SCHEMAS_DIR.glob("*.json")):
+        if stray.name not in expected_files:
+            print(f"STRAY   {stray.relative_to(REPO_ROOT)} "
+                  "(not produced by this build — stale version?)")
+            failures += 1
+    if failures:
+        print(f"{failures} schema file(s) out of sync")
+        return 1
+    print("schemas in sync")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--check", action="store_true",
+                        help="verify docs/schemas/ matches the code "
+                             "instead of rewriting it")
+    args = parser.parse_args(argv)
+    return check() if args.check else export()
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

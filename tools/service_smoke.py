@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""CI service smoke: launch ``repro.serve``, POST a micro-cell search,
+assert parity with the analytical golden record.
+
+The golden cell ``golden-fig10-gemms`` (``tests/golden/``) pins the
+four-GEMM latency co-search on FEATHER-4x4 float for float.  This gate
+proves the *wire* path — HTTP request parsing, the shared
+:class:`~repro.api.Session`, JSON response encoding — reproduces exactly
+the numbers the in-process engine is pinned to: totals and per-layer
+winners must match the golden payload, and a second identical POST must
+be served from the warm session (same totals, positive cache hits).
+
+Usage::
+
+    PYTHONPATH=src python tools/service_smoke.py
+
+Exit status 0 on parity, 1 on any mismatch.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import subprocess
+import sys
+import time
+import urllib.request
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+GOLDEN = REPO_ROOT / "tests" / "golden" / "golden-fig10-gemms.json"
+
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+
+def post(base: str, path: str, payload: dict) -> dict:
+    req = urllib.request.Request(
+        base + path, data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"}, method="POST")
+    with urllib.request.urlopen(req, timeout=120) as response:
+        return json.loads(response.read().decode("utf-8"))
+
+
+def main() -> int:
+    golden = json.loads(GOLDEN.read_text())
+    request = {
+        "workloads": golden["workload_set"],
+        "arch": golden["arch"],
+        "model": golden["scenario"],
+        "metric": golden["config"]["metric"],
+        "max_mappings": golden["config"]["max_mappings"],
+        "seed": golden["config"]["seed"],
+        "prune": golden["config"]["prune"],
+        # The golden record embeds per-call engine counters; ask for the
+        # same isolated-cache semantics so `search` compares exactly too.
+        "fresh_cache": True,
+    }
+
+    server = subprocess.Popen(
+        [sys.executable, "-m", "repro.serve", "--port", "0"],
+        cwd=REPO_ROOT, stdout=subprocess.PIPE, stderr=subprocess.DEVNULL,
+        text=True, env={"PYTHONPATH": str(REPO_ROOT / "src"),
+                        "PATH": "/usr/bin:/bin"})
+    try:
+        line = server.stdout.readline()
+        match = re.search(r"http://([^:]+):(\d+)", line)
+        if not match:
+            print(f"FAIL: server did not announce a port (got {line!r})")
+            return 1
+        base = f"http://{match.group(1)}:{match.group(2)}"
+
+        health = json.loads(urllib.request.urlopen(
+            base + "/v1/healthz", timeout=30).read())
+        if health.get("status") != "ok":
+            print(f"FAIL: healthz {health}")
+            return 1
+
+        first = post(base, "/v1/search", request)
+        failures = 0
+        for field in ("totals", "layers", "search"):
+            if first[field] != golden[field]:
+                print(f"FAIL: /v1/search {field} differs from "
+                      f"{GOLDEN.name}:\n  served: {first[field]}\n  "
+                      f"golden: {golden[field]}")
+                failures += 1
+        if not failures:
+            print(f"parity OK: /v1/search == {GOLDEN.name} "
+                  f"({len(first['layers'])} layers, "
+                  f"{first['totals']['total_cycles']:.6g} cycles)")
+
+        # Warm pass: drop the fresh-cache pin and hit the session cache.
+        warm_request = dict(request)
+        warm_request.pop("fresh_cache")
+        post(base, "/v1/search", warm_request)  # populates the shared cache
+        warm = post(base, "/v1/search", warm_request)
+        if warm["totals"] != golden["totals"]:
+            print("FAIL: warm-session totals drifted from the golden record")
+            failures += 1
+        elif warm["search"]["cache_misses"] > 0:
+            print(f"FAIL: warm-session pass recomputed "
+                  f"{warm['search']['cache_misses']} evaluation(s) instead "
+                  "of serving them from session state")
+            failures += 1
+        else:
+            print("warm session OK: zero evaluation-cache misses, "
+                  "identical totals")
+        return 1 if failures else 0
+    finally:
+        server.terminate()
+        try:
+            server.wait(timeout=10)
+        except subprocess.TimeoutExpired:
+            server.kill()
+
+
+if __name__ == "__main__":
+    start = time.time()
+    status = main()
+    print(f"service smoke {'OK' if status == 0 else 'FAILED'} "
+          f"in {time.time() - start:.1f}s")
+    raise SystemExit(status)
