@@ -1,0 +1,45 @@
+"""Two Sessions sharing one disk-backed result store.
+
+The story: the in-memory caches of a :class:`repro.api.Session` die with
+the process, so a fleet of serve replicas (or tonight's session after
+yesterday's sweep) would each pay every search again.  Pointing sessions
+at one ``store_path`` gives them a shared, content-addressed sqlite tier:
+whoever finishes a request first publishes the response payload under its
+content key, and every other session — concurrently or weeks later —
+serves it from disk with ``served_from == "store"`` instead of
+re-running the search.  This is the programmatic twin of launching serve
+replicas with a common ``--store`` flag.
+
+Run me:  PYTHONPATH=src python examples/shared_store.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.api import SearchRequest, Session
+
+request = SearchRequest(workloads="resnet50[:4]", arch="FEATHER",
+                        model="resnet50-head", max_mappings=20)
+
+with tempfile.TemporaryDirectory() as tmp:
+    store = Path(tmp) / "fleet.sqlite"
+
+    # -- 1. Replica A pays for the search once and publishes the result.
+    with Session(name="replica-a", store_path=store) as a:
+        first = a.run(request)
+        print(f"replica-a: searched {first.model}: "
+              f"{first.totals['total_cycles']:.4g} cycles "
+              f"(served_from={first.served_from}, "
+              f"executed={a.stats.executed})")
+        print(f"store    : {a.store.describe()['entries']} entry, "
+              f"{a.store.describe()['bytes']} bytes on disk")
+
+    # -- 2. Replica B — a different process in real deployments — serves
+    #       the identical request from the shared store: no search runs.
+    with Session(name="replica-b", store_path=store) as b:
+        second = b.run(request)
+        print(f"replica-b: served_from={second.served_from}, "
+              f"executed={b.stats.executed}, "
+              f"store_hits={b.stats.store_hits}")
+        print(f"identical: totals match={second.totals == first.totals}, "
+              f"key match={second.key == first.key}")

@@ -82,8 +82,13 @@ class EvalResponse(_ResponseBase):
     elapsed_s: float = 0.0
     """Wall-clock time of the evaluation (seconds; run metadata)."""
     schema_version: int = API_SCHEMA_VERSION
+    served_from: Optional[str] = None
+    """``"store"`` when a shared :class:`repro.store.ResultStore` satisfied
+    the request without executing; ``None`` when this session computed it
+    (run metadata — excluded from content keys like ``elapsed_s``)."""
     backend_report: object = field(default=None, compare=False, repr=False)
-    """The live :class:`BackendReport` (in-process callers only)."""
+    """The live :class:`BackendReport` (in-process callers only; ``None``
+    on store-served responses)."""
 
 
 @dataclass
@@ -115,9 +120,14 @@ class SearchResponse(_ResponseBase):
     elapsed_s: float = 0.0
     """Wall-clock time of the search (seconds; run metadata)."""
     schema_version: int = API_SCHEMA_VERSION
+    served_from: Optional[str] = None
+    """``"store"`` when a shared :class:`repro.store.ResultStore` satisfied
+    the request without executing; ``None`` when this session computed it
+    (run metadata — excluded from content keys like ``elapsed_s``)."""
     cost: object = field(default=None, compare=False, repr=False)
     """The live :class:`~repro.layoutloop.cosearch.ModelCost` (in-process
-    callers only — this is what the deprecation shims return)."""
+    callers only — this is what the deprecation shims return; ``None`` on
+    store-served responses)."""
 
 
 @dataclass

@@ -21,9 +21,26 @@ the scenarios CLI, the experiments and the deprecation shims all inherit
 the same precedence by routing through a session.
 
 ``run`` executes synchronously in the calling thread; ``submit`` returns a
-``concurrent.futures.Future`` from a small session-owned thread pool.
-Responses of coalesced requests are shared objects — treat them (and the
-``ModelCost`` handles they carry) as immutable.
+``concurrent.futures.Future`` from a session-owned thread pool of
+``threads`` workers.  Responses of coalesced requests are shared objects —
+treat them (and the ``ModelCost`` handles they carry) as immutable.
+
+Two optional layers turn a session into a service node:
+
+* ``store_path`` mounts a disk-backed :class:`repro.store.ResultStore`
+  under the in-memory tiers.  Eval and (non-``fresh_cache``) search
+  requests consult it before executing and publish their responses after;
+  because it is keyed by the same content keys and safely shared across
+  processes, N serve replicas pointed at one store file serve each other's
+  warm results (``response.served_from == "store"``).
+* ``offload=True`` (the threaded service front enables it on multi-core
+  hosts) makes cold analytical serial searches run as whole units in the
+  session's persistent process pool, so concurrent submitters scale past
+  the GIL: the submitting thread blocks on a pickled-result future instead
+  of holding the interpreter.  Results are adopted back into the mapper
+  memo, so repeat traffic still short-circuits in memory.  Offloaded
+  searches are bit-identical to inline ones (same engine, same seed, fresh
+  per-call evaluation cache in the worker).
 
 The module-default session (:func:`default_session`) is what the
 deprecation shims and ``python -m repro.serve`` use; construct your own
@@ -36,6 +53,7 @@ import hashlib
 import threading
 import time
 from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
+from contextlib import nullcontext
 from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import Dict, Optional, Tuple
@@ -71,10 +89,27 @@ class SessionStats:
     """Requests that actually ran an evaluation."""
     coalesced: int = 0
     """Requests served by joining an identical in-flight request."""
+    store_hits: int = 0
+    """Requests served from the shared :class:`~repro.store.ResultStore`
+    without executing (store-enabled sessions only)."""
 
 
 def _digest(payload: Tuple) -> str:
     return hashlib.sha256(repr(payload).encode("utf-8")).hexdigest()
+
+
+def _offloaded_search(payload: Dict):
+    """Worker entry point of the request-level process offload.
+
+    Must stay a module-level function (pickled by ``ProcessPoolExecutor``).
+    Runs one whole search on the exact fresh serial path a cold inline
+    request would take (``cache=None`` builds a per-call evaluation cache),
+    so the returned :class:`~repro.layoutloop.cosearch.ModelCost` — engine
+    counters included — is bit-identical to inline execution.
+    """
+    from repro.search.engine import _search_model_impl
+
+    return _search_model_impl(**payload)
 
 
 @dataclass
@@ -177,6 +212,17 @@ class Session:
       (content-addressed per-cell records + summaries); ``None`` keeps
       sweeps in memory.
     * ``name`` — label in ``describe()`` output (service health checks).
+    * ``threads`` — size of the thread pool behind :meth:`submit` (also
+      the concurrency the service front can push into one session);
+      default 4.
+    * ``store_path`` — optional disk-backed :class:`~repro.store.ResultStore`
+      shared across replicas (see the module docstring);
+      ``store_max_bytes`` bounds it.
+    * ``offload`` — run cold analytical serial searches as whole units in
+      the process pool so concurrent submitters scale past the GIL.  Off
+      by default (in-process callers keep exact legacy counter/cache
+      semantics); the service front enables it when ``--threads > 1`` on
+      a multi-core host.
 
     Sessions are usable from several threads (the JSON service shares one
     across its handler threads); close with :meth:`close` or use as a
@@ -184,10 +230,24 @@ class Session:
     """
 
     def __init__(self, workers: Optional[int] = None,
-                 runs_dir: Optional[Path] = None, name: str = "session"):
+                 runs_dir: Optional[Path] = None, name: str = "session",
+                 threads: Optional[int] = None,
+                 store_path: Optional[Path] = None,
+                 store_max_bytes: Optional[int] = None,
+                 offload: bool = False):
+        from repro.store import ResultStore
+
         self.name = name
         self.workers = workers
         self.runs_dir = Path(runs_dir) if runs_dir is not None else None
+        self.threads = 4 if threads is None else max(1, int(threads))
+        self.store = None
+        if store_path is not None:
+            self.store = (ResultStore(store_path)
+                          if store_max_bytes is None
+                          else ResultStore(store_path,
+                                           max_bytes=store_max_bytes))
+        self._offload_enabled = bool(offload) and self.threads > 1
         self.cache = EvaluationCache()
         self.stats = SessionStats()
         self.created_at = time.time()
@@ -215,6 +275,8 @@ class Session:
             pool.shutdown()
         if threads is not None:
             threads.shutdown()
+        if self.store is not None:
+            self.store.close()
 
     def __enter__(self) -> "Session":
         return self
@@ -285,7 +347,8 @@ class Session:
                 raise RuntimeError(f"Session {self.name!r} is closed")
             if self._threads is None:
                 self._threads = ThreadPoolExecutor(
-                    max_workers=4, thread_name_prefix=f"repro-{self.name}")
+                    max_workers=self.threads,
+                    thread_name_prefix=f"repro-{self.name}")
             return self._threads
 
     # ------------------------------------------------------------- backends
@@ -308,6 +371,10 @@ class Session:
             instance = create_backend(name, arch, cache=self.cache)
         else:
             instance = create_backend(name, arch, seed=seed)
+            # Stateful backends mutate internal state (simulation buffers,
+            # memos) while evaluating; concurrent searches on the shared
+            # instance serialize on this lock (see _execute_search).
+            instance._session_serialize = threading.Lock()
         with self._lock:
             return self._backends.setdefault(key, instance)
 
@@ -412,16 +479,117 @@ class Session:
 
     # ------------------------------------------------------------- execution
     def _execute(self, request: Request, resolved: _Resolved, key: str):
+        stored = self._serve_from_store(request, resolved, key)
+        if stored is not None:
+            return stored
         with self._lock:
             self.stats.executed += 1
         if isinstance(request, EvalRequest):
-            return self._execute_eval(request, resolved, key)
-        if isinstance(request, SearchRequest):
-            return self._execute_search(request, resolved, key)
-        if isinstance(request, SweepRequest):
+            response = self._execute_eval(request, resolved, key)
+        elif isinstance(request, SearchRequest):
+            response = self._execute_search(request, resolved, key)
+        elif isinstance(request, SweepRequest):
             return self._execute_sweep(request, resolved, key)
-        raise InvalidRequestError(
-            f"unsupported request type {type(request).__name__!r}")
+        else:
+            raise InvalidRequestError(
+                f"unsupported request type {type(request).__name__!r}")
+        self._offer_to_store(request, key, response)
+        return response
+
+    # ----------------------------------------------------------- store tier
+    @staticmethod
+    def _store_kind(request: Request) -> Optional[str]:
+        """The store record kind of a request, or None when it must not be
+        store-served: sweeps have their own content-addressed artifact tier
+        (``runs_dir``), and ``fresh_cache`` searches promise per-call engine
+        counters and a live ``cost`` handle (the deprecation shims, the
+        scenario runner and the golden records depend on both)."""
+        if isinstance(request, EvalRequest):
+            return "eval"
+        if isinstance(request, SearchRequest) and not request.fresh_cache:
+            return "search"
+        return None
+
+    def _serve_from_store(self, request: Request, resolved: _Resolved,
+                          key: str):
+        """A finished response from the shared disk store, or None.
+
+        A search whose every shape is already in this session's whole-result
+        memo is *not* store-served — the in-memory path is faster and keeps
+        the live ``cost`` handle.  Payloads that fail to reconstruct (a
+        foreign or corrupt record) are treated as misses.
+        """
+        if self.store is None:
+            return None
+        kind = self._store_kind(request)
+        if kind is None:
+            return None
+        if kind == "search" and self._memo_has(request, resolved):
+            return None
+        start = time.perf_counter()
+        payload = self.store.get(key)
+        if payload is None:
+            return None
+        cls = EvalResponse if kind == "eval" else SearchResponse
+        try:
+            response = cls.from_dict(payload)
+        except InvalidRequestError:
+            return None
+        if response.key != key:
+            return None
+        response.served_from = "store"
+        response.elapsed_s = time.perf_counter() - start
+        with self._lock:
+            self.stats.store_hits += 1
+        return response
+
+    def _offer_to_store(self, request: Request, key: str, response) -> None:
+        kind = self._store_kind(request)
+        if self.store is None or kind is None:
+            return
+        self.store.put(key, response.to_dict(), kind=kind)
+
+    def _memo_has(self, request: SearchRequest, resolved: _Resolved) -> bool:
+        """Whether the serial in-memory path would serve this search from
+        the per-configuration mapper's whole-result memo."""
+        from repro.layoutloop.cosearch import unique_workloads
+
+        if request.backend == "crossval":
+            return False
+        if self.resolve_workers(request.workers) > 1:
+            return False
+        backend = ("analytical" if request.backend == "analytical"
+                   else self.backend_for(request.backend, resolved.arch,
+                                         request.seed))
+        mapper = self._mapper_for(resolved.arch, request, backend)
+        return all(mapper.has_result(wl, resolved.layouts)
+                   for wl, _ in unique_workloads(resolved.workloads))
+
+    # -------------------------------------------------------------- offload
+    def _offload(self, request: SearchRequest, resolved: _Resolved):
+        """Run one analytical search whole in the process pool; returns the
+        :class:`ModelCost`, or None when no pool is available (caller runs
+        inline — bit-identical either way)."""
+        from concurrent.futures.process import BrokenProcessPool
+
+        pool = self._executor_for(max(2, self.threads))
+        if pool is None:
+            return None
+        payload = dict(
+            arch=resolved.arch, workloads=list(resolved.workloads),
+            model_name=request.model, metric=request.metric,
+            max_mappings=request.max_mappings, workers=1,
+            prune=request.prune, seed=request.seed,
+            vectorize=request.vectorize, backend="analytical",
+            layouts=resolved.layouts)
+        try:
+            return pool.submit(_offloaded_search, payload).result()
+        except (BrokenProcessPool, OSError):
+            # Pool infrastructure died (a killed worker, fork limits):
+            # degrade to inline execution.  Real search errors propagate.
+            return None
+        finally:
+            self._release_executor(pool)
 
     def _execute_eval(self, request: EvalRequest, resolved: _Resolved,
                       key: str) -> EvalResponse:
@@ -440,6 +608,50 @@ class Session:
 
     def _execute_search(self, request: SearchRequest, resolved: _Resolved,
                         key: str) -> SearchResponse:
+        from repro.layoutloop.cosearch import unique_workloads
+
+        workloads, arch = resolved.workloads, resolved.arch
+        layouts = resolved.layouts
+        workers = self.resolve_workers(request.workers)
+        crossval = request.backend == "crossval"
+        if crossval and layouts is not None:
+            raise InvalidRequestError(
+                "crossval does not support a layout restriction")
+        start = time.perf_counter()
+        search_backend = request.backend
+        if crossval or request.backend == "analytical":
+            search_backend = "analytical"
+        else:
+            search_backend = self.backend_for(request.backend, arch,
+                                              request.seed)
+        mapper = (self._mapper_for(arch, request, search_backend)
+                  if not request.fresh_cache and workers <= 1 and not crossval
+                  else None)
+        # Stateful backend instances (the simulator) are memoized per
+        # session and mutate internal state while evaluating — concurrent
+        # searches on the same instance must serialize.  Analytical
+        # requests stay fully concurrent (the evaluation cache is locked).
+        serialize = nullcontext()
+        if crossval:
+            # Fail fast on incompatible cells before burning a co-search,
+            # exactly like the legacy front.
+            simulator = self.backend_for("simulator", arch, request.seed)
+            serialize = getattr(simulator, "_session_serialize", serialize)
+            for workload, _ in unique_workloads(workloads):
+                simulator.check_cell(workload)
+        elif not isinstance(search_backend, str):
+            serialize = getattr(search_backend, "_session_serialize",
+                                serialize)
+        with serialize:
+            return self._execute_search_body(
+                request, resolved, key, workers, crossval, search_backend,
+                mapper, simulator if crossval else None, start)
+
+    def _execute_search_body(self, request, resolved, key, workers, crossval,
+                             search_backend, mapper, simulator, start):
+        """The execution leg of :meth:`_execute_search`, run while holding
+        the stateful backend's serialization lock (a no-op context for
+        analytical requests)."""
         from repro.scenarios.record import (
             model_cost_layers,
             model_cost_totals,
@@ -451,39 +663,36 @@ class Session:
 
         workloads, arch = resolved.workloads, resolved.arch
         layouts = resolved.layouts
-        workers = self.resolve_workers(request.workers)
-        crossval = request.backend == "crossval"
-        if crossval and layouts is not None:
-            raise InvalidRequestError(
-                "crossval does not support a layout restriction")
         crossval_payload = None
-        start = time.perf_counter()
-        search_backend = request.backend
-        if crossval or request.backend == "analytical":
-            search_backend = "analytical"
-        else:
-            search_backend = self.backend_for(request.backend, arch,
-                                              request.seed)
-        mapper = (self._mapper_for(arch, request, search_backend)
-                  if not request.fresh_cache and workers <= 1 and not crossval
-                  else None)
-        if crossval:
-            # Fail fast on incompatible cells before burning a co-search,
-            # exactly like the legacy front.
-            simulator = self.backend_for("simulator", arch, request.seed)
-            for workload, _ in unique_workloads(workloads):
-                simulator.check_cell(workload)
-        pool = self._executor_for(workers)
-        try:
-            cost = _search_model_impl(
-                arch, workloads, model_name=request.model,
-                metric=request.metric, max_mappings=request.max_mappings,
-                workers=workers, prune=request.prune, seed=request.seed,
-                cache=None if request.fresh_cache else self.cache,
-                vectorize=request.vectorize, backend=search_backend,
-                layouts=layouts, executor=pool, mapper=mapper)
-        finally:
-            self._release_executor(pool)
+        cost = None
+        if (self._offload_enabled and mapper is not None
+                and search_backend == "analytical"
+                and not all(mapper.has_result(wl, layouts)
+                            for wl, _ in unique_workloads(workloads))):
+            # Cold search on a threaded session: run it whole in a worker
+            # process so this submitting thread blocks GIL-free and the
+            # other handler threads keep the cores busy.  The worker runs
+            # the exact fresh serial path (same engine, same seed), so the
+            # result — counters included — is bit-identical to inline
+            # execution on a cold session.
+            cost = self._offload(request, resolved)
+            if cost is not None:
+                for (workload, _), choice in zip(unique_workloads(workloads),
+                                                 cost.layer_choices):
+                    mapper.adopt_result(workload, choice.result,
+                                        layouts=layouts)
+        if cost is None:
+            pool = self._executor_for(workers)
+            try:
+                cost = _search_model_impl(
+                    arch, workloads, model_name=request.model,
+                    metric=request.metric, max_mappings=request.max_mappings,
+                    workers=workers, prune=request.prune, seed=request.seed,
+                    cache=None if request.fresh_cache else self.cache,
+                    vectorize=request.vectorize, backend=search_backend,
+                    layouts=layouts, executor=pool, mapper=mapper)
+            finally:
+                self._release_executor(pool)
         if crossval:
             from repro.backends.crossval import cross_validate_model
 
@@ -546,7 +755,12 @@ class Session:
             "requests": self.stats.requests,
             "executed": self.stats.executed,
             "coalesced": self.stats.coalesced,
+            "store_hits": self.stats.store_hits,
             "inflight": len(self._inflight),
+            "threads": self.threads,
+            "offload": self._offload_enabled,
+            "store": (self.store.describe()
+                      if self.store is not None else None),
             "evaluation_cache_entries": len(self.cache),
             "evaluation_cache_hits": self.cache.stats.hits,
             "evaluation_cache_misses": self.cache.stats.misses,

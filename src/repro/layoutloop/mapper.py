@@ -257,9 +257,7 @@ class Mapper:
         exhaustive scan because the bound never exceeds the true value and
         ties never replace the incumbent.
         """
-        key = (getattr(workload, "name", str(workload)), self._workload_signature(workload),
-               self.metric, self.max_mappings, self.backend.name,
-               tuple(l.name for l in layouts) if layouts else None)
+        key = self._result_key(workload, layouts)
         if key in self._cache:
             return self._cache[key]
 
@@ -318,19 +316,34 @@ class Mapper:
         self._cache[key] = result
         return result
 
-    def adopt_result(self, workload, result: SearchResult) -> None:
+    def _result_key(self, workload,
+                    layouts: Optional[Sequence[Layout]] = None) -> Tuple:
+        """Memo key of a (workload, layout-restriction) search on this
+        mapper's configuration."""
+        return (getattr(workload, "name", str(workload)),
+                self._workload_signature(workload), self.metric,
+                self.max_mappings, self.backend.name,
+                tuple(l.name for l in layouts) if layouts else None)
+
+    def has_result(self, workload,
+                   layouts: Optional[Sequence[Layout]] = None) -> bool:
+        """Whether :meth:`search` for this workload (under this layout
+        restriction) would be served from the whole-result memo."""
+        return self._result_key(workload, layouts) in self._cache
+
+    def adopt_result(self, workload, result: SearchResult,
+                     layouts: Optional[Sequence[Layout]] = None) -> None:
         """Seed the result-level cache with an externally computed result.
 
-        Used by :class:`repro.search.engine.SearchEngine` to bring results
-        produced in worker processes (or by a sibling mapper) back into
-        this mapper's cache, so later :meth:`search` calls for the same
-        workload return instantly.  The result must have been computed with
-        the same metric/max_mappings configuration as this mapper.
+        Used by :class:`repro.search.engine.SearchEngine` (and the façade's
+        request-level process offload) to bring results produced in worker
+        processes (or by a sibling mapper) back into this mapper's cache,
+        so later :meth:`search` calls for the same workload return
+        instantly.  The result must have been computed with the same
+        metric/max_mappings configuration as this mapper, under the same
+        ``layouts`` restriction.
         """
-        key = (getattr(workload, "name", str(workload)),
-               self._workload_signature(workload), self.metric,
-               self.max_mappings, self.backend.name, None)
-        self._cache.setdefault(key, result)
+        self._cache.setdefault(self._result_key(workload, layouts), result)
 
     # ---------------------------------------------------------------- helpers
     @staticmethod

@@ -10,11 +10,18 @@ accounting so callers can report cache effectiveness.
 
 Caches are plain dictionaries: a cache is owned by one process (workers in
 the parallel engine each build their own) and reports are immutable
-dataclasses, so sharing the cached instance is safe.
+dataclasses, so sharing the cached instance is safe.  A cache may also be
+shared by the *threads* of one process (a :class:`repro.api.Session`
+serving concurrent requests): entry storage and hit/miss accounting are
+guarded by a lock, so concurrent lookups never corrupt the dict or lose
+counter increments.  The lock is per-operation — two threads missing the
+same key both evaluate and both ``put`` (idempotent: evaluations are
+deterministic), which keeps the hot hit path cheap.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Tuple
 
@@ -65,9 +72,11 @@ class EvaluationCache:
     def __init__(self) -> None:
         self._reports: Dict[Tuple, object] = {}
         self.stats = CacheStats()
+        self._lock = threading.Lock()
 
     def __len__(self) -> int:
-        return len(self._reports)
+        with self._lock:
+            return len(self._reports)
 
     @staticmethod
     def key(arch, energy, workload, mapping, layout) -> Tuple:
@@ -77,16 +86,18 @@ class EvaluationCache:
 
     def get(self, key: Tuple):
         """Look up a report; counts a hit or miss. Returns None on miss."""
-        report = self._reports.get(key)
-        if report is None:
-            self.stats.misses += 1
-        else:
-            self.stats.hits += 1
+        with self._lock:
+            report = self._reports.get(key)
+            if report is None:
+                self.stats.misses += 1
+            else:
+                self.stats.hits += 1
         return report
 
     def put(self, key: Tuple, report) -> None:
         """Store the report computed for ``key``."""
-        self._reports[key] = report
+        with self._lock:
+            self._reports[key] = report
 
     def evaluate(self, cost_model, workload, mapping, layout):
         """Memoized ``cost_model.evaluate``; returns ``(report, was_hit)``.
@@ -160,5 +171,6 @@ class EvaluationCache:
 
     def clear(self) -> None:
         """Drop all entries and reset the counters."""
-        self._reports.clear()
-        self.stats = CacheStats()
+        with self._lock:
+            self._reports.clear()
+            self.stats = CacheStats()

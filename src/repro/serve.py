@@ -22,12 +22,27 @@ handler thread shares the one session, concurrent identical requests
 coalesce to a single evaluation and repeat traffic is served from the
 session's caches — the server gets *faster* under load, not slower.
 
-No third-party dependencies: ``http.server`` + ``json`` only.
+Concurrency and fleet sharing:
+
+* ``--threads N`` sizes the session's dispatch pool: each HTTP handler
+  thread enqueues its request via :meth:`~repro.api.Session.submit` and
+  blocks on the future, so at most N requests execute concurrently while
+  identical in-flight ones coalesce.  On a multi-core host a threaded
+  server also enables the session's request-level *process offload* (cold
+  analytical searches run whole in worker processes), which is what lets
+  concurrent throughput scale past the GIL.
+* ``--store PATH`` mounts a disk-backed
+  :class:`~repro.store.ResultStore` shared across server processes: N
+  replicas pointed at one store file serve each other's warm results
+  (such responses report ``"served_from": "store"``).
+
+No third-party dependencies: ``http.server`` + ``json`` + ``sqlite3``
+only.
 
 Usage::
 
-    python -m repro.serve [--host 127.0.0.1] [--port 8080] [--workers N]
-                          [--runs-dir DIR]
+    python -m repro.serve [--host 127.0.0.1] [--port 8080] [--threads N]
+                          [--workers N] [--runs-dir DIR] [--store PATH]
 
 ``--port 0`` binds an ephemeral port; the chosen port is printed on the
 ``serving on http://host:port`` line (machine-parsable — the smoke test
@@ -38,6 +53,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
@@ -90,7 +106,11 @@ class ReproRequestHandler(BaseHTTPRequestHandler):
             body = self.rfile.read(length)
             data = json.loads(body.decode("utf-8") or "{}")
             request = request_from_dict(kind, data)
-            response = self.server.session.run(request)
+            # Dispatch through the session's thread pool rather than
+            # executing on this handler thread: the pool caps execution
+            # concurrency at the session's --threads, and submit() is
+            # where identical in-flight requests coalesce.
+            response = self.server.session.submit(request).result()
         except json.JSONDecodeError as exc:
             self._send_error_body(400, "invalid_request",
                                   "InvalidRequestError",
@@ -159,16 +179,27 @@ def main(argv: Optional[List[str]] = None) -> int:  # pragma: no cover
     parser.add_argument("--port", type=int, default=8080,
                         help="TCP port; 0 binds an ephemeral port "
                              "(printed on startup)")
+    parser.add_argument("--threads", type=int, default=4,
+                        help="concurrent request executions (the session's "
+                             "dispatch pool; default 4)")
     parser.add_argument("--workers", type=int, default=None,
                         help="session-default worker processes per search "
                              "(default: REPRO_SEARCH_WORKERS, then serial)")
     parser.add_argument("--runs-dir", type=Path, default=None,
                         help="artifact directory for sweep requests "
                              "(default: sweeps stay in memory)")
+    parser.add_argument("--store", type=Path, default=None,
+                        help="disk-backed result store shared across "
+                             "replicas (default: in-memory caches only)")
     args = parser.parse_args(argv)
 
+    # Request-level process offload only pays off when there is a core to
+    # offload *to*; on a single-core host the threaded front still serves
+    # (and coalesces/caches) concurrently, it just executes inline.
+    offload = args.threads > 1 and (os.cpu_count() or 1) > 1
     session = Session(workers=args.workers, runs_dir=args.runs_dir,
-                      name="serve")
+                      name="serve", threads=args.threads,
+                      store_path=args.store, offload=offload)
     server = create_server(args.host, args.port, session)
     host, port = server.server_address[:2]
     print(f"serving on http://{host}:{port}", flush=True)

@@ -1,0 +1,326 @@
+"""Disk-backed, content-addressed result store shared across processes.
+
+:class:`ResultStore` is the persistence tier *under* the in-memory serving
+layers of a :class:`~repro.api.Session` (the in-flight request table, the
+per-configuration mapper memos, the :class:`~repro.search.cache.EvaluationCache`).
+It maps the façade's sha256 **content keys**
+(:func:`repro.api.session.content_key`) to finished response payloads
+(``response.to_dict()``), so a fleet of ``python -m repro.serve`` replicas
+pointed at one ``--store`` file shares warm results: whichever replica
+computes a cell first, every other replica serves the repeat from disk
+without re-running the search.
+
+Design constraints, in order:
+
+* **Safe concurrent access** from many threads *and* many processes.  The
+  store is a single sqlite database in WAL mode — sqlite's file locking is
+  the cross-process mutex, a per-instance lock serializes this process's
+  connection, and every mutation runs in one transaction.  Writers never
+  block readers (WAL), and a 30 s busy timeout absorbs write contention.
+* **A cache, not a ledger.**  Anything that goes wrong — a payload whose
+  JSON no longer parses, a truncated database file, a locked row — is a
+  *miss*, never an exception.  Corrupt entries are deleted on sight; a
+  corrupt database file is recreated from scratch (:meth:`ResultStore._recover`);
+  if even that fails the store disables itself and every call becomes a
+  no-op miss.  Callers re-compute and re-``put``.
+* **Bounded.**  ``max_bytes`` (and optionally ``max_entries``) cap the
+  store; eviction is LRU by a monotonic access sequence number bumped on
+  every hit, applied transactionally with the ``put`` that overflowed.
+
+Content keys embed the request structure, the API schema version and the
+``repro`` package version, so a store written by an older build simply
+misses for a newer one — stale results can never masquerade as fresh.
+
+Results are deterministic (pinned by the golden tests), which is what
+makes sharing them across replicas sound: any replica would have computed
+the same payload bit for bit.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional
+
+#: Default size bound of a store file (bytes).  Search payloads are a few
+#: KB to a few hundred KB, so the default holds thousands of warm cells.
+DEFAULT_MAX_BYTES = 256 * 1024 * 1024
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS results (
+    key     TEXT PRIMARY KEY,
+    kind    TEXT NOT NULL,
+    payload TEXT NOT NULL,
+    size    INTEGER NOT NULL,
+    seq     INTEGER NOT NULL
+);
+CREATE INDEX IF NOT EXISTS results_seq ON results (seq);
+"""
+
+
+@dataclass
+class StoreStats:
+    """Per-instance counters (this process only — the file is shared)."""
+
+    hits: int = 0
+    """``get`` calls served from the store."""
+    misses: int = 0
+    """``get`` calls that found nothing usable (absent, corrupt, locked)."""
+    puts: int = 0
+    """Payloads written."""
+    evictions: int = 0
+    """Entries dropped by the LRU size bound."""
+    errors: int = 0
+    """Database-level failures survived (recoveries, locked writes)."""
+
+    @property
+    def lookups(self) -> int:
+        """Total number of ``get`` calls."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the store (0.0 when never used)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class ResultStore:
+    """A sqlite-backed LRU map from content key to response payload.
+
+    Parameters:
+
+    * ``path`` — the database file; parent directories are created.  One
+      file may be shared by any number of ``ResultStore`` instances across
+      threads and processes.
+    * ``max_bytes`` — LRU bound on the summed payload sizes.  A payload
+      larger than the whole bound is not stored at all (storing it would
+      immediately evict everything, itself included).
+    * ``max_entries`` — optional additional bound on the entry count.
+
+    All methods are thread-safe; none raises on database-level problems
+    (see the module docstring for the cache-not-ledger contract).
+    """
+
+    def __init__(self, path, max_bytes: int = DEFAULT_MAX_BYTES,
+                 max_entries: Optional[int] = None):
+        self.path = Path(path)
+        self.max_bytes = int(max_bytes)
+        self.max_entries = max_entries
+        self.stats = StoreStats()
+        self._lock = threading.RLock()
+        self._conn: Optional[sqlite3.Connection] = None
+        self._open()
+
+    # ------------------------------------------------------------ lifecycle
+    def _open(self) -> None:
+        """Connect and initialise the schema; one recovery attempt on a
+        corrupt file, then give up (disabled store = all misses)."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        for attempt in (0, 1):
+            try:
+                conn = sqlite3.connect(str(self.path), timeout=30.0,
+                                       check_same_thread=False)
+                conn.execute("PRAGMA journal_mode=WAL")
+                conn.execute("PRAGMA synchronous=NORMAL")
+                conn.executescript(_SCHEMA)
+                conn.commit()
+                self._conn = conn
+                return
+            except sqlite3.DatabaseError:
+                self.stats.errors += 1
+                self._unlink_files()
+        self._conn = None
+
+    def _unlink_files(self) -> None:
+        for suffix in ("", "-wal", "-shm"):
+            try:
+                Path(str(self.path) + suffix).unlink()
+            except OSError:
+                pass
+
+    def _recover(self) -> None:
+        """The file is corrupt (truncated, overwritten, not sqlite):
+        drop it and start empty — it is a cache, losing it costs a re-run."""
+        self.stats.errors += 1
+        if self._conn is not None:
+            try:
+                self._conn.close()
+            except sqlite3.Error:
+                pass
+            self._conn = None
+        self._unlink_files()
+        self._open()
+
+    def close(self) -> None:
+        """Close the connection (idempotent; the file stays)."""
+        with self._lock:
+            if self._conn is not None:
+                try:
+                    self._conn.close()
+                except sqlite3.Error:
+                    pass
+                self._conn = None
+
+    def __enter__(self) -> "ResultStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ get
+    def get(self, key: str) -> Optional[Dict]:
+        """The payload stored under ``key``, or ``None``.
+
+        A hit bumps the entry's LRU sequence.  An entry whose payload no
+        longer parses as a JSON object is deleted and reported as a miss;
+        database-level failures recover (or disable) the store and also
+        report a miss.
+        """
+        with self._lock:
+            if self._conn is None:
+                self.stats.misses += 1
+                return None
+            try:
+                with self._conn:
+                    row = self._conn.execute(
+                        "SELECT payload FROM results WHERE key = ?",
+                        (key,)).fetchone()
+                    if row is None:
+                        self.stats.misses += 1
+                        return None
+                    try:
+                        payload = json.loads(row[0])
+                        if not isinstance(payload, dict):
+                            raise ValueError("payload is not an object")
+                    except (ValueError, TypeError):
+                        # Corrupt entry: delete it so the next put heals it.
+                        self._conn.execute(
+                            "DELETE FROM results WHERE key = ?", (key,))
+                        self.stats.misses += 1
+                        return None
+                    self._conn.execute(
+                        "UPDATE results SET seq = "
+                        "(SELECT COALESCE(MAX(seq), 0) + 1 FROM results) "
+                        "WHERE key = ?", (key,))
+                self.stats.hits += 1
+                return payload
+            except sqlite3.OperationalError:
+                # Transient (e.g. locked past the busy timeout): miss, keep
+                # the connection.
+                self.stats.errors += 1
+                self.stats.misses += 1
+                return None
+            except sqlite3.DatabaseError:
+                self._recover()
+                self.stats.misses += 1
+                return None
+
+    # ------------------------------------------------------------------ put
+    def put(self, key: str, payload: Dict, kind: str = "") -> None:
+        """Store ``payload`` under ``key`` (last write wins), then evict
+        least-recently-used entries until the store is back under its
+        bounds.  Failures are swallowed (the entry is simply not cached)."""
+        text = json.dumps(payload, sort_keys=True)
+        size = len(text.encode("utf-8"))
+        if size > self.max_bytes:
+            return
+        with self._lock:
+            if self._conn is None:
+                return
+            try:
+                with self._conn:
+                    self._conn.execute(
+                        "INSERT OR REPLACE INTO results "
+                        "(key, kind, payload, size, seq) VALUES (?, ?, ?, ?, "
+                        "(SELECT COALESCE(MAX(seq), 0) + 1 FROM results))",
+                        (key, kind, text, size))
+                    self._evict_locked()
+                self.stats.puts += 1
+            except sqlite3.OperationalError:
+                self.stats.errors += 1
+            except sqlite3.DatabaseError:
+                self._recover()
+
+    def _evict_locked(self) -> None:
+        """Drop LRU entries until under ``max_bytes``/``max_entries``.
+        Runs inside the caller's transaction and lock."""
+        while True:
+            total, count = self._conn.execute(
+                "SELECT COALESCE(SUM(size), 0), COUNT(*) FROM results"
+            ).fetchone()
+            over_bytes = total > self.max_bytes
+            over_count = (self.max_entries is not None
+                          and count > self.max_entries)
+            if not (over_bytes or over_count) or count == 0:
+                return
+            self._conn.execute(
+                "DELETE FROM results WHERE key = "
+                "(SELECT key FROM results ORDER BY seq ASC LIMIT 1)")
+            self.stats.evictions += 1
+
+    # ----------------------------------------------------------- inspection
+    def __len__(self) -> int:
+        with self._lock:
+            if self._conn is None:
+                return 0
+            try:
+                return self._conn.execute(
+                    "SELECT COUNT(*) FROM results").fetchone()[0]
+            except sqlite3.DatabaseError:
+                self._recover()
+                return 0
+
+    def total_bytes(self) -> int:
+        """Summed payload sizes currently stored (bytes)."""
+        with self._lock:
+            if self._conn is None:
+                return 0
+            try:
+                return self._conn.execute(
+                    "SELECT COALESCE(SUM(size), 0) FROM results"
+                ).fetchone()[0]
+            except sqlite3.DatabaseError:
+                self._recover()
+                return 0
+
+    def keys(self) -> List[str]:
+        """All stored content keys, most recently used last."""
+        with self._lock:
+            if self._conn is None:
+                return []
+            try:
+                rows = self._conn.execute(
+                    "SELECT key FROM results ORDER BY seq ASC").fetchall()
+                return [row[0] for row in rows]
+            except sqlite3.DatabaseError:
+                self._recover()
+                return []
+
+    def clear(self) -> None:
+        """Drop every entry (per-instance counters are kept)."""
+        with self._lock:
+            if self._conn is None:
+                return
+            try:
+                with self._conn:
+                    self._conn.execute("DELETE FROM results")
+            except sqlite3.DatabaseError:
+                self._recover()
+
+    def describe(self) -> Dict[str, object]:
+        """JSON-compatible health payload (embedded in ``/v1/healthz``)."""
+        return {
+            "path": str(self.path),
+            "entries": len(self),
+            "bytes": self.total_bytes(),
+            "max_bytes": self.max_bytes,
+            "max_entries": self.max_entries,
+            "hits": self.stats.hits,
+            "misses": self.stats.misses,
+            "puts": self.stats.puts,
+            "evictions": self.stats.evictions,
+            "errors": self.stats.errors,
+        }

@@ -5,6 +5,13 @@ so the core assertion is direct: ``POST /v1/search`` must return exactly
 ``session.run(SearchRequest(...)).to_dict()`` — the wire adds encoding,
 never numbers.  Plus health, every error path with its stable code, eval
 and sweep round trips.
+
+The whole module runs twice: once over a single-threaded session
+(``threads=1`` — requests serialize through one dispatch slot) and once
+over the concurrent front (``threads=4``).  Every assertion must hold on
+both, which is what pins "the threaded server changes scheduling, never
+payloads".  Dedicated concurrency behavior (coalescing under parallel
+load, the shared store) lives in ``test_serve_concurrent.py``.
 """
 
 import json
@@ -21,10 +28,12 @@ SEARCH = {"workloads": "fig10_gemms", "arch": "FEATHER-4x4",
           "model": "e2e", "metric": "latency", "max_mappings": 6}
 
 
-@pytest.fixture(scope="module")
-def service():
+@pytest.fixture(scope="module", params=[1, 4],
+                ids=["threads1", "threads4"])
+def service(request):
     """A live server on an ephemeral port + the session behind it."""
-    session = Session(name="test-serve")
+    threads = request.param
+    session = Session(name=f"test-serve-{threads}", threads=threads)
     server = create_server("127.0.0.1", 0, session)
     thread = threading.Thread(target=server.serve_forever, daemon=True)
     thread.start()

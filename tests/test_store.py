@@ -1,0 +1,253 @@
+"""The disk-backed :class:`repro.store.ResultStore` tier.
+
+Property tests (hypothesis) over the store's cache contract:
+
+* **Round trip** — any JSON-compatible payload put under a content key
+  comes back equal, across reopen and across instances sharing the file.
+* **Bounds** — after any sequence of puts the summed payload sizes never
+  exceed ``max_bytes`` (and the entry count never exceeds
+  ``max_entries``), with the *most recently used* entries surviving.
+* **Corruption is a miss, never a crash** — a corrupted entry row is
+  deleted-and-missed; a truncated/garbage store *file* is recreated
+  empty; follow-up puts work again.
+
+Plus the integration contract the service fleet depends on: two
+:class:`~repro.api.Session` objects sharing one store file see each
+other's results (``served_from == "store"``, zero executions on the
+second session).
+"""
+
+import json
+import sqlite3
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import SearchRequest, Session, content_key
+from repro.store import ResultStore
+
+# Content-key-shaped strings (the store never parses them, but stay real).
+_keys = st.text(st.sampled_from("0123456789abcdef"), min_size=8, max_size=8)
+
+_payloads = st.dictionaries(
+    st.text(min_size=1, max_size=8),
+    st.one_of(st.integers(-2**31, 2**31), st.floats(allow_nan=False),
+              st.text(max_size=16), st.booleans(), st.none()),
+    max_size=6)
+
+
+def _size(payload) -> int:
+    return len(json.dumps(payload, sort_keys=True).encode("utf-8"))
+
+
+# ------------------------------------------------------------ round trips
+@settings(max_examples=30, deadline=None)
+@given(entries=st.dictionaries(_keys, _payloads, max_size=8))
+def test_put_get_round_trip(tmp_path_factory, entries):
+    path = tmp_path_factory.mktemp("store") / "s.sqlite"
+    with ResultStore(path) as store:
+        for key, payload in entries.items():
+            store.put(key, payload, kind="test")
+        for key, payload in entries.items():
+            assert store.get(key) == payload
+        assert len(store) == len(entries)
+    # Reopen: the results persisted.
+    with ResultStore(path) as reopened:
+        for key, payload in entries.items():
+            assert reopened.get(key) == payload
+
+
+def test_get_is_a_miss_for_absent_keys(tmp_path):
+    store = ResultStore(tmp_path / "s.sqlite")
+    assert store.get("deadbeef") is None
+    assert store.stats.misses == 1 and store.stats.hits == 0
+
+
+def test_last_write_wins(tmp_path):
+    store = ResultStore(tmp_path / "s.sqlite")
+    store.put("k", {"v": 1})
+    store.put("k", {"v": 2})
+    assert store.get("k") == {"v": 2}
+    assert len(store) == 1
+
+
+def test_two_instances_share_one_file_interleaved(tmp_path):
+    """Two connections (two 'processes' as far as sqlite locking goes)
+    writing and reading the same file see each other's entries."""
+    path = tmp_path / "s.sqlite"
+    a, b = ResultStore(path), ResultStore(path)
+    a.put("from-a", {"who": "a"})
+    assert b.get("from-a") == {"who": "a"}
+    b.put("from-b", {"who": "b"})
+    assert a.get("from-b") == {"who": "b"}
+    b.put("from-a", {"who": "b-overwrote"})
+    assert a.get("from-a") == {"who": "b-overwrote"}
+    a.close(), b.close()
+
+
+# ----------------------------------------------------------------- bounds
+@settings(max_examples=30, deadline=None)
+@given(payloads=st.lists(_payloads, min_size=1, max_size=12),
+       budget_entries=st.integers(1, 4))
+def test_lru_never_exceeds_the_size_bound(tmp_path_factory, payloads,
+                                          budget_entries):
+    """Invariant after *every* put: total stored bytes <= max_bytes."""
+    path = tmp_path_factory.mktemp("store") / "s.sqlite"
+    max_bytes = max(_size(p) for p in payloads) * budget_entries
+    store = ResultStore(path, max_bytes=max_bytes)
+    for i, payload in enumerate(payloads):
+        store.put(f"key-{i}", payload)
+        assert store.total_bytes() <= max_bytes
+    store.close()
+
+
+def test_lru_evicts_least_recently_used_first(tmp_path):
+    payload = {"pad": "x" * 100}
+    bound = 3 * _size(payload)
+    store = ResultStore(tmp_path / "s.sqlite", max_bytes=bound)
+    for name in ("a", "b", "c"):
+        store.put(name, payload)
+    assert store.get("a") is not None  # touch: a is now most recent
+    store.put("d", payload)            # overflows: evicts b, the LRU
+    assert store.keys() == ["c", "a", "d"]
+    assert store.get("b") is None
+    assert store.stats.evictions == 1
+
+
+def test_max_entries_bound(tmp_path):
+    store = ResultStore(tmp_path / "s.sqlite", max_entries=2)
+    for i in range(5):
+        store.put(f"k{i}", {"i": i})
+        assert len(store) <= 2
+    assert store.keys() == ["k3", "k4"]
+
+
+def test_oversized_payload_is_not_stored(tmp_path):
+    """A payload bigger than the whole bound would evict everything else
+    and then itself; it is simply skipped."""
+    store = ResultStore(tmp_path / "s.sqlite", max_bytes=64)
+    store.put("small", {"v": 1})
+    store.put("huge", {"pad": "x" * 1000})
+    assert store.get("huge") is None
+    assert store.get("small") == {"v": 1}
+
+
+# ------------------------------------------------------------- corruption
+def test_corrupt_entry_is_a_miss_and_self_heals(tmp_path):
+    path = tmp_path / "s.sqlite"
+    store = ResultStore(path)
+    store.put("good", {"v": 1})
+    store.put("bad", {"v": 2})
+    # Corrupt one row's payload behind the store's back.
+    raw = sqlite3.connect(str(path))
+    raw.execute("UPDATE results SET payload = '{truncated' WHERE key = 'bad'")
+    raw.commit(), raw.close()
+    assert store.get("bad") is None            # miss, not a crash
+    assert store.get("good") == {"v": 1}       # neighbors unharmed
+    store.put("bad", {"v": 3})                 # heals
+    assert store.get("bad") == {"v": 3}
+
+
+@pytest.mark.parametrize("garbage", [b"", b"not a sqlite file at all",
+                                     b"\x00" * 256],
+                         ids=["empty", "text", "zeros"])
+def test_truncated_store_file_recovers_empty(tmp_path, garbage):
+    path = tmp_path / "s.sqlite"
+    store = ResultStore(path)
+    store.put("k", {"v": 1})
+    store.close()
+    for suffix in ("-wal", "-shm"):
+        wal = tmp_path / f"s.sqlite{suffix}"
+        if wal.exists():
+            wal.unlink()
+    path.write_bytes(garbage)
+    reopened = ResultStore(path)               # does not raise
+    assert reopened.get("k") is None           # contents are gone, that's ok
+    reopened.put("k", {"v": 2})                # and it works again
+    assert reopened.get("k") == {"v": 2}
+    reopened.close()
+
+
+def test_whole_file_corruption_mid_session_recovers(tmp_path):
+    """Corruption appearing *after* open (another process scribbled over
+    the file) is also recovered on the next operation."""
+    path = tmp_path / "s.sqlite"
+    store = ResultStore(path)
+    store.put("k", {"v": 1})
+    store.close()
+    for suffix in ("-wal", "-shm"):
+        wal = tmp_path / f"s.sqlite{suffix}"
+        if wal.exists():
+            wal.unlink()
+    victim = ResultStore(path)
+    path.write_bytes(b"scribbled" * 100)
+    # sqlite may serve some reads from its page cache; what must hold is
+    # that no operation raises and the store keeps functioning.
+    victim.get("k")
+    victim.put("k2", {"v": 2})
+    victim.get("k2")
+    assert victim.stats.errors >= 0            # counters stay consistent
+    victim.close()
+
+
+# ------------------------------------------------- Session x Session fleet
+REQ = SearchRequest(workloads="micro_gemms", arch="FEATHER-4x4",
+                    model="fleet", metric="latency", max_mappings=4)
+
+
+def test_two_sessions_share_results_through_one_store(tmp_path):
+    path = tmp_path / "shared.sqlite"
+    with Session(name="writer", store_path=path) as writer:
+        first = writer.run(REQ)
+        assert first.served_from is None
+        assert writer.stats.executed == 1
+
+    with Session(name="reader", store_path=path) as reader:
+        second = reader.run(REQ)
+        # Served from the shared store: no execution, flagged on the wire.
+        assert second.served_from == "store"
+        assert reader.stats.executed == 0
+        assert reader.stats.store_hits == 1
+        assert reader.describe()["store"]["hits"] == 1
+        # The payload is the writer's, bit for bit (modulo run metadata).
+        wire = lambda r: {k: v for k, v in json.loads(r.to_json()).items()
+                          if k not in ("elapsed_s", "served_from")}
+        assert wire(second) == wire(first)
+
+
+def test_memo_warm_repeat_beats_the_store(tmp_path):
+    """Within one session the in-memory whole-result memo serves repeats
+    (live handles intact); the store is for *other* replicas."""
+    with Session(name="solo", store_path=tmp_path / "s.sqlite") as session:
+        first = session.run(REQ)
+        repeat = session.run(REQ)
+        assert repeat.served_from is None
+        assert repeat.cost is not None          # live handle preserved
+        assert repeat.totals == first.totals
+        assert session.stats.store_hits == 0
+
+
+def test_fresh_cache_requests_never_touch_the_store(tmp_path):
+    """fresh_cache promises per-call counters and a live cost handle
+    (golden records, shims); it must bypass the store both ways."""
+    fresh = SearchRequest(workloads="micro_gemms", arch="FEATHER-4x4",
+                          model="fleet", metric="latency", max_mappings=4,
+                          fresh_cache=True)
+    path = tmp_path / "s.sqlite"
+    with Session(name="a", store_path=path) as a:
+        a.run(REQ)                              # stores the shared variant
+        response = a.run(fresh)
+        assert response.served_from is None and response.cost is not None
+    with Session(name="b", store_path=path) as b:
+        response = b.run(fresh)
+        assert response.served_from is None     # executed, not store-served
+        assert b.stats.executed == 1
+
+
+def test_store_content_keys_match_request_content_keys(tmp_path):
+    """The store is addressed by the façade's existing content keys."""
+    path = tmp_path / "s.sqlite"
+    with Session(name="keys", store_path=path) as session:
+        session.run(REQ)
+        assert session.store.keys() == [content_key(REQ)]

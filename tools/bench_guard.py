@@ -18,10 +18,20 @@ still fails the guard.  Thresholds are deliberately below the locally
 measured speedups (~12x, ~6x and ~25x) so only a real regression trips on
 a noisy CI box, while still proving "measurably faster".
 
+A fourth gate, **service**, is off by default because it reads a
+measurement instead of taking one: ``--gates service`` checks that the
+latest ``tools/loadtest.py`` run (``BENCH_service.json``) pushed the
+threaded server past an *absolute* throughput floor with zero request
+errors.  Absolute, not a threads-4-vs-threads-1 ratio: the ratio only
+exceeds 1x when there are physical cores to offload to, and the guard
+must stay honest on a 1-core runner.
+
 Usage::
 
     PYTHONPATH=src python tools/bench_guard.py [--min-kernel-speedup X]
                                                [--min-cosearch-speedup Y]
+    PYTHONPATH=src python tools/bench_guard.py --gates service \
+        --min-service-throughput 20 --service-bench BENCH_service.json
 """
 
 from __future__ import annotations
@@ -135,35 +145,88 @@ def api_speedup(rounds: int) -> float:
     return percall_s / warm_s
 
 
+def service_throughput(bench_path: Path) -> float:
+    """Threaded-server throughput from the latest loadtest run.
+
+    Reads the last entry of ``BENCH_service.json`` (written by
+    ``tools/loadtest.py``), picks the highest-``threads`` server
+    configuration in it, and fails outright if any request errored —
+    a fast server that drops requests is not a service.
+    """
+    import json
+
+    if not bench_path.exists():
+        print(f"FAIL: no service benchmark at {bench_path}; run "
+              f"tools/loadtest.py first")
+        sys.exit(1)
+    runs = json.loads(bench_path.read_text()).get("runs", [])
+    if not runs:
+        print(f"FAIL: {bench_path} has no recorded runs")
+        sys.exit(1)
+    servers = runs[-1]["servers"]
+    label, threaded = max(servers.items(),
+                          key=lambda kv: kv[1].get("threads", 0))
+    errors = sum(s["errors"] for s in servers.values())
+    if errors:
+        print(f"FAIL: the recorded loadtest run had {errors} request error(s)")
+        sys.exit(1)
+    print(f"service  : {label} {threaded['throughput_rps']:.2f} req/s  "
+          f"p99 {threaded['latency_p99_ms']:.1f}ms  0 errors  "
+          f"(cpu_count {runs[-1].get('cpu_count')})")
+    return threaded["throughput_rps"]
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--gates", default="kernel,cosearch,api",
+                        help="comma-separated gates to run "
+                             "(kernel, cosearch, api, service)")
     parser.add_argument("--min-kernel-speedup", type=float, default=3.0,
                         help="minimum scalar/batched evaluation ratio")
     parser.add_argument("--min-cosearch-speedup", type=float, default=2.0,
                         help="minimum scalar/vectorized search_model ratio")
     parser.add_argument("--min-api-speedup", type=float, default=3.0,
                         help="minimum per-call/warm-session ratio")
+    parser.add_argument("--min-service-throughput", type=float, default=10.0,
+                        help="minimum threaded-server req/s in the latest "
+                             "loadtest run (service gate)")
+    parser.add_argument("--service-bench", type=Path,
+                        default=Path(__file__).resolve().parent.parent
+                        / "BENCH_service.json",
+                        help="loadtest trajectory file for the service gate")
     parser.add_argument("--rounds", type=int, default=3,
                         help="timing rounds per path (best-of)")
     args = parser.parse_args(argv)
-
-    kernel = kernel_speedup(args.rounds)
-    cosearch = cosearch_speedup(args.rounds)
-    api = api_speedup(args.rounds)
+    gates = {g.strip() for g in args.gates.split(",") if g.strip()}
+    unknown = gates - {"kernel", "cosearch", "api", "service"}
+    if unknown:
+        parser.error(f"unknown gates: {sorted(unknown)}")
 
     failed = False
-    if kernel < args.min_kernel_speedup:
-        print(f"FAIL: kernel speedup {kernel:.2f}x below the "
-              f"{args.min_kernel_speedup:.2f}x floor")
-        failed = True
-    if cosearch < args.min_cosearch_speedup:
-        print(f"FAIL: cosearch speedup {cosearch:.2f}x below the "
-              f"{args.min_cosearch_speedup:.2f}x floor")
-        failed = True
-    if api < args.min_api_speedup:
-        print(f"FAIL: api speedup {api:.2f}x below the "
-              f"{args.min_api_speedup:.2f}x floor")
-        failed = True
+    if "kernel" in gates:
+        kernel = kernel_speedup(args.rounds)
+        if kernel < args.min_kernel_speedup:
+            print(f"FAIL: kernel speedup {kernel:.2f}x below the "
+                  f"{args.min_kernel_speedup:.2f}x floor")
+            failed = True
+    if "cosearch" in gates:
+        cosearch = cosearch_speedup(args.rounds)
+        if cosearch < args.min_cosearch_speedup:
+            print(f"FAIL: cosearch speedup {cosearch:.2f}x below the "
+                  f"{args.min_cosearch_speedup:.2f}x floor")
+            failed = True
+    if "api" in gates:
+        api = api_speedup(args.rounds)
+        if api < args.min_api_speedup:
+            print(f"FAIL: api speedup {api:.2f}x below the "
+                  f"{args.min_api_speedup:.2f}x floor")
+            failed = True
+    if "service" in gates:
+        service = service_throughput(args.service_bench)
+        if service < args.min_service_throughput:
+            print(f"FAIL: service throughput {service:.2f} req/s below the "
+                  f"{args.min_service_throughput:.2f} req/s floor")
+            failed = True
     if failed:
         return 1
     print("bench guard OK")
