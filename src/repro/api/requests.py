@@ -22,9 +22,10 @@ hashing: keys are computed over resolved *structure* — workload shape
 signatures, the full architecture signature, the search-config identity —
 plus the labels that appear in the response, never over the request's
 spelling.  Execution knobs that are guaranteed result-neutral
-(``workers``, ``vectorize``, ``fresh_cache``) stay out of the key, which
-is what lets identical in-flight requests coalesce across callers that
-parallelise differently.
+(``workers``, ``vectorize``, ``compile``, ``fresh_cache``) stay out of
+the key, which is what lets identical in-flight requests coalesce across
+callers that parallelise differently; result-shaping knobs (``policy``,
+``budget``) are part of the key.
 """
 
 from __future__ import annotations
@@ -36,9 +37,10 @@ from typing import Dict, Optional, Tuple, Union
 from repro.errors import InvalidRequestError
 
 #: Version of the request/response wire format (bumped on breaking change).
-API_SCHEMA_VERSION = 1
+API_SCHEMA_VERSION = 2
 
 _METRICS = ("edp", "latency", "energy")
+_POLICIES = ("exhaustive", "halving", "evolutionary")
 
 
 def _check_schema_version(version: int, what: str) -> None:
@@ -127,9 +129,10 @@ class EvalRequest(_RequestBase):
 class SearchRequest(_RequestBase):
     """Whole-model (dataflow, layout) co-search on one architecture.
 
-    ``workers``/``vectorize``/``fresh_cache`` are execution knobs the
-    engine guarantees result-neutral; they are carried for execution but
-    excluded from the content key.  ``fresh_cache=True`` gives the search
+    ``workers``/``vectorize``/``compile``/``fresh_cache`` are execution
+    knobs the engine guarantees result-neutral; they are carried for
+    execution but excluded from the content key (``policy``/``budget``
+    change the result and are keyed).  ``fresh_cache=True`` gives the search
     a private evaluation cache instead of the session's shared one — the
     deprecation shims and the scenario runner use it so per-call cache
     counters (embedded in records and golden files) stay deterministic;
@@ -150,6 +153,16 @@ class SearchRequest(_RequestBase):
     """RNG seed of the mapping sampler."""
     prune: bool = True
     """Admissible lower-bound pruning (exact)."""
+    policy: str = "exhaustive"
+    """Search policy: ``exhaustive`` (default), ``halving`` (bound-ordered
+    successive halving, exact at full budget) or ``evolutionary`` (seeded
+    refinement warm-started from memoized per-shape winners)."""
+    budget: Optional[int] = None
+    """Per-shape cap on scored (mapping, layout) pairs; only meaningful
+    with a non-exhaustive ``policy``."""
+    compile: bool = False
+    """Route the vectorized kernels through the optional numba-compiled
+    inner loops (bit-identical; silent numpy fallback without numba)."""
     backend: str = "analytical"
     """Evaluation-backend registry name, or ``"crossval"`` for the
     analytical-search + simulator-execution composite."""
@@ -168,6 +181,16 @@ class SearchRequest(_RequestBase):
         if self.metric not in _METRICS:
             raise InvalidRequestError(
                 f"metric must be one of {_METRICS}, got {self.metric!r}")
+        if self.policy not in _POLICIES:
+            raise InvalidRequestError(
+                f"policy must be one of {_POLICIES}, got {self.policy!r}")
+        if self.budget is not None:
+            if int(self.budget) < 1:
+                raise InvalidRequestError(
+                    f"budget must be >= 1 (or None), got {self.budget}")
+            if self.policy == "exhaustive":
+                raise InvalidRequestError(
+                    "budget requires policy='halving' or 'evolutionary'")
         if int(self.max_mappings) < 1:
             raise InvalidRequestError(
                 f"max_mappings must be >= 1, got {self.max_mappings}")
@@ -184,6 +207,8 @@ class SearchRequest(_RequestBase):
                        tuple(str(n) for n in self.layouts))
         _normalize(self, "max_mappings", int(self.max_mappings))
         _normalize(self, "seed", int(self.seed))
+        if self.budget is not None:
+            _normalize(self, "budget", int(self.budget))
         if self.workers is not None:
             _normalize(self, "workers", int(self.workers))
 

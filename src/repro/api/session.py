@@ -160,7 +160,7 @@ def _resolve_request(request: Request) -> Tuple[str, _Resolved]:
             tuple(getattr(w, "name", "") for w in resolved.workloads),
             arch_signature(resolved.arch, DEFAULT_ENERGY_TABLE),
             (request.metric, request.max_mappings, request.seed,
-             request.prune),
+             request.prune, request.policy, request.budget),
             request.layouts, request.backend)), resolved
     if isinstance(request, SweepRequest):
         from repro.scenarios.runner import cell_key
@@ -180,11 +180,12 @@ def content_key(request: Request) -> str:
     Reuses the scenario-record hashing discipline
     (:func:`repro.scenarios.runner.cell_key`): keys cover resolved
     *structure* — workload shape signatures, the full architecture
-    signature, the search-config identity, the package version — plus the
+    signature, the search-config identity (``policy``/``budget``
+    included — they change the result), the package version — plus the
     labels that appear in the response; the guaranteed result-neutral
-    execution knobs (``workers``, ``vectorize``, ``fresh_cache``) stay
-    out.  Raises :class:`InvalidRequestError` when the request does not
-    resolve.
+    execution knobs (``workers``, ``vectorize``, ``compile``,
+    ``fresh_cache``) stay out.  Raises :class:`InvalidRequestError` when
+    the request does not resolve.
     """
     return _resolve_request(request)[0]
 
@@ -393,7 +394,8 @@ class Session:
 
         key = (arch_signature(arch, DEFAULT_ENERGY_TABLE), request.metric,
                request.max_mappings, request.seed, request.prune,
-               request.backend, request.vectorize)
+               request.backend, request.vectorize, request.policy,
+               request.budget, request.compile)
         with self._lock:
             mapper = self._mappers.get(key)
         if mapper is not None:
@@ -401,7 +403,9 @@ class Session:
         mapper = Mapper(arch, metric=request.metric,
                         max_mappings=request.max_mappings, seed=request.seed,
                         prune=request.prune, evaluation_cache=self.cache,
-                        vectorize=request.vectorize, backend=backend)
+                        vectorize=request.vectorize, backend=backend,
+                        policy=request.policy, budget=request.budget,
+                        compile=request.compile)
         with self._lock:
             return self._mappers.setdefault(key, mapper)
 
@@ -581,7 +585,8 @@ class Session:
             max_mappings=request.max_mappings, workers=1,
             prune=request.prune, seed=request.seed,
             vectorize=request.vectorize, backend="analytical",
-            layouts=resolved.layouts)
+            layouts=resolved.layouts, policy=request.policy,
+            budget=request.budget, compile=request.compile)
         try:
             return pool.submit(_offloaded_search, payload).result()
         except (BrokenProcessPool, OSError):
@@ -690,7 +695,9 @@ class Session:
                     workers=workers, prune=request.prune, seed=request.seed,
                     cache=None if request.fresh_cache else self.cache,
                     vectorize=request.vectorize, backend=search_backend,
-                    layouts=layouts, executor=pool, mapper=mapper)
+                    layouts=layouts, executor=pool, mapper=mapper,
+                    policy=request.policy, budget=request.budget,
+                    compile=request.compile)
             finally:
                 self._release_executor(pool)
         if crossval:

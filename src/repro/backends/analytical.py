@@ -25,21 +25,23 @@ class AnalyticalBackend(EvaluationBackend):
 
     ``cache`` may be shared across backends/mappers (keys embed the full
     arch + energy signature); ``vectorize`` selects the :mod:`repro.kernel`
-    batch path — results are bit-identical either way.  ``seed`` is
-    accepted for registry-signature uniformity and ignored: the analytical
-    model is deterministic by construction.
+    batch path and ``compile`` additionally routes its inner fold through
+    the optional numba-jitted kernels — results are bit-identical in every
+    combination.  ``seed`` is accepted for registry-signature uniformity
+    and ignored: the analytical model is deterministic by construction.
     """
 
     name = "analytical"
 
     def __init__(self, arch: ArchSpec, energy: Optional[EnergyTable] = None,
                  seed: int = 0, cache: Optional[EvaluationCache] = None,
-                 vectorize: bool = True):
+                 vectorize: bool = True, compile: bool = False):
         super().__init__(arch)
         del seed  # deterministic: nothing to seed
-        self.cost_model = CostModel(arch, energy)
+        self.cost_model = CostModel(arch, energy, compile=compile)
         self.cache = cache if cache is not None else EvaluationCache()
         self.vectorize = vectorize
+        self.compile = compile
 
     @property
     def energy(self):

@@ -1,0 +1,159 @@
+"""Optional numba-compiled inner loops behind the ``compile=`` flag.
+
+The numpy kernel (:mod:`repro.kernel.concordance`, :mod:`repro.kernel.footprint`)
+already vectorizes the hot path; this module is the next rung — the same
+integer/float arithmetic expressed as plain nested loops that
+``numba.njit`` can compile to machine code.  numba is an *optional*
+dependency: when it is importable (:data:`NUMBA_AVAILABLE`) the loop
+kernels below are jitted at import; otherwise callers silently fall back
+to the numpy path (``compile=True`` is then a no-op, mirroring how
+``vectorize=False`` degrades to the scalar oracle).
+
+Bit-identity is a hard requirement, so each kernel is written to produce
+exactly the numbers the numpy path produces:
+
+* integer work (line addressing, dedup, bank folding) is pure int64
+  arithmetic with Python floor-division/modulo semantics, identical across
+  CPython, numpy and numba;
+* the per-bank slowdown rule replicates
+  :func:`repro.layout.concordance.cycle_slowdown` branch for branch — the
+  same float64 divisions in the same order;
+* per-cycle reductions are max/count, which are order-independent, so the
+  loop formulation cannot drift from the vectorized one.
+
+The undecorated ``*_py`` functions stay importable regardless of numba so
+the equivalence tests can pin the *algorithm* against the scalar oracle
+even on machines without numba; the CI numba leg then pins the jitted
+variants on top.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+try:  # pragma: no cover - exercised only where numba is installed
+    from numba import njit as _njit
+
+    NUMBA_AVAILABLE = True
+except ImportError:  # pragma: no cover - the local/default path
+    _njit = None
+    NUMBA_AVAILABLE = False
+"""Whether ``compile=True`` actually engages the jitted kernels."""
+
+
+def concordance_fold_py(lines: np.ndarray, lines_per_bank: int,
+                        num_banks: int, effective_ports: int,
+                        cross_line_permute: bool, transpose: bool,
+                        rows_limit: int):
+    """Distinct-line counts and worst-bank slowdowns per (layout, cycle).
+
+    ``lines`` — int64 array of shape ``(groups, lanes)`` where each row
+    holds one (layout, cycle) group's per-lane line indices (duplicates
+    allowed, negatives allowed).  ``num_banks == 0`` means unbanked (no
+    modulo), matching ``num_banks=None`` upstream.  The capability fields
+    (``effective_ports``, ``cross_line_permute``, ``transpose``,
+    ``rows_limit = max_rows_per_bank * effective_ports``) are pre-resolved
+    by the caller so the kernel stays plain-int/bool typed.
+
+    Returns ``(group_lines, group_slow)`` — int64/float64 arrays of length
+    ``groups`` equal to the ``np.unique``/``np.bincount`` fold in
+    :func:`repro.kernel.concordance.analyze_concordance_batch`.
+    """
+    groups, lanes = lines.shape
+    group_lines = np.zeros(groups, dtype=np.int64)
+    group_slow = np.ones(groups, dtype=np.float64)
+    buf = np.empty(lanes, dtype=np.int64)
+    banks = np.empty(lanes, dtype=np.int64)
+    for g in range(groups):
+        buf[:] = lines[g]
+        buf.sort()
+        distinct = 0
+        for j in range(lanes):
+            value = buf[j]
+            if j == 0 or value != buf[j - 1]:
+                bank = value // lines_per_bank
+                if num_banks > 0:
+                    bank = bank % num_banks
+                banks[distinct] = bank
+                distinct += 1
+        group_lines[g] = distinct
+        head = banks[:distinct]
+        head.sort()
+        worst = 1.0
+        run = 1
+        for j in range(1, distinct + 1):
+            if j < distinct and banks[j] == banks[j - 1]:
+                run += 1
+            else:
+                # cycle_slowdown(run): same branches, same float64 divisions.
+                if cross_line_permute:
+                    slow = 1.0
+                elif transpose and run > effective_ports:
+                    slow = 1.0 if run <= rows_limit else run / rows_limit
+                else:
+                    slow = run / effective_ports
+                    if slow < 1.0:
+                        slow = 1.0
+                if slow > worst:
+                    worst = slow
+                run = 1
+        group_slow[g] = worst
+    return group_lines, group_slow
+
+
+def conv_iact_fill_py(out: np.ndarray, bases: np.ndarray, d_c: int, d_p: int,
+                      d_q: int, d_r: int, d_s: int, c: int, h: int, w: int,
+                      stride: int) -> None:
+    """Fill a conv iAct footprint ``(num_bases, lanes, 3)`` in place.
+
+    Same lane nesting (C -> P -> Q -> R -> S) and the same chained modular
+    updates as :func:`repro.kernel.footprint.conv_iact_coords_batch`;
+    ``bases`` is int64 of shape ``(num_bases, 3)`` (raw, un-modded).
+    """
+    for b in range(bases.shape[0]):
+        c0 = bases[b, 0] % c
+        h0 = bases[b, 1] % h
+        w0 = bases[b, 2] % w
+        lane = 0
+        for i_c in range(d_c):
+            coord_c = (c0 + i_c) % c
+            for i_p in range(d_p):
+                base_h = (h0 + i_p * stride) % h
+                for i_q in range(d_q):
+                    base_w = (w0 + i_q * stride) % w
+                    for i_r in range(d_r):
+                        coord_h = (base_h + i_r) % h
+                        for i_s in range(d_s):
+                            out[b, lane, 0] = coord_c
+                            out[b, lane, 1] = coord_h
+                            out[b, lane, 2] = (base_w + i_s) % w
+                            lane += 1
+
+
+def gemm_input_fill_py(out: np.ndarray, bases: np.ndarray, d_m: int, d_k: int,
+                       m: int, k: int) -> None:
+    """Fill a GEMM input footprint ``(num_bases, lanes, 2)`` in place.
+
+    M outer, K inner, matching
+    :func:`repro.kernel.footprint.gemm_input_coords_batch`.
+    """
+    for b in range(bases.shape[0]):
+        m0 = bases[b, 0] % m
+        k0 = bases[b, 1] % k
+        lane = 0
+        for i_m in range(d_m):
+            coord_m = (m0 + i_m) % m
+            for i_k in range(d_k):
+                out[b, lane, 0] = coord_m
+                out[b, lane, 1] = (k0 + i_k) % k
+                lane += 1
+
+
+if NUMBA_AVAILABLE:  # pragma: no cover - exercised by the CI numba leg
+    concordance_fold = _njit(cache=True)(concordance_fold_py)
+    conv_iact_fill = _njit(cache=True)(conv_iact_fill_py)
+    gemm_input_fill = _njit(cache=True)(gemm_input_fill_py)
+else:
+    concordance_fold = concordance_fold_py
+    conv_iact_fill = conv_iact_fill_py
+    gemm_input_fill = gemm_input_fill_py

@@ -44,13 +44,14 @@ from repro.layout.library import conv_layout_library, gemm_layout_library
 from repro.layoutloop.arch import ArchSpec
 from repro.layoutloop.cost_model import CostModel, CostReport
 from repro.layoutloop.energy import EnergyTable
-from repro.search.bounds import bound_statics, metric_lower_bound
+from repro.search.bounds import cached_bound_statics, metric_lower_bound
 from repro.search.cache import EvaluationCache
 from repro.search.signatures import workload_signature
 from repro.workloads.conv import ConvLayerSpec
 from repro.workloads.gemm import GemmSpec
 
 _METRICS = ("edp", "latency", "energy")
+_POLICIES = ("exhaustive", "halving", "evolutionary")
 
 
 @dataclass
@@ -113,13 +114,23 @@ class Mapper:
     ``vectorize`` configure it exactly as before).  Non-analytical
     backends disable pruning — the admissible bounds only hold for the
     analytical model.
+
+    ``policy`` selects the search policy over the candidate universe:
+    ``"exhaustive"`` (default, scan everything minus admissible prunes),
+    ``"halving"`` or ``"evolutionary"`` (:mod:`repro.search.budget`);
+    ``budget`` caps the scored (mapping, layout) pairs of the budgeted
+    policies.  ``compile`` engages the optional numba-jitted kernel inner
+    loops on the analytical backend (bit-identical; a silent no-op when
+    numba is not installed).
     """
 
     def __init__(self, arch: ArchSpec, energy: Optional[EnergyTable] = None,
                  metric: str = "edp", max_mappings: int = 200, seed: int = 0,
                  prune: bool = True,
                  evaluation_cache: Optional[EvaluationCache] = None,
-                 vectorize: bool = True, backend=None):
+                 vectorize: bool = True, backend=None,
+                 policy: str = "exhaustive", budget: Optional[int] = None,
+                 compile: bool = False):
         from repro.backends import (
             AnalyticalBackend,
             EvaluationBackend,
@@ -128,16 +139,28 @@ class Mapper:
 
         if metric not in _METRICS:
             raise ValueError(f"metric must be one of {_METRICS}")
+        if policy not in _POLICIES:
+            raise ValueError(f"policy must be one of {_POLICIES}")
+        if budget is not None:
+            if not isinstance(budget, int) or budget < 1:
+                raise ValueError("budget must be a positive integer or None")
+            if policy == "exhaustive":
+                raise ValueError(
+                    "budget requires policy='halving' or 'evolutionary'")
         self.arch = arch
         self.metric = metric
         self.max_mappings = max_mappings
         self.seed = seed
         self.prune = prune
         self.vectorize = vectorize
+        self.policy = policy
+        self.budget = budget
+        self.compile = compile
         if backend is None or backend == "analytical":
             self.backend = AnalyticalBackend(arch, energy=energy,
                                              cache=evaluation_cache,
-                                             vectorize=vectorize)
+                                             vectorize=vectorize,
+                                             compile=compile)
         elif isinstance(backend, EvaluationBackend):
             self.backend = backend
         else:
@@ -149,8 +172,9 @@ class Mapper:
             self.evaluation_cache = self.backend.cache
         else:
             # Kept for API compatibility (bound statics, shared-cache
-            # callers); the search loop does not consult them.
-            self.cost_model = CostModel(arch, energy)
+            # callers, the budgeted policies' analytical cheap rung); the
+            # exhaustive loop does not consult them.
+            self.cost_model = CostModel(arch, energy, compile=compile)
             self.evaluation_cache = (evaluation_cache
                                      if evaluation_cache is not None
                                      else EvaluationCache())
@@ -261,11 +285,24 @@ class Mapper:
         if key in self._cache:
             return self._cache[key]
 
+        if self.policy != "exhaustive":
+            # Budgeted policies live in repro.search.budget (imported lazily:
+            # it builds on this module).  They memoize here like the
+            # exhaustive path so repeat searches stay free.
+            from repro.search.budget import evolutionary_search, halving_search
+
+            search_fn = (halving_search if self.policy == "halving"
+                         else evolutionary_search)
+            result = search_fn(self, workload, layouts=layouts,
+                               budget=self.budget)
+            self._cache[key] = result
+            return result
+
         layouts = list(layouts) if layouts else self.candidate_layouts(workload)
         mappings = self.candidate_mappings(workload)
         # The admissible bounds are statements about the analytical cost
         # model; any other backend scans exhaustively.
-        statics = (bound_statics(self.cost_model, workload)
+        statics = (cached_bound_statics(self.cost_model, workload)
                    if self.prune and self._analytical else None)
 
         best: Optional[CostReport] = None
@@ -323,7 +360,8 @@ class Mapper:
         return (getattr(workload, "name", str(workload)),
                 self._workload_signature(workload), self.metric,
                 self.max_mappings, self.backend.name,
-                tuple(l.name for l in layouts) if layouts else None)
+                tuple(l.name for l in layouts) if layouts else None,
+                self.policy, self.budget)
 
     def has_result(self, workload,
                    layouts: Optional[Sequence[Layout]] = None) -> bool:

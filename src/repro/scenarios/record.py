@@ -191,6 +191,8 @@ def search_stats_payload(stats) -> Dict[str, object]:
     :class:`~repro.search.engine.SearchStats` (shared vocabulary)."""
     return {
         "backend": stats.backend,
+        "policy": stats.policy,
+        "budget": stats.budget,
         "layers_total": stats.layers_total,
         "layers_unique": stats.layers_unique,
         "evaluations": stats.evaluations,

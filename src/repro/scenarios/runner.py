@@ -157,7 +157,8 @@ def run_cell(scenario: Scenario, workers: Optional[int] = None,
         workloads=scenario.workload_set, arch=scenario.arch,
         model=scenario.name, metric=config.metric,
         max_mappings=config.max_mappings, seed=config.seed,
-        prune=config.prune, backend=scenario.backend, workers=workers,
+        prune=config.prune, policy=config.policy, budget=config.budget,
+        backend=scenario.backend, workers=workers,
         vectorize=vectorize, fresh_cache=True))
     elapsed = time.perf_counter() - start
     record = record_from_model_cost(scenario, response.cost, key=key,

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 _METRICS = ("edp", "latency", "energy")
+_POLICIES = ("exhaustive", "halving", "evolutionary")
 
 
 @dataclass(frozen=True)
@@ -42,6 +43,11 @@ class SearchConfig:
     """RNG seed of the mapping sampler; embedded in every record."""
     prune: bool = True
     """Admissible lower-bound pruning (exact; off only for A/B studies)."""
+    policy: str = "exhaustive"
+    """Search policy (``exhaustive``/``halving``/``evolutionary``)."""
+    budget: Optional[int] = None
+    """Per-shape cap on scored (mapping, layout) pairs; only meaningful
+    with a non-exhaustive ``policy``."""
 
     def __post_init__(self) -> None:
         if self.metric not in _METRICS:
@@ -50,21 +56,32 @@ class SearchConfig:
         if self.max_mappings < 1:
             raise ValueError(f"max_mappings must be >= 1, "
                              f"got {self.max_mappings}")
+        if self.policy not in _POLICIES:
+            raise ValueError(f"policy must be one of {_POLICIES}, "
+                             f"got {self.policy!r}")
+        if self.budget is not None and self.budget < 1:
+            raise ValueError(f"budget must be >= 1 (or None), "
+                             f"got {self.budget}")
 
     def identity(self) -> Tuple:
         """The fields that determine search results (name excluded)."""
-        return (self.metric, self.max_mappings, self.seed, self.prune)
+        return (self.metric, self.max_mappings, self.seed, self.prune,
+                self.policy, self.budget)
 
     def as_dict(self) -> Dict[str, object]:
         return {"name": self.name, "metric": self.metric,
                 "max_mappings": self.max_mappings, "seed": self.seed,
-                "prune": self.prune}
+                "prune": self.prune, "policy": self.policy,
+                "budget": self.budget}
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "SearchConfig":
+        budget = data.get("budget")
         return cls(name=str(data["name"]), metric=str(data["metric"]),
                    max_mappings=int(data["max_mappings"]),
-                   seed=int(data["seed"]), prune=bool(data["prune"]))
+                   seed=int(data["seed"]), prune=bool(data["prune"]),
+                   policy=str(data.get("policy", "exhaustive")),
+                   budget=None if budget is None else int(budget))
 
 
 def scenario_backend_names() -> Tuple[str, ...]:

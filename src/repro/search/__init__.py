@@ -5,6 +5,8 @@ This package is the performance substrate under every figure reproduction:
 * :mod:`repro.search.signatures` — canonical cache keys,
 * :mod:`repro.search.cache` — memoized cost-model evaluations,
 * :mod:`repro.search.bounds` — admissible pruning bounds,
+* :mod:`repro.search.budget` — budgeted search policies (successive
+  halving on the bounds, seeded evolutionary refinement),
 * :mod:`repro.search.parallel` — process fan-out with serial fallback,
 * :mod:`repro.search.engine` — the :func:`search_model` batch API.
 
@@ -12,7 +14,12 @@ See ``docs/architecture.md`` for the full design (cache keying, pruning
 soundness argument, worker model and the determinism guarantee).
 """
 
-from repro.search.bounds import BoundStatics, bound_statics, metric_lower_bound
+from repro.search.bounds import (
+    BoundStatics,
+    bound_statics,
+    cached_bound_statics,
+    metric_lower_bound,
+)
 from repro.search.cache import CacheStats, EvaluationCache
 from repro.search.parallel import WORKERS_ENV_VAR, resolve_workers
 from repro.search.signatures import (
@@ -25,6 +32,7 @@ from repro.search.signatures import (
 __all__ = [
     "BoundStatics",
     "bound_statics",
+    "cached_bound_statics",
     "metric_lower_bound",
     "CacheStats",
     "EvaluationCache",
@@ -34,21 +42,34 @@ __all__ = [
     "layout_signature",
     "mapping_signature",
     "workload_signature",
-    # Lazily imported (see __getattr__): the engine imports the layoutloop
-    # mapper, which itself imports the submodules above.
+    # Lazily imported (see __getattr__): the engine and the budget policies
+    # import the layoutloop mapper, which itself imports the submodules
+    # above.
     "SearchEngine",
     "SearchStats",
     "search_model",
     "search_models",
+    "POLICIES",
+    "halving_search",
+    "evolutionary_search",
 ]
+
+_ENGINE_NAMES = ("SearchEngine", "SearchStats", "search_model",
+                 "search_models")
+_BUDGET_NAMES = ("POLICIES", "halving_search", "evolutionary_search")
 
 
 def __getattr__(name):
     # ``repro.layoutloop.mapper`` imports ``repro.search.bounds``/``cache``;
-    # importing the engine eagerly here would close an import cycle, so the
-    # engine surface resolves lazily (PEP 562).
-    if name in ("SearchEngine", "SearchStats", "search_model", "search_models"):
+    # importing the engine (or the budget policies, which build on the
+    # mapper) eagerly here would close an import cycle, so those surfaces
+    # resolve lazily (PEP 562).
+    if name in _ENGINE_NAMES:
         from repro.search import engine
 
         return getattr(engine, name)
+    if name in _BUDGET_NAMES:
+        from repro.search import budget
+
+        return getattr(budget, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

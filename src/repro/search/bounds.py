@@ -23,7 +23,9 @@ the pruned search returns bit-identical results to the exhaustive one (see
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
+from typing import Dict, Tuple
 
 
 @dataclass(frozen=True)
@@ -65,6 +67,32 @@ def bound_statics(cost_model, workload) -> BoundStatics:
     )
     return BoundStatics(energy_floor_pj=energy_floor_pj,
                         reorder_cycles=reorder_cycles)
+
+
+_STATICS_CACHE: Dict[Tuple, BoundStatics] = {}
+_STATICS_LOCK = threading.Lock()
+
+
+def cached_bound_statics(cost_model, workload) -> BoundStatics:
+    """Memoized :func:`bound_statics`, keyed on (arch+energy, shape) signature.
+
+    The statics depend only on what the signatures capture — every cost
+    model with the same architecture and energy table produces the same
+    floor for the same workload shape — so one process-wide map is safe to
+    share across mappers, sessions and threads.  ``BoundStatics`` is frozen,
+    so returning the shared instance is safe too.
+    """
+    from repro.search.signatures import arch_signature, workload_signature
+
+    key = (arch_signature(cost_model.arch, cost_model.energy),
+           workload_signature(workload))
+    with _STATICS_LOCK:
+        statics = _STATICS_CACHE.get(key)
+    if statics is None:
+        statics = bound_statics(cost_model, workload)
+        with _STATICS_LOCK:
+            _STATICS_CACHE.setdefault(key, statics)
+    return statics
 
 
 def metric_lower_bound(metric: str, compute_cycles: float,

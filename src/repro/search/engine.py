@@ -54,6 +54,10 @@ class SearchStats:
     """(mapping, layout) candidates scored, including cache hits."""
     backend: str = "analytical"
     """Evaluation backend the candidates were scored on."""
+    policy: str = "exhaustive"
+    """Search policy the candidates were selected by."""
+    budget: Optional[int] = None
+    """Per-shape cap on scored pairs (budgeted policies only)."""
     pruned: int = 0
     """Candidates skipped by the admissible lower bound."""
     cache: CacheStats = field(default_factory=CacheStats)
@@ -85,7 +89,9 @@ class SearchEngine:
     def __init__(self, arch: ArchSpec, energy: Optional[EnergyTable] = None,
                  metric: str = "edp", max_mappings: int = 200, seed: int = 0,
                  prune: bool = True, cache: Optional[EvaluationCache] = None,
-                 vectorize: bool = True, backend: str = "analytical"):
+                 vectorize: bool = True, backend: str = "analytical",
+                 policy: str = "exhaustive", budget: Optional[int] = None,
+                 compile: bool = False):
         self.arch = arch
         self.energy = energy
         self.metric = metric
@@ -94,11 +100,15 @@ class SearchEngine:
         self.prune = prune
         self.vectorize = vectorize
         self.backend = backend
+        self.policy = policy
+        self.budget = budget
+        self.compile = compile
         self.cache = cache if cache is not None else EvaluationCache()
         self.mapper = Mapper(arch, energy=energy, metric=metric,
                              max_mappings=max_mappings, seed=seed,
                              prune=prune, evaluation_cache=self.cache,
-                             vectorize=vectorize, backend=backend)
+                             vectorize=vectorize, backend=backend,
+                             policy=policy, budget=budget, compile=compile)
 
     @property
     def cache_stats(self) -> CacheStats:
@@ -130,7 +140,9 @@ class SearchEngine:
                             energy=self.energy, workers=workers,
                             chunk_size=chunk_size, prune=self.prune,
                             seed=self.seed, cache=self.cache,
-                            vectorize=self.vectorize, backend=backend)
+                            vectorize=self.vectorize, backend=backend,
+                            policy=self.policy, budget=self.budget,
+                            compile=self.compile)
         for (workload, _), choice in zip(unique_workloads(workloads),
                                          cost.layer_choices):
             self.mapper.adopt_result(workload, choice.result)
@@ -147,10 +159,11 @@ def _search_chunk(payload: Tuple) -> Tuple[List[SearchResult], int, int]:
     how many) ran it.
     """
     (arch, energy, metric, max_mappings, seed, prune, vectorize, layouts,
-     shapes) = payload
+     policy, budget, compile_flag, shapes) = payload
     mapper = Mapper(arch, energy=energy, metric=metric,
                     max_mappings=max_mappings, seed=seed, prune=prune,
-                    evaluation_cache=EvaluationCache(), vectorize=vectorize)
+                    evaluation_cache=EvaluationCache(), vectorize=vectorize,
+                    policy=policy, budget=budget, compile=compile_flag)
     results = [mapper.search(wl, layouts=layouts) for wl in shapes]
     stats = mapper.evaluation_cache.stats
     return results, stats.hits, stats.misses
@@ -166,7 +179,10 @@ def _search_model_impl(arch: ArchSpec, workloads: Sequence,
                        vectorize: bool = True, backend="analytical",
                        layouts: Optional[Sequence] = None,
                        executor=None,
-                       mapper: Optional[Mapper] = None) -> ModelCost:
+                       mapper: Optional[Mapper] = None,
+                       policy: str = "exhaustive",
+                       budget: Optional[int] = None,
+                       compile: bool = False) -> ModelCost:
     """The whole-model co-search engine behind :func:`search_model`.
 
     This is the execution layer: ``workers`` must already be a concrete
@@ -196,11 +212,12 @@ def _search_model_impl(arch: ArchSpec, workloads: Sequence,
 
     if isinstance(backend, AnalyticalBackend):
         # An analytical *instance* is configuration, not a detour: adopt
-        # its cache (unless one was passed explicitly) and vectorize flag,
-        # then run the full analytical path — fan-out, pruning, stats.
+        # its cache (unless one was passed explicitly) and vectorize/compile
+        # flags, then run the full analytical path — fan-out, pruning, stats.
         if cache is None:
             cache = backend.cache
         vectorize = backend.vectorize
+        compile = backend.compile
         backend = "analytical"
     analytical = backend is None or backend == "analytical"
     start = time.perf_counter()
@@ -214,13 +231,14 @@ def _search_model_impl(arch: ArchSpec, workloads: Sequence,
     stats = SearchStats(model=model_name, arch=arch.name,
                         layers_total=len(workloads),
                         layers_unique=len(grouped), workers=workers,
-                        backend=backend_name)
+                        backend=backend_name, policy=policy, budget=budget)
 
     if not analytical:
         if mapper is None:
             mapper = Mapper(arch, energy=energy, metric=metric,
                             max_mappings=max_mappings, seed=seed, prune=prune,
-                            vectorize=vectorize, backend=backend)
+                            vectorize=vectorize, backend=backend,
+                            policy=policy, budget=budget)
         results = [mapper.search(wl, layouts=layouts) for wl in shapes]
     elif workers <= 1 or len(shapes) <= 1:
         stats.workers = 1
@@ -228,7 +246,8 @@ def _search_model_impl(arch: ArchSpec, workloads: Sequence,
             eval_cache = cache if cache is not None else EvaluationCache()
             mapper = Mapper(arch, energy=energy, metric=metric,
                             max_mappings=max_mappings, seed=seed, prune=prune,
-                            evaluation_cache=eval_cache, vectorize=vectorize)
+                            evaluation_cache=eval_cache, vectorize=vectorize,
+                            policy=policy, budget=budget, compile=compile)
         else:
             eval_cache = mapper.evaluation_cache
         # Shared caches outlive this call: report this run's delta, not the
@@ -241,7 +260,7 @@ def _search_model_impl(arch: ArchSpec, workloads: Sequence,
     else:
         size = chunk_size or default_chunk_size(len(shapes), workers)
         payloads = [(arch, energy, metric, max_mappings, seed, prune,
-                     vectorize, layouts, chunk)
+                     vectorize, layouts, policy, budget, compile, chunk)
                     for chunk in chunked(shapes, size)]
         chunk_outputs, stats.workers = run_fanout(_search_chunk, payloads,
                                                   workers, executor=executor)
@@ -268,7 +287,9 @@ def search_model(arch: ArchSpec, workloads: Sequence, model_name: str = "model",
                  chunk_size: Optional[int] = None, prune: bool = True,
                  seed: int = 0, cache: Optional[EvaluationCache] = None,
                  vectorize: bool = True,
-                 backend="analytical") -> ModelCost:
+                 backend="analytical", policy: str = "exhaustive",
+                 budget: Optional[int] = None,
+                 compile: bool = False) -> ModelCost:
     """Co-search a whole model on one architecture and aggregate the cost.
 
     .. deprecated:: 1.1
@@ -301,6 +322,12 @@ def search_model(arch: ArchSpec, workloads: Sequence, model_name: str = "model",
       simulation memos warm).  Non-analytical backends run serially (their
       in-process state — accelerator instances, simulation memos — does
       not ship to worker processes) and without pruning.
+    * ``policy``/``budget`` — budgeted search policy over the same
+      candidate universe (``"exhaustive"``, ``"halving"``,
+      ``"evolutionary"``; see :mod:`repro.search.budget`) and its cap on
+      scored pairs per unique shape.
+    * ``compile`` — route the kernel inner loops through the optional
+      numba-jitted variants (bit-identical; no-op without numba).
 
     Raises ``ValueError`` on an empty workload list — silently returning an
     all-zero :class:`ModelCost` hid bugs in callers.
@@ -324,13 +351,14 @@ def search_model(arch: ArchSpec, workloads: Sequence, model_name: str = "model",
             max_mappings=max_mappings, energy=energy,
             workers=session.resolve_workers(workers), chunk_size=chunk_size,
             prune=prune, seed=seed, cache=cache, vectorize=vectorize,
-            backend=backend)
+            backend=backend, policy=policy, budget=budget, compile=compile)
     request = SearchRequest(
         workloads=tuple(workload_payload(wl) for wl in workloads),
         arch=arch_payload(arch), model=model_name, metric=metric,
         max_mappings=max_mappings, seed=seed, prune=prune,
         backend=backend or "analytical", workers=workers,
-        vectorize=vectorize, fresh_cache=True)
+        vectorize=vectorize, fresh_cache=True, policy=policy, budget=budget,
+        compile=compile)
     return session.run(request).cost
 
 
@@ -341,13 +369,16 @@ def search_models(arches: Sequence[ArchSpec], workloads: Sequence,
                   workers: Optional[int] = 1,
                   chunk_size: Optional[int] = None, prune: bool = True,
                   seed: int = 0, vectorize: bool = True,
-                  backend: str = "analytical") -> Dict[str, ModelCost]:
+                  backend: str = "analytical", policy: str = "exhaustive",
+                  budget: Optional[int] = None,
+                  compile: bool = False) -> Dict[str, ModelCost]:
     """Run :func:`search_model` for several architectures (Fig. 13 style)."""
     return {
         arch.name: search_model(arch, workloads, model_name=model_name,
                                 metric=metric, max_mappings=max_mappings,
                                 energy=energy, workers=workers,
                                 chunk_size=chunk_size, prune=prune, seed=seed,
-                                vectorize=vectorize, backend=backend)
+                                vectorize=vectorize, backend=backend,
+                                policy=policy, budget=budget, compile=compile)
         for arch in arches
     }

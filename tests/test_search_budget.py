@@ -1,0 +1,180 @@
+"""Budgeted search policies: exactness, determinism and budget compliance.
+
+The contract under test (:mod:`repro.search.budget`):
+
+* **halving is exact at full budget** — on every golden micro-cell's
+  (workload set, arch, config), over every backend the cell can run
+  analytically or on the simulator, uncapped ``halving_search`` returns
+  exactly the exhaustive winner (value, mapping *and* layout: the winner is
+  the lexicographic minimum of ``(value, mapping index, layout index)``,
+  so tie-breaks must survive the bound-ordered visit).
+* **budget compliance** — for any ``budget >= len(layouts)`` both policies
+  score at most ``budget`` (mapping, layout) pairs.
+* **evolutionary determinism** — same (mapper seed, memo state, budget)
+  means the same result object, field for field.
+* **warm start** — once any search of a shape is memoized, evolutionary
+  refinement finds the exhaustive winner with a budget of two mappings.
+* **cached bound statics** — :func:`repro.search.bounds.cached_bound_statics`
+  is the same object contentwise as a fresh :func:`bound_statics`.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.backends.simulator import SimulatorBackend
+from repro.layoutloop.arch import feather_arch
+from repro.layoutloop.mapper import Mapper
+from repro.scenarios.builtin import golden_matrix
+from repro.scenarios.registry import resolve_arch, resolve_workload_set
+from repro.search.bounds import bound_statics, cached_bound_statics
+from repro.search.budget import POLICIES, evolutionary_search, halving_search
+from repro.search.signatures import workload_signature
+from repro.workloads.resnet50 import resnet50_layers
+
+GOLDEN_CELLS = list(golden_matrix())
+
+
+def _unique(workloads):
+    seen = {}
+    for workload in workloads:
+        seen.setdefault(workload_signature(workload), workload)
+    return list(seen.values())
+
+
+def _mapper_for_cell(cell):
+    """An exhaustive mapper on the cell's (arch, config) — analytical for
+    analytical/crossval cells, simulator-backed for simulator cells."""
+    arch = resolve_arch(cell.arch)
+    if cell.backend == "simulator":
+        backend = SimulatorBackend(arch, seed=cell.config.seed)
+    else:
+        backend = "analytical"
+    return Mapper(arch, metric=cell.config.metric,
+                  max_mappings=cell.config.max_mappings,
+                  seed=cell.config.seed, prune=cell.config.prune,
+                  backend=backend)
+
+
+def _same_result(a, b) -> None:
+    assert a.best_mapping.name == b.best_mapping.name
+    assert a.best_layout.name == b.best_layout.name
+    assert a.best_report.total_cycles == b.best_report.total_cycles
+    assert a.best_report.total_energy_pj == b.best_report.total_energy_pj
+
+
+@pytest.mark.parametrize("cell", GOLDEN_CELLS, ids=lambda c: c.name)
+def test_full_budget_halving_matches_exhaustive(cell):
+    exhaustive = _mapper_for_cell(cell)
+    halving = _mapper_for_cell(cell)
+    for workload in _unique(resolve_workload_set(cell.workload_set)):
+        reference = exhaustive.search(workload)
+        result = halving_search(halving, workload)
+        _same_result(result, reference)
+
+
+def test_policies_tuple_is_the_public_contract():
+    assert POLICIES == ("exhaustive", "halving", "evolutionary")
+    with pytest.raises(ValueError, match="policy"):
+        Mapper(feather_arch(), policy="anneal")
+    with pytest.raises(ValueError, match="budget"):
+        Mapper(feather_arch(), policy="halving", budget=0)
+    with pytest.raises(ValueError, match="budget requires"):
+        Mapper(feather_arch(), budget=10)
+
+
+def test_mapper_policy_dispatch_matches_direct_call():
+    workload = resnet50_layers(include_fc=False)[0]
+    exhaustive = Mapper(feather_arch(), max_mappings=12, seed=0)
+    budgeted = Mapper(feather_arch(), max_mappings=12, seed=0,
+                      policy="halving")
+    _same_result(budgeted.search(workload), exhaustive.search(workload))
+    assert budgeted.search(workload) is budgeted.search(workload)  # memoized
+
+
+@settings(max_examples=12, deadline=None)
+@given(budget_mappings=st.integers(min_value=1, max_value=24),
+       policy=st.sampled_from(("halving", "evolutionary")))
+def test_evaluated_never_exceeds_budget(budget_mappings, policy):
+    workload = resnet50_layers(include_fc=False)[0]
+    mapper = Mapper(feather_arch(), max_mappings=24, seed=0)
+    layouts = mapper.candidate_layouts(workload)
+    budget = budget_mappings * len(layouts)
+    search = halving_search if policy == "halving" else evolutionary_search
+    result = search(mapper, workload, budget=budget)
+    assert 0 < result.evaluated <= budget
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2 ** 16),
+       budget_mappings=st.integers(min_value=1, max_value=12))
+def test_evolutionary_is_seed_deterministic(seed, budget_mappings):
+    workload = resnet50_layers(include_fc=False)[0]
+
+    def run():
+        mapper = Mapper(feather_arch(), max_mappings=24, seed=seed)
+        budget = budget_mappings * len(mapper.candidate_layouts(workload))
+        return evolutionary_search(mapper, workload, budget=budget)
+
+    first, second = run(), run()
+    _same_result(first, second)
+    assert first.evaluated == second.evaluated
+    assert first.cache_hits == second.cache_hits
+
+
+def test_warm_started_evolutionary_reaches_exhaustive_winner():
+    arch = feather_arch()
+    exhaustive = Mapper(arch, max_mappings=24, seed=0)
+    warm = Mapper(arch, max_mappings=24, seed=0)
+    for workload in _unique(resnet50_layers(include_fc=False)):
+        reference = exhaustive.search(workload)
+        warm._cache.update(exhaustive._cache)
+        budget = 2 * len(warm.candidate_layouts(workload))
+        result = evolutionary_search(warm, workload, budget=budget)
+        _same_result(result, reference)
+        assert result.evaluated <= budget
+
+
+def test_uncapped_evolutionary_covers_the_universe():
+    # budget >= universe size: every candidate is scored, so the winner is
+    # exactly the exhaustive one even with an empty warm-start memo.
+    workload = resnet50_layers(include_fc=False)[0]
+    mapper = Mapper(feather_arch(), max_mappings=12, seed=0)
+    universe = (len(mapper.candidate_mappings(workload))
+                * len(mapper.candidate_layouts(workload)))
+    result = evolutionary_search(mapper, workload, budget=universe)
+    reference = Mapper(feather_arch(), max_mappings=12, seed=0).search(
+        workload)
+    _same_result(result, reference)
+
+
+def test_cached_bound_statics_matches_oracle():
+    from repro.layoutloop.cost_model import CostModel
+
+    model = CostModel(feather_arch())
+    for workload in resnet50_layers(include_fc=False)[:3]:
+        cached = cached_bound_statics(model, workload)
+        fresh = bound_statics(model, workload)
+        assert cached == fresh
+        # Same signature -> same cached object (the whole point).
+        assert cached_bound_statics(model, workload) is cached
+        assert cached_bound_statics(CostModel(feather_arch()),
+                                    workload) is cached
+
+
+def test_halving_reports_admissible_prunes():
+    workload = resnet50_layers(include_fc=False)[0]
+    mapper = Mapper(feather_arch(), max_mappings=24, seed=0)
+    result = halving_search(mapper, workload)
+    reference = Mapper(feather_arch(), max_mappings=24, seed=0).search(
+        workload)
+    # Conservation: every (mapping, layout) pair is either scored or pruned.
+    universe = (len(mapper.candidate_mappings(workload))
+                * len(mapper.candidate_layouts(workload)))
+    assert result.evaluated + result.pruned == universe
+    assert result.evaluated <= reference.evaluated
+    assert math.isfinite(result.best_report.total_cycles)

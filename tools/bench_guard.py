@@ -18,7 +18,13 @@ still fails the guard.  Thresholds are deliberately below the locally
 measured speedups (~12x, ~6x and ~25x) so only a real regression trips on
 a noisy CI box, while still proving "measurably faster".
 
-A fourth gate, **service**, is off by default because it reads a
+Two more gates are off by default.  **budget** (``--gates budget``) counts
+full cost-model evaluations instead of wall-clock: the budgeted search
+policies must reproduce the exhaustive winner on every unique ResNet-50
+shape, with the warm-started evolutionary policy doing it in at least
+``--min-budget-reduction`` (3x) fewer evaluations — and the compiled
+kernel must be bit-identical to the oracle when numba is installed.
+**service** is off by default because it reads a
 measurement instead of taking one: ``--gates service`` checks that the
 latest ``tools/loadtest.py`` run (``BENCH_service.json``) pushed the
 threaded server past an *absolute* throughput floor with zero request
@@ -145,6 +151,99 @@ def api_speedup(rounds: int) -> float:
     return percall_s / warm_s
 
 
+def budget_reduction() -> float:
+    """Budgeted-policy evaluation reduction at exhaustive winner identity.
+
+    Counts full cost-model evaluations — scored (mapping, layout) pairs —
+    on the deduplicated ResNet-50 co-search on FEATHER, comparing:
+
+    * **halving** (uncapped): must reproduce the exhaustive winner on every
+      unique shape (the bound-order guarantee, checked here end to end);
+      its reduction is reported but not gated — the bound can only prune
+      what it can prove.
+    * **evolutionary, warm-started** (budget=14): a repeat-session search
+      seeded from the memoized per-shape winners; must also reproduce every
+      exhaustive winner, and its reduction is the gated ratio.
+
+    Also verifies the compiled kernel path bit-identically matches the
+    scalar oracle when numba is importable (skipped, loudly, otherwise).
+    """
+    from repro.kernel import NUMBA_AVAILABLE
+    from repro.layoutloop.arch import feather_arch
+    from repro.layoutloop.mapper import Mapper
+    from repro.search.budget import evolutionary_search, halving_search
+    from repro.search.signatures import workload_signature
+    from repro.workloads.resnet50 import resnet50_layers
+
+    unique = {}
+    for workload in resnet50_layers(include_fc=False):
+        unique.setdefault(workload_signature(workload), workload)
+    shapes = list(unique.values())
+
+    arch = feather_arch()
+    exhaustive = Mapper(arch, max_mappings=24, seed=0)
+    winners = {}
+    baseline = 0
+    for workload in shapes:
+        result = exhaustive.search(workload)
+        baseline += result.evaluated
+        winners[workload_signature(workload)] = result
+
+    def identical(result, workload) -> bool:
+        won = winners[workload_signature(workload)]
+        return (result.best_report.total_cycles
+                == won.best_report.total_cycles
+                and result.best_report.total_energy_pj
+                == won.best_report.total_energy_pj
+                and result.best_mapping.name == won.best_mapping.name
+                and result.best_layout.name == won.best_layout.name)
+
+    cold = Mapper(arch, max_mappings=24, seed=0)
+    halving_evals = 0
+    for workload in shapes:
+        result = halving_search(cold, workload)
+        halving_evals += result.evaluated
+        if not identical(result, workload):
+            print(f"FAIL: halving winner differs from exhaustive on "
+                  f"{result.workload}")
+            sys.exit(1)
+
+    warm = Mapper(arch, max_mappings=24, seed=0)
+    warm._cache.update(exhaustive._cache)  # the repeat-session memo
+    evo_evals = 0
+    for workload in shapes:
+        result = evolutionary_search(warm, workload, budget=14)
+        evo_evals += result.evaluated
+        if not identical(result, workload):
+            print(f"FAIL: warm evolutionary winner differs from exhaustive "
+                  f"on {result.workload}")
+            sys.exit(1)
+
+    if NUMBA_AVAILABLE:
+        from repro.layoutloop.cost_model import CostModel
+        from repro.layout.library import conv_layout_library
+
+        compiled = CostModel(arch, compile=True)
+        oracle = CostModel(arch)
+        layouts = conv_layout_library()
+        workload = shapes[0]
+        mapping = winners[workload_signature(workload)].best_mapping
+        if (compiled.evaluate_mapping_batch(workload, mapping, layouts)
+                != oracle.evaluate_mapping_batch(workload, mapping, layouts)):
+            print("FAIL: compiled kernel reports differ from the oracle")
+            sys.exit(1)
+        compiled_note = "compiled kernel identical"
+    else:
+        compiled_note = "compiled check skipped (numba not installed)"
+
+    reduction = baseline / evo_evals
+    print(f"budget   : exhaustive {baseline}  halving {halving_evals} "
+          f"({baseline / halving_evals:.2f}x)  warm evolutionary {evo_evals} "
+          f"({reduction:.2f}x)  identical winners on {len(shapes)} shapes, "
+          f"{compiled_note}")
+    return reduction
+
+
 def service_throughput(bench_path: Path) -> float:
     """Threaded-server throughput from the latest loadtest run.
 
@@ -180,13 +279,16 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--gates", default="kernel,cosearch,api",
                         help="comma-separated gates to run "
-                             "(kernel, cosearch, api, service)")
+                             "(kernel, cosearch, api, budget, service)")
     parser.add_argument("--min-kernel-speedup", type=float, default=3.0,
                         help="minimum scalar/batched evaluation ratio")
     parser.add_argument("--min-cosearch-speedup", type=float, default=2.0,
                         help="minimum scalar/vectorized search_model ratio")
     parser.add_argument("--min-api-speedup", type=float, default=3.0,
                         help="minimum per-call/warm-session ratio")
+    parser.add_argument("--min-budget-reduction", type=float, default=3.0,
+                        help="minimum exhaustive/warm-evolutionary full-"
+                             "evaluation ratio at identical winners")
     parser.add_argument("--min-service-throughput", type=float, default=10.0,
                         help="minimum threaded-server req/s in the latest "
                              "loadtest run (service gate)")
@@ -198,7 +300,7 @@ def main(argv=None) -> int:
                         help="timing rounds per path (best-of)")
     args = parser.parse_args(argv)
     gates = {g.strip() for g in args.gates.split(",") if g.strip()}
-    unknown = gates - {"kernel", "cosearch", "api", "service"}
+    unknown = gates - {"kernel", "cosearch", "api", "budget", "service"}
     if unknown:
         parser.error(f"unknown gates: {sorted(unknown)}")
 
@@ -220,6 +322,12 @@ def main(argv=None) -> int:
         if api < args.min_api_speedup:
             print(f"FAIL: api speedup {api:.2f}x below the "
                   f"{args.min_api_speedup:.2f}x floor")
+            failed = True
+    if "budget" in gates:
+        budget = budget_reduction()
+        if budget < args.min_budget_reduction:
+            print(f"FAIL: budgeted-search reduction {budget:.2f}x below the "
+                  f"{args.min_budget_reduction:.2f}x floor")
             failed = True
     if "service" in gates:
         service = service_throughput(args.service_bench)

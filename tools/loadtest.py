@@ -60,9 +60,10 @@ def build_workload(requests: int, seed: int) -> List[Tuple[str, Dict]]:
     """A seeded (kind, body) sequence: ~50% eval, ~40% search, ~10% sweep.
 
     Templates span the paper's evaluation surface (ResNet-50, the Fig. 10
-    GEMMs, MobileNet-v3 depthwise, several layouts/metrics/seeds); sampling
-    with replacement makes duplicates — the service's bread and butter —
-    occur at natural rates.
+    GEMMs, MobileNet-v3 depthwise, several layouts/metrics/seeds, and the
+    budgeted ``halving``/``evolutionary`` search policies); sampling with
+    replacement makes duplicates — the service's bread and butter — occur
+    at natural rates.
     """
     searches = [
         {"workloads": "resnet50[:8]", "arch": "FEATHER", "model": "resnet8",
@@ -77,6 +78,11 @@ def build_workload(requests: int, seed: int) -> List[Tuple[str, Dict]]:
          "metric": "edp", "max_mappings": 12},
         {"workloads": "mobilenet_v3_depthwise[:4]", "arch": "Eyeriss-like",
          "model": "mobilenet-dw", "metric": "edp", "max_mappings": 12},
+        {"workloads": "resnet50[:8]", "arch": "FEATHER", "model": "resnet8",
+         "metric": "edp", "max_mappings": 12, "policy": "halving"},
+        {"workloads": "resnet50[:4]", "arch": "FEATHER", "model": "resnet4",
+         "metric": "edp", "max_mappings": 24, "policy": "evolutionary",
+         "budget": 21},
     ]
     evals = [
         {"workload": f"fig10_gemms#{i}", "arch": "FEATHER-4x4",
