@@ -37,7 +37,7 @@ from typing import Dict, Optional, Tuple, Union
 from repro.errors import InvalidRequestError
 
 #: Version of the request/response wire format (bumped on breaking change).
-API_SCHEMA_VERSION = 2
+API_SCHEMA_VERSION = 3
 
 _METRICS = ("edp", "latency", "energy")
 _POLICIES = ("exhaustive", "halving", "evolutionary")
@@ -166,6 +166,16 @@ class SearchRequest(_RequestBase):
     backend: str = "analytical"
     """Evaluation-backend registry name, or ``"crossval"`` for the
     analytical-search + simulator-execution composite."""
+    frontier: bool = False
+    """Keep the whole Pareto frontier over (EDP, latency, energy, buffer
+    footprint) per shape instead of only the scalar winner (which is still
+    returned, bit-identical, and is always a frontier member).  Requires
+    the analytical backend and the exhaustive policy."""
+    fused: bool = False
+    """Additionally search fused two-layer mappings over every fusible
+    adjacent pair: shared on-chip intermediate tile, the producer's output
+    layout constraining the consumer's input layout.  Requires the
+    analytical backend, the exhaustive policy and at least two layers."""
     layouts: Optional[Tuple[str, ...]] = None
     """Optional restriction of the candidate layout library (names)."""
     workers: Optional[int] = None
@@ -200,6 +210,20 @@ class SearchRequest(_RequestBase):
         if not isinstance(self.backend, str) or not self.backend:
             raise InvalidRequestError(
                 f"backend must be a registry name, got {self.backend!r}")
+        _normalize(self, "frontier", bool(self.frontier))
+        _normalize(self, "fused", bool(self.fused))
+        if self.frontier or self.fused:
+            # The dominance prune and the fused-pair cost discounts are
+            # statements about the analytical model, and budgeted policies
+            # skip candidates the frontier must see.
+            if self.backend != "analytical":
+                raise InvalidRequestError(
+                    "frontier/fused search requires backend='analytical', "
+                    f"got {self.backend!r}")
+            if self.policy != "exhaustive":
+                raise InvalidRequestError(
+                    "frontier/fused search requires policy='exhaustive', "
+                    f"got {self.policy!r}")
         if not isinstance(self.workloads, str):
             _normalize(self, "workloads", tuple(self.workloads))
         if self.layouts is not None:

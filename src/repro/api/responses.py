@@ -115,6 +115,14 @@ class SearchResponse(_ResponseBase):
     (:func:`repro.scenarios.record.search_stats_payload`)."""
     crossval: Optional[Dict[str, object]] = None
     """Analytical-vs-simulated deltas (``backend="crossval"`` only)."""
+    frontiers: Optional[List[Dict[str, object]]] = None
+    """Per-unique-shape Pareto frontiers
+    (:meth:`repro.search.frontier.ShapeFrontier.to_dict` payloads, same
+    order as ``layers``; ``frontier=True`` requests only)."""
+    fused: Optional[List[Dict[str, object]]] = None
+    """Fused adjacent-pair results
+    (:meth:`repro.layoutloop.cosearch.FusedPairResult.to_dict` payloads,
+    model order; ``fused=True`` requests only)."""
     workers: int = 1
     """Worker processes actually used (run metadata, result-neutral)."""
     elapsed_s: float = 0.0

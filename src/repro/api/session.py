@@ -160,7 +160,8 @@ def _resolve_request(request: Request) -> Tuple[str, _Resolved]:
             tuple(getattr(w, "name", "") for w in resolved.workloads),
             arch_signature(resolved.arch, DEFAULT_ENERGY_TABLE),
             (request.metric, request.max_mappings, request.seed,
-             request.prune, request.policy, request.budget),
+             request.prune, request.policy, request.budget,
+             request.frontier, request.fused),
             request.layouts, request.backend)), resolved
     if isinstance(request, SweepRequest):
         from repro.scenarios.runner import cell_key
@@ -537,9 +538,16 @@ class Session:
         cls = EvalResponse if kind == "eval" else SearchResponse
         try:
             response = cls.from_dict(payload)
-        except InvalidRequestError:
+        except (InvalidRequestError, KeyError, TypeError, ValueError,
+                AttributeError):
+            # A foreign or hand-edited row (wrong fields, wrong types,
+            # wrong nesting) can raise any of these out of from_dict; it
+            # can never serve a hit, so delete it and treat it as a miss
+            # instead of crashing the serving thread.
+            self.store.delete(key)
             return None
         if response.key != key:
+            self.store.delete(key)
             return None
         response.served_from = "store"
         response.elapsed_s = time.perf_counter() - start
@@ -559,6 +567,10 @@ class Session:
         from repro.layoutloop.cosearch import unique_workloads
 
         if request.backend == "crossval":
+            return False
+        if request.frontier or request.fused:
+            # Frontier/fused payloads live on the ModelCost, not in the
+            # mapper's whole-result memo — never claim a memo hit for them.
             return False
         if self.resolve_workers(request.workers) > 1:
             return False
@@ -672,6 +684,7 @@ class Session:
         cost = None
         if (self._offload_enabled and mapper is not None
                 and search_backend == "analytical"
+                and not request.frontier and not request.fused
                 and not all(mapper.has_result(wl, layouts)
                             for wl, _ in unique_workloads(workloads))):
             # Cold search on a threaded session: run it whole in a worker
@@ -697,7 +710,8 @@ class Session:
                     vectorize=request.vectorize, backend=search_backend,
                     layouts=layouts, executor=pool, mapper=mapper,
                     policy=request.policy, budget=request.budget,
-                    compile=request.compile)
+                    compile=request.compile, frontier=request.frontier,
+                    fused=request.fused)
             finally:
                 self._release_executor(pool)
         if crossval:
@@ -720,11 +734,18 @@ class Session:
         stats = cost.search_stats
         arch_label = (request.arch if isinstance(request.arch, str)
                       else cost.arch)
+        frontiers_payload = (
+            [frontier.to_dict() for frontier in cost.frontiers]
+            if request.frontier and cost.frontiers is not None else None)
+        fused_payload = (
+            [pair.to_dict() for pair in cost.fused_pairs]
+            if request.fused and cost.fused_pairs is not None else None)
         return SearchResponse(
             model=request.model, arch=arch_label, backend=request.backend,
             key=key, totals=model_cost_totals(cost),
             layers=[asdict(layer) for layer in model_cost_layers(cost)],
             search=search_stats_payload(stats), crossval=crossval_payload,
+            frontiers=frontiers_payload, fused=fused_payload,
             workers=stats.workers, elapsed_s=elapsed, cost=cost)
 
     def _execute_sweep(self, request: SweepRequest, resolved: _Resolved,

@@ -24,7 +24,9 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 from repro.layoutloop.arch import ArchSpec
 from repro.layoutloop.energy import EnergyTable
 from repro.layoutloop.mapper import Mapper, SearchResult
+from repro.search.frontier import pareto_fold, tile_footprints
 from repro.search.signatures import workload_signature
+from repro.workloads.conv import ConvLayerSpec
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
     from repro.search.engine import SearchStats
@@ -38,6 +40,9 @@ class LayerChoice:
     """The per-shape search outcome (best mapping, layout and cost report)."""
     count: int
     """How many times this shape occurs in the model (weights the totals)."""
+    frontier: Optional[object] = None
+    """The shape's :class:`~repro.search.frontier.ShapeFrontier` when the
+    search ran in ``frontier=`` mode; None otherwise."""
 
     @property
     def cycles(self) -> float:
@@ -68,6 +73,13 @@ class ModelCost:
     search_stats: Optional["SearchStats"] = None
     """Engine bookkeeping (evaluations, pruning, cache hits) when searched
     through :func:`repro.search.engine.search_model`; None otherwise."""
+    frontiers: Optional[List] = None
+    """Per-unique-shape :class:`~repro.search.frontier.ShapeFrontier`
+    objects (same order as ``layer_choices``) when the search ran in
+    ``frontier=`` mode; None otherwise."""
+    fused_pairs: Optional[List] = None
+    """Per-adjacent-pair :class:`FusedPairResult` objects when the search
+    ran in ``fused=`` mode; None otherwise."""
 
     @property
     def total_cycles(self) -> float:
@@ -168,6 +180,183 @@ def unique_workloads(workloads: Sequence) -> List[Tuple[object, int]]:
         else:
             groups[sig] = (wl, 1)
     return list(groups.values())
+
+
+# ------------------------------------------------------- fused two-layer search
+@dataclass
+class FusedPairResult:
+    """A fused producer→consumer search outcome over shared layouts.
+
+    Fusing keeps the producer's output tile on chip: the consumer streams
+    it directly, so the intermediate tensor's DRAM write-out and read-back
+    are both skipped, and the shared intermediate layout — the producer's
+    output layout *is* the consumer's input layout — is a single search
+    variable constraining both layers.  ``points`` is the Pareto frontier
+    over the shared layouts, (EDP, cycles, energy, fused footprint); every
+    point is a plain JSON dict, so a ``FusedPairResult`` round-trips
+    through :class:`~repro.scenarios.record.ScenarioRecord` payloads
+    bit-identically.
+    """
+
+    producer: str
+    """Name of the producing layer."""
+    consumer: str
+    """Name of the consuming layer."""
+    arch: str
+    """Name of the architecture."""
+    metric: str
+    """Scalar objective the winner minimised."""
+    points: List[Dict[str, object]]
+    """Frontier points over shared layouts, canonically ordered; each has
+    the shared ``layout``, both chosen mappings, the four fused objectives,
+    ``legal`` (fused footprint fits the on-chip buffer) and
+    ``saved_dram_bytes``."""
+    winner_index: int
+    """Index (into ``points``) of the scalar lexicographic winner."""
+    capacity_bytes: int
+    """On-chip buffer capacity the legality check used (bytes)."""
+
+    def winner(self) -> Dict[str, object]:
+        """The winning shared-layout candidate."""
+        return self.points[self.winner_index]
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"producer": self.producer, "consumer": self.consumer,
+                "arch": self.arch, "metric": self.metric,
+                "points": [dict(p) for p in self.points],
+                "winner_index": self.winner_index,
+                "capacity_bytes": self.capacity_bytes}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "FusedPairResult":
+        fields = dict(data)
+        fields["points"] = [dict(p) for p in fields["points"]]
+        return cls(**fields)
+
+
+def fusible(producer, consumer) -> bool:
+    """Whether two adjacent conv layers can share the intermediate on chip:
+    the producer's output tensor must *be* the consumer's input tensor
+    (channels and spatial extents line up, same batch)."""
+    return (isinstance(producer, ConvLayerSpec)
+            and isinstance(consumer, ConvLayerSpec)
+            and producer.n == consumer.n
+            and producer.m == consumer.c
+            and producer.p == consumer.h
+            and producer.q == consumer.w)
+
+
+def _fused_metric_value(candidate: Dict[str, object], metric: str) -> float:
+    if metric == "edp":
+        return candidate["edp"]
+    if metric == "latency":
+        return candidate["total_cycles"]
+    if metric == "energy":
+        return candidate["total_energy_pj"]
+    raise ValueError(f"unknown metric {metric!r}")
+
+
+def fused_pair_search(mapper: Mapper, producer, consumer,
+                      layouts: Optional[Sequence] = None) -> FusedPairResult:
+    """Search a fused producer→consumer pair over shared intermediate layouts.
+
+    For each candidate layout of the intermediate tensor, the producer is
+    searched unconstrained (its own input layout stays free) and the
+    consumer is searched restricted to that layout; the fused pair then
+
+    * skips the intermediate's DRAM round trip — the write-out and
+      read-back energy (``2 * bytes * dram_access_per_byte_pj``) and the
+      corresponding off-chip streaming cycles (floored so the fused pair
+      is never faster than its slower member), and
+    * shares one on-chip tile — the fused footprint discounts the smaller
+      of the producer's output tile and the consumer's input tile, and is
+      ``legal`` only when it fits :attr:`BufferGeometry.capacity_bytes`.
+
+    The frontier keeps the non-dominated *legal* candidates; the scalar
+    winner is the lexicographic minimum of ``(metric value, layout
+    index)`` over them (over all candidates when none is legal — the
+    ``legal`` flags then say so).
+    """
+    from repro.errors import InvalidRequestError
+
+    if not fusible(producer, consumer):
+        raise InvalidRequestError(
+            f"layers {getattr(producer, 'name', producer)!r} -> "
+            f"{getattr(consumer, 'name', consumer)!r} are not fusible: the "
+            "producer's output tensor must be the consumer's input tensor")
+    arch = mapper.arch
+    table = mapper.cost_model.energy
+    shared = list(layouts) if layouts else mapper.candidate_layouts(consumer)
+    producer_result = mapper.search(producer)
+    producer_tiles = tile_footprints(producer, producer_result.best_mapping,
+                                     arch)
+    inter_bytes = (producer.oact_elems * arch.mac_bits) // 8
+
+    candidates: List[Dict[str, object]] = []
+    for layout_index, layout in enumerate(shared):
+        consumer_result = mapper.search(consumer, layouts=[layout])
+        consumer_tiles = tile_footprints(
+            consumer, consumer_result.best_mapping, arch)
+        saved_pj = 2.0 * inter_bytes * table.dram_access_per_byte_pj
+        energy_pj = (producer_result.best_report.total_energy_pj
+                     + consumer_result.best_report.total_energy_pj - saved_pj)
+        saved_cycles = 2.0 * inter_bytes / arch.offchip_bytes_per_cycle
+        summed = (producer_result.best_report.total_cycles
+                  + consumer_result.best_report.total_cycles)
+        cycles = max(summed - saved_cycles,
+                     float(max(producer_result.best_report.total_cycles,
+                               consumer_result.best_report.total_cycles)))
+        footprint = (sum(producer_tiles) + sum(consumer_tiles)
+                     - min(producer_tiles[2], consumer_tiles[0]))
+        candidates.append({
+            "layout": layout.name, "layout_index": layout_index,
+            "producer_mapping": producer_result.best_mapping.name,
+            "consumer_mapping": consumer_result.best_mapping.name,
+            "edp": energy_pj * cycles, "total_cycles": cycles,
+            "total_energy_pj": energy_pj,
+            "buffer_footprint_bytes": footprint,
+            "legal": footprint <= arch.buffer.capacity_bytes,
+            "saved_dram_bytes": 2 * inter_bytes,
+        })
+
+    pool = [c for c in candidates if c["legal"]] or candidates
+    winner = min(pool, key=lambda c: (_fused_metric_value(c, mapper.metric),
+                                      c["layout_index"]))
+    front: List[Tuple[Tuple[float, ...], Dict[str, object]]] = []
+    for candidate in pool:
+        vector = (candidate["edp"], candidate["total_cycles"],
+                  candidate["total_energy_pj"],
+                  candidate["buffer_footprint_bytes"])
+        pareto_fold(front, vector, candidate)
+    if not any(payload is winner for _, payload in front):
+        front.append(((winner["edp"], winner["total_cycles"],
+                       winner["total_energy_pj"],
+                       winner["buffer_footprint_bytes"]), winner))
+    front.sort(key=lambda entry: (entry[0], entry[1]["layout_index"]))
+    points = [payload for _, payload in front]
+    return FusedPairResult(
+        producer=getattr(producer, "name", str(producer)),
+        consumer=getattr(consumer, "name", str(consumer)),
+        arch=arch.name, metric=mapper.metric, points=points,
+        winner_index=points.index(winner),
+        capacity_bytes=arch.buffer.capacity_bytes)
+
+
+def fused_model_search(mapper: Mapper, workloads: Sequence,
+                       layouts: Optional[Sequence] = None
+                       ) -> List[FusedPairResult]:
+    """Fused search over every fusible adjacent pair of a layer sequence.
+
+    Layers are taken in model order (no shape deduplication — adjacency is
+    positional); non-fusible pairs are skipped.  Returns one
+    :class:`FusedPairResult` per fusible pair, in order.
+    """
+    results = []
+    for producer, consumer in zip(workloads, list(workloads)[1:]):
+        if fusible(producer, consumer):
+            results.append(fused_pair_search(mapper, producer, consumer,
+                                             layouts=layouts))
+    return results
 
 
 def cosearch_layer(arch: ArchSpec, workload, metric: str = "edp",

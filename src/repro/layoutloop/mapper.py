@@ -179,6 +179,10 @@ class Mapper:
                                      if evaluation_cache is not None
                                      else EvaluationCache())
         self._cache: Dict[Tuple, SearchResult] = {}
+        # Frontier results memoize separately: the budgeted policies'
+        # warm-start filters `_cache` positionally, and frontier pairs are
+        # (SearchResult, ShapeFrontier) tuples, not SearchResults.
+        self._frontier_cache: Dict[Tuple, Tuple] = {}
 
     # ------------------------------------------------------------- candidates
     def candidate_mappings(self, workload) -> List[Mapping]:
@@ -352,6 +356,27 @@ class Mapper:
         )
         self._cache[key] = result
         return result
+
+    def search_frontier(self, workload,
+                        layouts: Optional[Sequence[Layout]] = None) -> Tuple:
+        """Scan the candidate universe keeping the whole Pareto frontier.
+
+        Returns ``(result, frontier)`` — see
+        :func:`repro.search.frontier.frontier_search`.  ``result`` is
+        bit-identical to :meth:`search` (same winner report, mapping and
+        layout); ``frontier`` is the shape's non-dominated set over
+        (EDP, latency, energy, buffer footprint), with the scalar winner a
+        member by construction.  Memoized like :meth:`search`, in a
+        separate cache.
+        """
+        from repro.search.frontier import frontier_search
+
+        key = self._result_key(workload, layouts)
+        cached = self._frontier_cache.get(key)
+        if cached is None:
+            cached = frontier_search(self, workload, layouts=layouts)
+            self._frontier_cache[key] = cached
+        return cached
 
     def _result_key(self, workload,
                     layouts: Optional[Sequence[Layout]] = None) -> Tuple:

@@ -139,6 +139,15 @@ def golden_matrix() -> ScenarioMatrix:
                  SearchConfig(name="golden-crossval", metric="latency",
                               max_mappings=6),
                  backend="crossval", tags=("golden", "crossval")),
+        Scenario("golden-frontier-residual", "resnet50_residual_block",
+                 "FEATHER", SearchConfig(name="golden-frontier", metric="edp",
+                                         max_mappings=12, frontier=True),
+                 tags=("golden", "frontier")),
+        Scenario("golden-fused-residual", "resnet50_residual_block",
+                 "FEATHER", SearchConfig(name="golden-fused", metric="edp",
+                                         max_mappings=12, frontier=True,
+                                         fused=True),
+                 tags=("golden", "frontier", "fused")),
     ])
 
 

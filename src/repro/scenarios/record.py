@@ -23,7 +23,7 @@ from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import Dict, List, Optional
 
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 #: Record fields excluded from the deterministic payload: they describe how
 #: a run executed (or which release produced it), not what it computed.
@@ -96,6 +96,16 @@ class ScenarioRecord:
     """Per-cell analytical-vs-simulated deltas
     (:meth:`repro.backends.crossval.CrossValidation.as_dict`); only present
     on ``crossval``-backed cells."""
+    frontiers: Optional[List[Dict[str, object]]] = None
+    """Per-unique-shape Pareto frontiers
+    (:meth:`repro.search.frontier.ShapeFrontier.to_dict` payloads, same
+    order as ``layers``); only present on ``frontier=True`` cells.  Part of
+    the deterministic payload — frontiers are golden-testable content."""
+    fused: Optional[List[Dict[str, object]]] = None
+    """Fused adjacent-pair results
+    (:meth:`repro.layoutloop.cosearch.FusedPairResult.to_dict` payloads,
+    model order); only present on ``fused=True`` cells.  Deterministic
+    payload, like ``frontiers``."""
     repro_version: str = ""
     """``repro.__version__`` that produced the record."""
     workers: int = 1
@@ -207,12 +217,16 @@ def record_from_model_cost(scenario, cost, key: str, repro_version: str,
                            elapsed_s: float = 0.0,
                            backend: str = "analytical",
                            crossval: Optional[Dict[str, object]] = None,
+                           frontiers: Optional[List[Dict[str, object]]] = None,
+                           fused: Optional[List[Dict[str, object]]] = None,
                            ) -> ScenarioRecord:
     """Build a record from a :class:`~repro.layoutloop.cosearch.ModelCost`.
 
     ``backend`` names the evaluation backend that produced ``cost``;
     ``crossval`` attaches the per-cell analytical-vs-simulated deltas on
-    cross-validation cells (whose ``cost``/totals are the analytical side).
+    cross-validation cells (whose ``cost``/totals are the analytical side);
+    ``frontiers``/``fused`` attach the Pareto-frontier and fused-pair
+    payloads of ``frontier=True``/``fused=True`` cells.
     """
     layers = model_cost_layers(cost)
     totals = model_cost_totals(cost)
@@ -229,6 +243,8 @@ def record_from_model_cost(scenario, cost, key: str, repro_version: str,
         search=search,
         backend=backend,
         crossval=crossval,
+        frontiers=frontiers,
+        fused=fused,
         repro_version=repro_version,
         workers=workers,
         vectorize=vectorize,

@@ -28,7 +28,7 @@ from repro.workloads.mobilenet_v3 import (
     mobilenet_v3_layers,
     mobilenet_v3_pointwise_layers,
 )
-from repro.workloads.resnet50 import resnet50_layers
+from repro.workloads.resnet50 import resnet50_layers, resnet50_residual_block
 
 _WORKLOAD_SETS: Dict[str, Callable[[], List]] = {}
 _ARCHES: Dict[str, Callable[[], ArchSpec]] = {}
@@ -125,6 +125,8 @@ def _register_builtin_workload_sets() -> None:
     register_workload_set("mobilenet_v3_pointwise",
                           mobilenet_v3_pointwise_layers)
     register_workload_set("bert_head_sweep", bert_head_gemm_sweep)
+    # The fused-mapping demo chain (conv2_x bottleneck 2, layers 6-8).
+    register_workload_set("resnet50_residual_block", resnet50_residual_block)
     register_workload_set(
         "resnet50_batch4",
         lambda: [l.with_batch(4) for l in resnet50_layers(include_fc=False)])

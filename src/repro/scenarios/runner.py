@@ -158,6 +158,7 @@ def run_cell(scenario: Scenario, workers: Optional[int] = None,
         model=scenario.name, metric=config.metric,
         max_mappings=config.max_mappings, seed=config.seed,
         prune=config.prune, policy=config.policy, budget=config.budget,
+        frontier=config.frontier, fused=config.fused,
         backend=scenario.backend, workers=workers,
         vectorize=vectorize, fresh_cache=True))
     elapsed = time.perf_counter() - start
@@ -166,7 +167,9 @@ def run_cell(scenario: Scenario, workers: Optional[int] = None,
                                     workers=response.cost.search_stats.workers,
                                     vectorize=vectorize, elapsed_s=elapsed,
                                     backend=scenario.backend,
-                                    crossval=response.crossval)
+                                    crossval=response.crossval,
+                                    frontiers=response.frontiers,
+                                    fused=response.fused)
     if path is not None:
         path.parent.mkdir(parents=True, exist_ok=True)
         record.write(path)

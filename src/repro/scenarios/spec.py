@@ -48,6 +48,13 @@ class SearchConfig:
     budget: Optional[int] = None
     """Per-shape cap on scored (mapping, layout) pairs; only meaningful
     with a non-exhaustive ``policy``."""
+    frontier: bool = False
+    """Keep a Pareto frontier over (EDP, latency, energy, buffer footprint)
+    per unique shape alongside the scalar winner (analytical + exhaustive
+    cells only)."""
+    fused: bool = False
+    """Additionally search fused two-layer mappings over adjacent fusible
+    layer pairs (analytical + exhaustive cells only)."""
 
     def __post_init__(self) -> None:
         if self.metric not in _METRICS:
@@ -62,17 +69,22 @@ class SearchConfig:
         if self.budget is not None and self.budget < 1:
             raise ValueError(f"budget must be >= 1 (or None), "
                              f"got {self.budget}")
+        if (self.frontier or self.fused) and self.policy != "exhaustive":
+            raise ValueError(
+                f"frontier/fused require policy='exhaustive', "
+                f"got {self.policy!r}")
 
     def identity(self) -> Tuple:
         """The fields that determine search results (name excluded)."""
         return (self.metric, self.max_mappings, self.seed, self.prune,
-                self.policy, self.budget)
+                self.policy, self.budget, self.frontier, self.fused)
 
     def as_dict(self) -> Dict[str, object]:
         return {"name": self.name, "metric": self.metric,
                 "max_mappings": self.max_mappings, "seed": self.seed,
                 "prune": self.prune, "policy": self.policy,
-                "budget": self.budget}
+                "budget": self.budget, "frontier": self.frontier,
+                "fused": self.fused}
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "SearchConfig":
@@ -81,7 +93,9 @@ class SearchConfig:
                    max_mappings=int(data["max_mappings"]),
                    seed=int(data["seed"]), prune=bool(data["prune"]),
                    policy=str(data.get("policy", "exhaustive")),
-                   budget=None if budget is None else int(budget))
+                   budget=None if budget is None else int(budget),
+                   frontier=bool(data.get("frontier", False)),
+                   fused=bool(data.get("fused", False)))
 
 
 def scenario_backend_names() -> Tuple[str, ...]:

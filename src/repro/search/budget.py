@@ -23,6 +23,9 @@ order and cap the full-fidelity evaluations:
   random exploration.  No exactness guarantee at a capped budget, but
   seed-deterministic and exact once the budget covers the universe.
 
+``budget=None`` is uncapped for *both* policies (use
+:func:`default_budget` for the legacy quarter-universe refinement cap).
+
 Budget accounting matches :class:`~repro.layoutloop.mapper.SearchResult`:
 ``evaluated`` counts scored (mapping, layout) pairs *including* evaluation-
 cache hits, and a policy never starts a mapping it cannot finish — so
@@ -48,6 +51,18 @@ from repro.search.signatures import mapping_signature, workload_signature
 
 POLICIES: Tuple[str, ...] = ("exhaustive", "halving", "evolutionary")
 """Search policies accepted by ``Mapper``/``SearchEngine``/``SearchRequest``."""
+
+
+def default_budget(n_mappings: int, n_layouts: int) -> int:
+    """Quarter-universe evaluation budget (at least one mapping's worth).
+
+    ``budget=None`` means *uncapped* for every policy; callers who want the
+    refinement-style cap :func:`evolutionary_search` used to default to
+    pass this explicitly: ``budget=default_budget(len(mappings),
+    len(layouts))``.
+    """
+    pair_cost = max(1, int(n_layouts))
+    return max(pair_cost, (int(n_mappings) * pair_cost) // 4)
 
 
 def _score_mapping(mapper: Mapper, workload, mapping, layouts
@@ -210,17 +225,16 @@ def evolutionary_search(mapper: Mapper, workload,
     neighbours in cheap-rung rank order (mappings with adjacent lower
     bounds behave similarly) plus seeded random exploration.
 
-    Deterministic for a fixed ``(mapper.seed, cache state, budget)``.  The
-    default budget covers a quarter of the universe (at least one mapping);
-    ``budget=None`` semantics therefore differ from :func:`halving_search`,
-    which defaults to uncapped — refinement is the point here.
+    Deterministic for a fixed ``(mapper.seed, cache state, budget)``.
+    ``budget=None`` is uncapped — the same contract as
+    :func:`halving_search`, under which the search covers the whole
+    universe and returns exactly the exhaustive winner; pass
+    :func:`default_budget` for the legacy quarter-universe refinement cap.
     """
     layouts = list(layouts) if layouts else mapper.candidate_layouts(workload)
     mappings = mapper.candidate_mappings(workload)
     n = len(mappings)
     pair_cost = len(layouts)
-    if budget is None:
-        budget = max(pair_cost, (n * pair_cost) // 4)
     rng = random.Random(mapper.seed)
     rung, _ = _cheap_rung(mapper, workload, mappings, layouts)
     order = sorted(range(n), key=lambda i: (rung[i], i))
@@ -255,7 +269,7 @@ def evolutionary_search(mapper: Mapper, workload,
         for index in frontier:
             if index in seen:
                 continue
-            if (incumbent.evaluated
+            if (budget is not None and incumbent.evaluated
                     and incumbent.evaluated + pair_cost > budget):
                 exhausted = True
                 break

@@ -91,7 +91,8 @@ class SearchEngine:
                  prune: bool = True, cache: Optional[EvaluationCache] = None,
                  vectorize: bool = True, backend: str = "analytical",
                  policy: str = "exhaustive", budget: Optional[int] = None,
-                 compile: bool = False):
+                 compile: bool = False, frontier: bool = False,
+                 fused: bool = False):
         self.arch = arch
         self.energy = energy
         self.metric = metric
@@ -103,6 +104,8 @@ class SearchEngine:
         self.policy = policy
         self.budget = budget
         self.compile = compile
+        self.frontier = frontier
+        self.fused = fused
         self.cache = cache if cache is not None else EvaluationCache()
         self.mapper = Mapper(arch, energy=energy, metric=metric,
                              max_mappings=max_mappings, seed=seed,
@@ -119,6 +122,15 @@ class SearchEngine:
                      ) -> SearchResult:
         """Co-search the best (mapping, layout) pair for one layer."""
         return self.mapper.search(workload, layouts=layouts)
+
+    def search_layer_frontier(self, workload,
+                              layouts: Optional[Sequence] = None):
+        """Co-search one layer keeping the whole Pareto frontier.
+
+        Returns ``(result, frontier)`` — see
+        :meth:`repro.layoutloop.mapper.Mapper.search_frontier`.
+        """
+        return self.mapper.search_frontier(workload, layouts=layouts)
 
     def search_model(self, workloads: Sequence, model_name: str = "model",
                      workers: Optional[int] = 1,
@@ -142,7 +154,8 @@ class SearchEngine:
                             seed=self.seed, cache=self.cache,
                             vectorize=self.vectorize, backend=backend,
                             policy=self.policy, budget=self.budget,
-                            compile=self.compile)
+                            compile=self.compile, frontier=self.frontier,
+                            fused=self.fused)
         for (workload, _), choice in zip(unique_workloads(workloads),
                                          cost.layer_choices):
             self.mapper.adopt_result(workload, choice.result)
@@ -182,7 +195,8 @@ def _search_model_impl(arch: ArchSpec, workloads: Sequence,
                        mapper: Optional[Mapper] = None,
                        policy: str = "exhaustive",
                        budget: Optional[int] = None,
-                       compile: bool = False) -> ModelCost:
+                       compile: bool = False, frontier: bool = False,
+                       fused: bool = False) -> ModelCost:
     """The whole-model co-search engine behind :func:`search_model`.
 
     This is the execution layer: ``workers`` must already be a concrete
@@ -220,6 +234,25 @@ def _search_model_impl(arch: ArchSpec, workloads: Sequence,
         compile = backend.compile
         backend = "analytical"
     analytical = backend is None or backend == "analytical"
+    if frontier or fused:
+        # Frontier/fused searches are statements about the analytical
+        # model (the dominance prune reuses its admissible bounds, the
+        # fused energy/cycle discounts its DRAM terms) and must see the
+        # whole candidate universe.
+        if not analytical:
+            raise InvalidRequestError(
+                "frontier/fused search requires the analytical backend")
+        if policy != "exhaustive":
+            raise InvalidRequestError(
+                "frontier/fused search requires policy='exhaustive'")
+        if fused and len(workloads) < 2:
+            raise InvalidRequestError(
+                "fused search requires at least two workloads "
+                "(adjacency is what gets fused)")
+        # Frontier objects and fused pairs live on the ModelCost, which
+        # the fan-out's chunked workers cannot assemble: run serially
+        # (results are bit-identical for any worker count anyway).
+        workers = 1
     start = time.perf_counter()
     grouped = unique_workloads(workloads)
     shapes = [wl for wl, _ in grouped]
@@ -233,6 +266,7 @@ def _search_model_impl(arch: ArchSpec, workloads: Sequence,
                         layers_unique=len(grouped), workers=workers,
                         backend=backend_name, policy=policy, budget=budget)
 
+    shape_frontiers = None
     if not analytical:
         if mapper is None:
             mapper = Mapper(arch, energy=energy, metric=metric,
@@ -254,7 +288,13 @@ def _search_model_impl(arch: ArchSpec, workloads: Sequence,
         # cache's cumulative counters.
         before_hits = eval_cache.stats.hits
         before_misses = eval_cache.stats.misses
-        results = [mapper.search(wl, layouts=layouts) for wl in shapes]
+        if frontier:
+            pairs = [mapper.search_frontier(wl, layouts=layouts)
+                     for wl in shapes]
+            results = [result for result, _ in pairs]
+            shape_frontiers = [shape_frontier for _, shape_frontier in pairs]
+        else:
+            results = [mapper.search(wl, layouts=layouts) for wl in shapes]
         stats.cache = CacheStats(hits=eval_cache.stats.hits - before_hits,
                                  misses=eval_cache.stats.misses - before_misses)
     else:
@@ -271,10 +311,23 @@ def _search_model_impl(arch: ArchSpec, workloads: Sequence,
                                                        misses=misses))
 
     cost = ModelCost(arch=arch.name, model=model_name)
-    for result, (_, count) in zip(results, grouped):
-        cost.layer_choices.append(LayerChoice(result=result, count=count))
+    for index, (result, (_, count)) in enumerate(zip(results, grouped)):
+        choice = LayerChoice(result=result, count=count)
+        if shape_frontiers is not None:
+            choice.frontier = shape_frontiers[index]
+        cost.layer_choices.append(choice)
         stats.evaluations += result.evaluated
         stats.pruned += result.pruned
+    if shape_frontiers is not None:
+        cost.frontiers = shape_frontiers
+    if fused:
+        from repro.layoutloop.cosearch import fused_model_search
+
+        # Adjacency is positional: the fused pass walks the original layer
+        # order, not the deduplicated shapes.  The per-layout consumer
+        # searches memoize in the same mapper, so repeat pairs stay cheap.
+        cost.fused_pairs = fused_model_search(mapper, workloads,
+                                              layouts=layouts)
     stats.elapsed_s = time.perf_counter() - start
     cost.search_stats = stats
     return cost
@@ -289,7 +342,8 @@ def search_model(arch: ArchSpec, workloads: Sequence, model_name: str = "model",
                  vectorize: bool = True,
                  backend="analytical", policy: str = "exhaustive",
                  budget: Optional[int] = None,
-                 compile: bool = False) -> ModelCost:
+                 compile: bool = False, frontier: bool = False,
+                 fused: bool = False) -> ModelCost:
     """Co-search a whole model on one architecture and aggregate the cost.
 
     .. deprecated:: 1.1
@@ -351,14 +405,15 @@ def search_model(arch: ArchSpec, workloads: Sequence, model_name: str = "model",
             max_mappings=max_mappings, energy=energy,
             workers=session.resolve_workers(workers), chunk_size=chunk_size,
             prune=prune, seed=seed, cache=cache, vectorize=vectorize,
-            backend=backend, policy=policy, budget=budget, compile=compile)
+            backend=backend, policy=policy, budget=budget, compile=compile,
+            frontier=frontier, fused=fused)
     request = SearchRequest(
         workloads=tuple(workload_payload(wl) for wl in workloads),
         arch=arch_payload(arch), model=model_name, metric=metric,
         max_mappings=max_mappings, seed=seed, prune=prune,
         backend=backend or "analytical", workers=workers,
         vectorize=vectorize, fresh_cache=True, policy=policy, budget=budget,
-        compile=compile)
+        compile=compile, frontier=frontier, fused=fused)
     return session.run(request).cost
 
 

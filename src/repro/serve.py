@@ -55,6 +55,7 @@ import argparse
 import json
 import os
 import sys
+import traceback
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 from typing import List, Optional
@@ -118,7 +119,11 @@ class ReproRequestHandler(BaseHTTPRequestHandler):
         except ReproError as exc:
             status = 422 if exc.code == "incompatible_cell" else 400
             self._send_json(status, {"error": exc.payload()})
-        except Exception as exc:  # pragma: no cover - defensive 500 path
+        except Exception as exc:
+            # Defensive 500 path: the client gets the structured
+            # internal_error payload; the operator gets the traceback
+            # (the payload's one-line message is useless for diagnosis).
+            sys.stderr.write(traceback.format_exc())
             self._send_error_body(500, "internal_error", type(exc).__name__,
                                   str(exc))
         else:

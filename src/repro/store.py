@@ -244,6 +244,26 @@ class ResultStore:
             except sqlite3.DatabaseError:
                 self._recover()
 
+    # --------------------------------------------------------------- delete
+    def delete(self, key: str) -> None:
+        """Drop one entry (absence is fine, failures are swallowed).
+
+        Used by callers that decoded a stored payload and found it foreign
+        or hand-edited: the row can never serve a hit, so deleting it stops
+        it costing a decode on every lookup.
+        """
+        with self._lock:
+            if self._conn is None:
+                return
+            try:
+                with self._conn:
+                    self._conn.execute(
+                        "DELETE FROM results WHERE key = ?", (key,))
+            except sqlite3.OperationalError:
+                self.stats.errors += 1
+            except sqlite3.DatabaseError:
+                self._recover()
+
     def _evict_locked(self) -> None:
         """Drop LRU entries until under ``max_bytes``/``max_entries``.
         Runs inside the caller's transaction and lock."""

@@ -81,6 +81,23 @@ def resnet50_layer(index: int) -> ConvLayerSpec:
     return main[index - 1]
 
 
+def resnet50_residual_block() -> list:
+    """The three convs of the second conv2_x bottleneck (layers 6-8).
+
+    This is the canonical fused-mapping demo chain: a 1x1 reduce
+    (64x256 on 56x56), a padded 3x3 (64x64) and a 1x1 expand (256x64),
+    with no projection shortcut and no stride — every adjacent pair is
+    fusible (the producer's output tensor is exactly the consumer's
+    input tensor).  Selected by *name* rather than through
+    :func:`resnet50_layer`, whose paper-style indexing skips the
+    ``_proj`` shortcut layers and therefore disagrees with the
+    ``resnet50_layer{N}`` name suffixes past layer 5.
+    """
+    wanted = ("resnet50_layer6", "resnet50_layer7", "resnet50_layer8")
+    by_name = {layer.name: layer for layer in _build()}
+    return [by_name[name] for name in wanted]
+
+
 def resnet50_motivation_layers() -> dict:
     """Layers highlighted by the paper's motivation figures (Fig. 2 and Fig. 4).
 

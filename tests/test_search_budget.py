@@ -32,7 +32,12 @@ from repro.layoutloop.mapper import Mapper
 from repro.scenarios.builtin import golden_matrix
 from repro.scenarios.registry import resolve_arch, resolve_workload_set
 from repro.search.bounds import bound_statics, cached_bound_statics
-from repro.search.budget import POLICIES, evolutionary_search, halving_search
+from repro.search.budget import (
+    POLICIES,
+    default_budget,
+    evolutionary_search,
+    halving_search,
+)
 from repro.search.signatures import workload_signature
 from repro.workloads.resnet50 import resnet50_layers
 
@@ -150,6 +155,36 @@ def test_uncapped_evolutionary_covers_the_universe():
     reference = Mapper(feather_arch(), max_mappings=12, seed=0).search(
         workload)
     _same_result(result, reference)
+
+
+def test_budget_none_is_uncapped_for_both_policies():
+    # ``budget=None`` means uncapped for halving AND evolutionary (the
+    # latter used to silently default to a quarter-universe refinement
+    # cap) — both must return exactly the exhaustive winner.
+    workload = resnet50_layers(include_fc=False)[0]
+    reference = Mapper(feather_arch(), max_mappings=12, seed=0).search(
+        workload)
+    for search in (halving_search, evolutionary_search):
+        mapper = Mapper(feather_arch(), max_mappings=12, seed=0)
+        _same_result(search(mapper, workload, budget=None), reference)
+    # Uncapped evolutionary scores the whole universe (no hidden cap left).
+    mapper = Mapper(feather_arch(), max_mappings=12, seed=0)
+    universe = (len(mapper.candidate_mappings(workload))
+                * len(mapper.candidate_layouts(workload)))
+    assert evolutionary_search(mapper, workload).evaluated == universe
+
+
+def test_default_budget_is_the_legacy_quarter_universe():
+    assert default_budget(24, 7) == (24 * 7) // 4
+    assert default_budget(1, 7) == 7  # floor: one mapping's worth of pairs
+    assert default_budget(0, 0) == 1  # degenerate inputs stay a valid budget
+    # Passed explicitly, it caps the search like any other budget.
+    workload = resnet50_layers(include_fc=False)[0]
+    mapper = Mapper(feather_arch(), max_mappings=24, seed=0)
+    budget = default_budget(len(mapper.candidate_mappings(workload)),
+                            len(mapper.candidate_layouts(workload)))
+    result = evolutionary_search(mapper, workload, budget=budget)
+    assert 0 < result.evaluated <= budget
 
 
 def test_cached_bound_statics_matches_oracle():

@@ -45,7 +45,7 @@ CLIENTS = 8
 
 
 def _golden_cells():
-    """(name, request-body, golden-payload) for all six pinned cells."""
+    """(name, request-body, golden-payload) for every pinned cell."""
     cells = []
     for path in sorted(GOLDEN_DIR.glob("*.json")):
         golden = json.loads(path.read_text())
@@ -58,6 +58,8 @@ def _golden_cells():
             "seed": golden["config"]["seed"],
             "prune": golden["config"]["prune"],
             "backend": golden["backend"],
+            "frontier": golden["config"].get("frontier", False),
+            "fused": golden["config"].get("fused", False),
             # The golden records embed per-call engine counters; request
             # the same isolated-cache semantics so `search` compares too.
             "fresh_cache": True,
@@ -67,7 +69,7 @@ def _golden_cells():
 
 
 CELLS = _golden_cells()
-assert len(CELLS) == 6, "expected the six pinned golden cells"
+assert len(CELLS) == 8, "expected the eight pinned golden cells"
 
 
 @pytest.fixture(scope="module")
@@ -100,6 +102,11 @@ def _assert_matches_golden(name: str, served: dict, golden: dict) -> None:
             f"{name}: {field} drifted from the golden record under load")
     if golden.get("crossval") is not None:
         assert served["crossval"] == golden["crossval"]
+    for payload in ("frontiers", "fused"):
+        if golden.get(payload) is not None:
+            assert served[payload] == golden[payload], (
+                f"{name}: {payload} drifted from the golden record "
+                f"under load")
 
 
 # ------------------------------------------------------------ HTTP load

@@ -251,3 +251,30 @@ def test_store_content_keys_match_request_content_keys(tmp_path):
     with Session(name="keys", store_path=path) as session:
         session.run(REQ)
         assert session.store.keys() == [content_key(REQ)]
+
+
+@pytest.mark.parametrize("foreign", [
+    {"totally": "foreign", "schema": 99},        # unknown fields
+    {"model": ["not", "a", "string"]},           # wrong nesting
+    ["not", "an", "object"],                     # wrong top-level type
+], ids=["unknown-fields", "wrong-nesting", "not-an-object"])
+def test_foreign_store_payload_is_a_miss_and_the_row_is_deleted(tmp_path,
+                                                                foreign):
+    """A corrupt/foreign row under a live content key must never crash the
+    serving session: it is treated as a miss, the bad row is deleted, and
+    the request is recomputed (and re-offered) as if the store were cold."""
+    path = tmp_path / "shared.sqlite"
+    with Session(name="writer", store_path=path) as writer:
+        good = writer.run(REQ)
+    key = content_key(REQ)
+    with ResultStore(path) as raw:
+        raw.put(key, foreign, kind="search")
+    with Session(name="reader", store_path=path) as reader:
+        response = reader.run(REQ)
+        assert response.served_from is None      # recomputed, not served
+        assert reader.stats.executed == 1
+        assert response.totals == good.totals    # and correct
+        # The bad row is gone: the fresh result was re-offered under the key.
+        healed = reader.store.get(key)
+        assert healed is not None and healed != foreign
+        assert healed["totals"] == good.totals

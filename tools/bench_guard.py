@@ -18,7 +18,12 @@ still fails the guard.  Thresholds are deliberately below the locally
 measured speedups (~12x, ~6x and ~25x) so only a real regression trips on
 a noisy CI box, while still proving "measurably faster".
 
-Two more gates are off by default.  **budget** (``--gates budget``) counts
+Three more gates are off by default.  **frontier** (``--gates frontier``)
+is an identity gate on the Pareto-frontier search: on every unique shape
+of the ResNet-50 residual block the frontier scan must return the scalar
+winner bit-identically (and contain it as a frontier member) while scoring
+no more candidates than the exhaustive universe.
+**budget** (``--gates budget``) counts
 full cost-model evaluations instead of wall-clock: the budgeted search
 policies must reproduce the exhaustive winner on every unique ResNet-50
 shape, with the warm-started evolutionary policy doing it in at least
@@ -244,6 +249,57 @@ def budget_reduction() -> float:
     return reduction
 
 
+def frontier_identity() -> int:
+    """Frontier-search correctness gate (``--gates frontier``).
+
+    On every unique shape of the ResNet-50 residual block (FEATHER,
+    ``max_mappings=12``), the Pareto frontier search must (a) return a
+    scalar winner bit-identical to :meth:`Mapper.search` — report, mapping
+    and layout — with the winner a member of the returned frontier, and
+    (b) score no more candidates than the unpruned exhaustive universe
+    (``mappings x layouts``): the dominance prune may only remove work.
+    Identity gates, not timing gates — a frontier that disagrees with the
+    scalar search breaks the ``frontier=`` API contract outright.
+    """
+    from repro.layoutloop.mapper import Mapper
+    from repro.scenarios.registry import resolve_arch, resolve_workload_set
+
+    arch = resolve_arch("FEATHER")
+    shapes = resolve_workload_set("resnet50_residual_block")
+    total_points = 0
+    for workload in shapes:
+        scalar = Mapper(arch, metric="edp", max_mappings=12).search(workload)
+        mapper = Mapper(arch, metric="edp", max_mappings=12)
+        result, frontier = mapper.search_frontier(workload)
+        universe = (len(mapper.candidate_mappings(workload))
+                    * len(mapper.candidate_layouts(workload)))
+        if (result.best_report != scalar.best_report
+                or result.best_mapping.name != scalar.best_mapping.name
+                or result.best_layout.name != scalar.best_layout.name):
+            print(f"FAIL: frontier scalar winner differs from Mapper.search "
+                  f"on {result.workload}")
+            sys.exit(1)
+        winner = frontier.winner()
+        if (winner.mapping, winner.layout) != (scalar.best_mapping.name,
+                                               scalar.best_layout.name):
+            print(f"FAIL: scalar winner is not the frontier's winner member "
+                  f"on {result.workload}")
+            sys.exit(1)
+        if result.evaluated + result.pruned != universe:
+            print(f"FAIL: frontier scan covered "
+                  f"{result.evaluated + result.pruned} of {universe} "
+                  f"candidates on {result.workload}")
+            sys.exit(1)
+        if result.evaluated > universe:
+            print(f"FAIL: frontier search scored {result.evaluated} > "
+                  f"exhaustive {universe} on {result.workload}")
+            sys.exit(1)
+        total_points += len(frontier.points)
+    print(f"frontier : identical winners on {len(shapes)} shapes, "
+          f"{total_points} frontier points, coverage == universe")
+    return total_points
+
+
 def service_throughput(bench_path: Path) -> float:
     """Threaded-server throughput from the latest loadtest run.
 
@@ -279,7 +335,8 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--gates", default="kernel,cosearch,api",
                         help="comma-separated gates to run "
-                             "(kernel, cosearch, api, budget, service)")
+                             "(kernel, cosearch, api, budget, frontier, "
+                             "service)")
     parser.add_argument("--min-kernel-speedup", type=float, default=3.0,
                         help="minimum scalar/batched evaluation ratio")
     parser.add_argument("--min-cosearch-speedup", type=float, default=2.0,
@@ -300,7 +357,8 @@ def main(argv=None) -> int:
                         help="timing rounds per path (best-of)")
     args = parser.parse_args(argv)
     gates = {g.strip() for g in args.gates.split(",") if g.strip()}
-    unknown = gates - {"kernel", "cosearch", "api", "budget", "service"}
+    unknown = gates - {"kernel", "cosearch", "api", "budget", "frontier",
+                       "service"}
     if unknown:
         parser.error(f"unknown gates: {sorted(unknown)}")
 
@@ -329,6 +387,8 @@ def main(argv=None) -> int:
             print(f"FAIL: budgeted-search reduction {budget:.2f}x below the "
                   f"{args.min_budget_reduction:.2f}x floor")
             failed = True
+    if "frontier" in gates:
+        frontier_identity()  # exits on any identity violation
     if "service" in gates:
         service = service_throughput(args.service_bench)
         if service < args.min_service_throughput:
