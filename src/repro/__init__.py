@@ -58,7 +58,7 @@ from repro.api import (
     default_session,
 )
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "api",

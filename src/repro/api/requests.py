@@ -22,8 +22,8 @@ hashing: keys are computed over resolved *structure* — workload shape
 signatures, the full architecture signature, the search-config identity —
 plus the labels that appear in the response, never over the request's
 spelling.  Execution knobs that are guaranteed result-neutral
-(``workers``, ``vectorize``, ``compile``, ``fresh_cache``) stay out of
-the key, which is what lets identical in-flight requests coalesce across
+(``workers``, ``vectorize``, ``compile``, ``bulk``, ``fresh_cache``) stay
+out of the key, which is what lets identical in-flight requests coalesce across
 callers that parallelise differently; result-shaping knobs (``policy``,
 ``budget``) are part of the key.
 """
@@ -147,8 +147,13 @@ class SearchRequest(_RequestBase):
     """Model label carried into the response (and per-layer weighting)."""
     metric: str = "edp"
     """Objective: ``edp``, ``latency`` or ``energy``."""
-    max_mappings: int = 50
-    """Pruned-random mapping budget per unique layer shape."""
+    max_mappings: Union[int, str] = 50
+    """Pruned-random mapping budget per unique layer shape, or ``"auto"``
+    for the adaptive universe (:mod:`repro.search.bulk`): a small seeded
+    sample grown only where the bound landscape is tight, returning exactly
+    the uncapped exhaustive winner of the full structured space.  ``"auto"``
+    requires the analytical backend and the exhaustive policy (and is
+    incompatible with ``frontier``/``fused``)."""
     seed: int = 0
     """RNG seed of the mapping sampler."""
     prune: bool = True
@@ -182,6 +187,12 @@ class SearchRequest(_RequestBase):
     """Worker processes; None resolves through the session (env/default)."""
     vectorize: bool = True
     """Vectorized kernel fast path (bit-identical to the scalar oracle)."""
+    bulk: bool = True
+    """Bulk-bounds control plane (:mod:`repro.search.bulk`): bounds, halving
+    rungs and frontier dominance vectors for each shape's whole candidate
+    universe in one numpy pass, mappings materialized lazily.  Analytical
+    backend only (others fall back to the scalar loop); result-neutral and
+    excluded from the content key, like ``vectorize``."""
     fresh_cache: bool = False
     """Use a private evaluation cache for this request (legacy semantics)."""
     schema_version: int = API_SCHEMA_VERSION
@@ -201,7 +212,12 @@ class SearchRequest(_RequestBase):
             if self.policy == "exhaustive":
                 raise InvalidRequestError(
                     "budget requires policy='halving' or 'evolutionary'")
-        if int(self.max_mappings) < 1:
+        if isinstance(self.max_mappings, str):
+            if self.max_mappings != "auto":
+                raise InvalidRequestError(
+                    "max_mappings must be a positive integer or 'auto', "
+                    f"got {self.max_mappings!r}")
+        elif int(self.max_mappings) < 1:
             raise InvalidRequestError(
                 f"max_mappings must be >= 1, got {self.max_mappings}")
         if self.workers is not None and int(self.workers) < 1:
@@ -212,6 +228,21 @@ class SearchRequest(_RequestBase):
                 f"backend must be a registry name, got {self.backend!r}")
         _normalize(self, "frontier", bool(self.frontier))
         _normalize(self, "fused", bool(self.fused))
+        _normalize(self, "bulk", bool(self.bulk))
+        if self.max_mappings == "auto":
+            # The adaptive universe is a statement about the analytical
+            # model's admissible bounds and defines the scalar winner only.
+            if self.backend != "analytical":
+                raise InvalidRequestError(
+                    "max_mappings='auto' requires backend='analytical', "
+                    f"got {self.backend!r}")
+            if self.policy != "exhaustive":
+                raise InvalidRequestError(
+                    "max_mappings='auto' requires policy='exhaustive', "
+                    f"got {self.policy!r}")
+            if self.frontier or self.fused:
+                raise InvalidRequestError(
+                    "frontier/fused search requires an integer max_mappings")
         if self.frontier or self.fused:
             # The dominance prune and the fused-pair cost discounts are
             # statements about the analytical model, and budgeted policies
@@ -229,7 +260,8 @@ class SearchRequest(_RequestBase):
         if self.layouts is not None:
             _normalize(self, "layouts",
                        tuple(str(n) for n in self.layouts))
-        _normalize(self, "max_mappings", int(self.max_mappings))
+        if self.max_mappings != "auto":
+            _normalize(self, "max_mappings", int(self.max_mappings))
         _normalize(self, "seed", int(self.seed))
         if self.budget is not None:
             _normalize(self, "budget", int(self.budget))

@@ -56,7 +56,7 @@ from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
 from contextlib import nullcontext
 from dataclasses import asdict, dataclass
 from pathlib import Path
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import repro
 from repro.api import codec
@@ -262,6 +262,8 @@ class Session:
         self._pool_busy = 0
         self._pool_unavailable = False
         self._threads: Optional[ThreadPoolExecutor] = None
+        self._store_pending: List[Tuple[str, dict, str]] = []
+        self._store_flush_lock = threading.Lock()
         self._closed = False
 
     # ------------------------------------------------------------ lifecycle
@@ -278,6 +280,7 @@ class Session:
         if threads is not None:
             threads.shutdown()
         if self.store is not None:
+            self._flush_store()
             self.store.close()
 
     def __enter__(self) -> "Session":
@@ -396,7 +399,7 @@ class Session:
         key = (arch_signature(arch, DEFAULT_ENERGY_TABLE), request.metric,
                request.max_mappings, request.seed, request.prune,
                request.backend, request.vectorize, request.policy,
-               request.budget, request.compile)
+               request.budget, request.compile, request.bulk)
         with self._lock:
             mapper = self._mappers.get(key)
         if mapper is not None:
@@ -406,7 +409,7 @@ class Session:
                         prune=request.prune, evaluation_cache=self.cache,
                         vectorize=request.vectorize, backend=backend,
                         policy=request.policy, budget=request.budget,
-                        compile=request.compile)
+                        compile=request.compile, bulk=request.bulk)
         with self._lock:
             return self._mappers.setdefault(key, mapper)
 
@@ -559,7 +562,31 @@ class Session:
         kind = self._store_kind(request)
         if self.store is None or kind is None:
             return
-        self.store.put(key, response.to_dict(), kind=kind)
+        with self._lock:
+            self._store_pending.append((key, response.to_dict(), kind))
+        self._flush_store()
+
+    def _flush_store(self) -> None:
+        """Drain pending publishes into the store as batched transactions.
+
+        Publishes are coalesced: whichever thread holds the flush lock
+        drains the whole buffer with a single :meth:`ResultStore.put_many`
+        call per batch, so concurrent handler threads pay one WAL commit
+        for many results instead of one each.  The outer ``while`` re-checks
+        the buffer after releasing the lock so an entry appended between the
+        holder's final drain and the release is never stranded.
+        """
+        while self._store_pending:
+            if not self._store_flush_lock.acquire(blocking=False):
+                return
+            try:
+                with self._lock:
+                    batch = self._store_pending
+                    self._store_pending = []
+                if batch:
+                    self.store.put_many(batch)
+            finally:
+                self._store_flush_lock.release()
 
     def _memo_has(self, request: SearchRequest, resolved: _Resolved) -> bool:
         """Whether the serial in-memory path would serve this search from
@@ -598,7 +625,8 @@ class Session:
             prune=request.prune, seed=request.seed,
             vectorize=request.vectorize, backend="analytical",
             layouts=resolved.layouts, policy=request.policy,
-            budget=request.budget, compile=request.compile)
+            budget=request.budget, compile=request.compile,
+            bulk=request.bulk)
         try:
             return pool.submit(_offloaded_search, payload).result()
         except (BrokenProcessPool, OSError):
@@ -711,7 +739,7 @@ class Session:
                     layouts=layouts, executor=pool, mapper=mapper,
                     policy=request.policy, budget=request.budget,
                     compile=request.compile, frontier=request.frontier,
-                    fused=request.fused)
+                    fused=request.fused, bulk=request.bulk)
             finally:
                 self._release_executor(pool)
         if crossval:

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field, replace
+from functools import cached_property
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.workloads.conv import ConvLayerSpec
@@ -99,8 +100,12 @@ class Mapping:
     def total_parallelism(self) -> int:
         return math.prod(p.degree for p in self.parallel) if self.parallel else 1
 
-    @property
+    @cached_property
     def parallel_dims(self) -> Dict[str, int]:
+        # Cached: ``parallel`` is frozen, and every per-dimension query in the
+        # cost model and footprint kernels funnels through this dict.  The
+        # cache lives in the instance ``__dict__`` (frozen dataclasses without
+        # slots still have one), so field-based eq/hash are unaffected.
         out: Dict[str, int] = {}
         for p in self.parallel:
             out[p.dim] = out.get(p.dim, 1) * p.degree

@@ -95,6 +95,16 @@ class MappingSpace:
     def num_pes(self) -> int:
         return self.array_rows * self.array_cols
 
+    @property
+    def orders(self) -> Tuple[Tuple[str, ...], ...]:
+        """The canonical loop orders this space enumerates."""
+        return self._orders
+
+    @property
+    def dims(self) -> Dict[str, int]:
+        """Workload dimension extents, in the space's canonical dim order."""
+        return dict(self._dims)
+
     def parallelism_candidates(self) -> List[Tuple[ParallelSpec, ...]]:
         """Enumerate parallelism assignments onto the array.
 
@@ -154,12 +164,26 @@ class MappingSpace:
             rng = random.Random(seed)
             return rng.sample(all_mappings, count)
         candidates = self.parallelism_candidates()
-        total = len(candidates) * len(self._orders)
-        if count >= total:
-            return [self._mapping_at(candidates, i) for i in range(total)]
-        rng = random.Random(seed)
         return [self._mapping_at(candidates, i)
-                for i in rng.sample(range(total), count)]
+                for i in self.sample_indices(count, seed)]
+
+    def sample_indices(self, count: int, seed: int = 0) -> List[int]:
+        """Flat indices of the pruned random sample, in draw order.
+
+        This is the index sequence :meth:`sample` materializes: every index
+        when ``count`` covers the space, otherwise ``random.Random(seed)``'s
+        sample of ``range(size())``.  The bulk bound pipeline
+        (:mod:`repro.search.bulk`) works on these indices directly so it can
+        score the whole universe without building a single :class:`Mapping`.
+        """
+        total = self.size()
+        if count >= total:
+            return list(range(total))
+        return random.Random(seed).sample(range(total), count)
+
+    def mapping_at(self, index: int) -> Mapping:
+        """Materialize the mapping at one flat index (parallelism-major)."""
+        return self._mapping_at(self.parallelism_candidates(), index)
 
     def size(self) -> int:
         """Cardinality of the structured subspace (parallelisms x orders)."""

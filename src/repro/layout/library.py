@@ -9,7 +9,8 @@ These are the layouts Layoutloop exhaustively enumerates when co-searching
 
 from __future__ import annotations
 
-from typing import List
+from functools import lru_cache
+from typing import List, Optional, Tuple
 
 from repro.layout.layout import Layout, parse_layout
 
@@ -45,18 +46,24 @@ def conv_layout_library(line_size: int = None) -> List[Layout]:
     the buffer's physical line width (the innermost intra dimension absorbs
     the change), mirroring how Layoutloop adapts layouts to an architecture.
     """
-    layouts = [parse_layout(name) for name in _CONV_LAYOUT_NAMES]
-    if line_size is not None:
-        layouts = [_try_resize(l, line_size) for l in layouts]
-    return layouts
+    return list(_library_cached(_CONV_LAYOUT_NAMES, line_size))
 
 
 def gemm_layout_library(line_size: int = None) -> List[Layout]:
     """The three GEMM input layouts of the paper's search space."""
-    layouts = [parse_layout(name) for name in _GEMM_LAYOUT_NAMES]
+    return list(_library_cached(_GEMM_LAYOUT_NAMES, line_size))
+
+
+@lru_cache(maxsize=64)
+def _library_cached(names: Tuple[str, ...],
+                    line_size: Optional[int]) -> Tuple[Layout, ...]:
+    """Parse-once cache: layouts are frozen, so sharing instances across
+    searches is safe, and repeated library calls (one per shape per search)
+    stop re-parsing the same strings."""
+    layouts = [parse_layout(name) for name in names]
     if line_size is not None:
         layouts = [_try_resize(l, line_size) for l in layouts]
-    return layouts
+    return tuple(layouts)
 
 
 def motivation_layouts() -> List[Layout]:

@@ -122,15 +122,25 @@ class Mapper:
     policies.  ``compile`` engages the optional numba-jitted kernel inner
     loops on the analytical backend (bit-identical; a silent no-op when
     numba is not installed).
+
+    ``bulk`` engages the bulk-bounds control plane (:mod:`repro.search.bulk`)
+    on the analytical backend: admissible bounds, halving rungs and frontier
+    dominance bounds for the whole candidate universe are computed in one
+    numpy pass, and mappings are materialized only when they survive the
+    prune.  Bit-identical results and counters either way — only the speed
+    differs.  ``max_mappings="auto"`` (analytical, exhaustive policy only)
+    replaces the fixed sample with the adaptive universe: a small seeded
+    base sample grown only where the bound landscape is tight, returning
+    exactly the uncapped exhaustive winner of the full structured space.
     """
 
     def __init__(self, arch: ArchSpec, energy: Optional[EnergyTable] = None,
-                 metric: str = "edp", max_mappings: int = 200, seed: int = 0,
+                 metric: str = "edp", max_mappings=200, seed: int = 0,
                  prune: bool = True,
                  evaluation_cache: Optional[EvaluationCache] = None,
                  vectorize: bool = True, backend=None,
                  policy: str = "exhaustive", budget: Optional[int] = None,
-                 compile: bool = False):
+                 compile: bool = False, bulk: bool = True):
         from repro.backends import (
             AnalyticalBackend,
             EvaluationBackend,
@@ -141,6 +151,13 @@ class Mapper:
             raise ValueError(f"metric must be one of {_METRICS}")
         if policy not in _POLICIES:
             raise ValueError(f"policy must be one of {_POLICIES}")
+        if isinstance(max_mappings, str):
+            if max_mappings != "auto":
+                raise ValueError(
+                    "max_mappings must be a positive integer or 'auto'")
+            if policy != "exhaustive":
+                raise ValueError(
+                    "max_mappings='auto' requires policy='exhaustive'")
         if budget is not None:
             if not isinstance(budget, int) or budget < 1:
                 raise ValueError("budget must be a positive integer or None")
@@ -167,6 +184,13 @@ class Mapper:
             self.backend = create_backend(backend, arch, energy=energy,
                                           seed=seed)
         self._analytical = isinstance(self.backend, AnalyticalBackend)
+        # The bulk control plane is exact only where the admissible bounds
+        # are: the analytical model.  Other backends silently fall back to
+        # the scalar loop (mirroring how they disable pruning).
+        self.bulk = bool(bulk) and self._analytical
+        if max_mappings == "auto" and not self._analytical:
+            raise ValueError(
+                "max_mappings='auto' requires the analytical backend")
         if self._analytical:
             self.cost_model = self.backend.cost_model
             self.evaluation_cache = self.backend.cache
@@ -187,9 +211,21 @@ class Mapper:
     # ------------------------------------------------------------- candidates
     def candidate_mappings(self, workload) -> List[Mapping]:
         """Mappings the architecture can actually run."""
+        space = self._mapping_space(workload)
+        if space is None:
+            return self._fixed_parallelism_mappings(workload)
+        mappings = space.sample(self.max_mappings, seed=self.seed,
+                                materialize=not self.vectorize)
+        mappings.extend(self._canonical_tail(workload))
+        return mappings
+
+    def _mapping_space(self, workload) -> Optional[MappingSpace]:
+        """The structured mapping space of a flexible architecture, or
+        ``None`` when the architecture's parallelism is fixed (the universe
+        collapses to :meth:`_fixed_parallelism_mappings`)."""
         arch = self.arch
         if arch.fixed_parallelism is not None:
-            return self._fixed_parallelism_mappings(workload)
+            return None
 
         allowed_orders = None
         if not arch.flexible_order:
@@ -200,7 +236,7 @@ class Mapper:
             else:
                 allowed_orders = (("M", "K", "N"),)
 
-        space = MappingSpace(
+        return MappingSpace(
             workload=workload,
             array_rows=arch.pe_rows,
             array_cols=arch.pe_cols,
@@ -208,19 +244,20 @@ class Mapper:
             allowed_parallel_dims=arch.allowed_parallel_dims,
             allowed_orders=allowed_orders,
         )
-        mappings = space.sample(self.max_mappings, seed=self.seed,
-                                materialize=not self.vectorize)
-        # Include the canonical weight-stationary mapping so the search never
-        # misses the obvious baseline — but only when the architecture is
-        # allowed to parallelise those dimensions.
+
+    def _canonical_tail(self, workload) -> List[Mapping]:
+        """The canonical weight-stationary mapping(s) appended after the
+        sampled space, so the search never misses the obvious baseline —
+        but only when the architecture is allowed to parallelise those
+        dimensions."""
+        arch = self.arch
         canonical = self._fixed_parallelism_mappings(
             workload, rows=arch.pe_rows, cols=arch.pe_cols)
         allowed = (set(d.upper() for d in arch.allowed_parallel_dims)
                    if arch.allowed_parallel_dims else None)
-        for mapping in canonical:
-            if allowed is None or all(p.dim in allowed for p in mapping.parallel):
-                mappings.append(mapping)
-        return mappings
+        return [mapping for mapping in canonical
+                if allowed is None
+                or all(p.dim in allowed for p in mapping.parallel)]
 
     def _fixed_parallelism_mappings(self, workload, rows: Optional[int] = None,
                                     cols: Optional[int] = None) -> List[Mapping]:
@@ -302,12 +339,33 @@ class Mapper:
             self._cache[key] = result
             return result
 
+        if self.max_mappings == "auto":
+            # Adaptive universe: seeded base sample grown where the bound
+            # landscape is tight; returns exactly the uncapped exhaustive
+            # winner of the full structured space.
+            from repro.search.bulk import adaptive_search
+
+            result = adaptive_search(self, workload, layouts=layouts)
+            self._cache[key] = result
+            return result
+
         layouts = list(layouts) if layouts else self.candidate_layouts(workload)
-        mappings = self.candidate_mappings(workload)
+        if self.bulk:
+            # Bulk control plane: one numpy pass computes every mapping's
+            # admissible bound; mappings materialize lazily, so pruned
+            # entries are never built at all.  Decisions, counters and
+            # winners are bit-identical to the scalar loop.
+            from repro.search.bulk import candidate_universe
+
+            mappings = candidate_universe(self, workload)
+        else:
+            mappings = self.candidate_mappings(workload)
         # The admissible bounds are statements about the analytical cost
         # model; any other backend scans exhaustively.
         statics = (cached_bound_statics(self.cost_model, workload)
                    if self.prune and self._analytical else None)
+        bounds = (mappings.bounds(self.metric, statics).tolist()
+                  if self.bulk and statics is not None else None)
 
         best: Optional[CostReport] = None
         best_value = math.inf
@@ -316,14 +374,17 @@ class Mapper:
         evaluated = 0
         pruned = 0
         cache_hits = 0
-        for mapping in mappings:
+        for index in range(len(mappings)):
             if statics is not None and best is not None:
-                bound = metric_lower_bound(self.metric,
-                                           mapping.compute_cycles(workload),
-                                           statics)
+                bound = (bounds[index] if bounds is not None
+                         else metric_lower_bound(
+                             self.metric,
+                             mappings[index].compute_cycles(workload),
+                             statics))
                 if bound >= best_value:
                     pruned += len(layouts)
                     continue
+            mapping = mappings[index]
             if not self._analytical:
                 scored = [(report, False) for report in
                           self.backend.evaluate_mapping(workload, mapping,
@@ -371,6 +432,10 @@ class Mapper:
         """
         from repro.search.frontier import frontier_search
 
+        if self.max_mappings == "auto":
+            raise ValueError(
+                "frontier search requires an integer max_mappings "
+                "(the adaptive universe is defined for the scalar winner only)")
         key = self._result_key(workload, layouts)
         cached = self._frontier_cache.get(key)
         if cached is None:

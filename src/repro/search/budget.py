@@ -47,6 +47,7 @@ from typing import List, Optional, Sequence, Tuple
 
 from repro.layoutloop.mapper import Mapper, SearchResult, _metric_value
 from repro.search.bounds import cached_bound_statics, metric_lower_bound
+from repro.search.bulk import BulkUniverse, candidate_universe
 from repro.search.signatures import mapping_signature, workload_signature
 
 POLICIES: Tuple[str, ...] = ("exhaustive", "halving", "evolutionary")
@@ -83,12 +84,24 @@ def _score_mapping(mapper: Mapper, workload, mapping, layouts
         mapper.cost_model, workload, mapping, layout) for layout in layouts]
 
 
+def _candidates(mapper: Mapper, workload):
+    """The mapper's candidate universe — a lazily-materialized
+    :class:`~repro.search.bulk.BulkUniverse` when the bulk control plane is
+    on, the materialized mapping list otherwise.  Same entries, same order;
+    both support ``len``/indexing/iteration, so the policies are agnostic."""
+    if getattr(mapper, "bulk", False):
+        return candidate_universe(mapper, workload)
+    return mapper.candidate_mappings(workload)
+
+
 def _cheap_rung(mapper: Mapper, workload, mappings, layouts
                 ) -> Tuple[List[float], bool]:
     """Per-mapping cheap-rung scores and whether they are admissible bounds.
 
     Analytical backend: the admissible metric lower bound (orders of
     magnitude cheaper than an evaluation) — ranking *and* sound pruning.
+    On a :class:`~repro.search.bulk.BulkUniverse` the whole rung is one
+    vectorized pass (bit-identical floats, so the rank order is unchanged).
     Any other backend: the full analytical value (minimum over the candidate
     layouts), i.e. the multi-fidelity ladder's cheap rung — a fast-model
     ranking with no admissibility claim about the expensive model, so the
@@ -96,6 +109,9 @@ def _cheap_rung(mapper: Mapper, workload, mappings, layouts
     """
     if mapper._analytical:
         statics = cached_bound_statics(mapper.cost_model, workload)
+        if isinstance(mappings, BulkUniverse):
+            return (mappings.bounds(mapper.metric, statics).tolist(),
+                    mapper.prune)
         return ([metric_lower_bound(mapper.metric,
                                     mapping.compute_cycles(workload), statics)
                  for mapping in mappings],
@@ -185,7 +201,7 @@ def halving_search(mapper: Mapper, workload,
     every search scores at least one mapping.
     """
     layouts = list(layouts) if layouts else mapper.candidate_layouts(workload)
-    mappings = mapper.candidate_mappings(workload)
+    mappings = _candidates(mapper, workload)
     pair_cost = len(layouts)
     rung, admissible = _cheap_rung(mapper, workload, mappings, layouts)
     order = sorted(range(len(mappings)), key=lambda i: (rung[i], i))
@@ -232,7 +248,7 @@ def evolutionary_search(mapper: Mapper, workload,
     :func:`default_budget` for the legacy quarter-universe refinement cap.
     """
     layouts = list(layouts) if layouts else mapper.candidate_layouts(workload)
-    mappings = mapper.candidate_mappings(workload)
+    mappings = _candidates(mapper, workload)
     n = len(mappings)
     pair_cost = len(layouts)
     rng = random.Random(mapper.seed)

@@ -87,12 +87,12 @@ class SearchEngine:
     """
 
     def __init__(self, arch: ArchSpec, energy: Optional[EnergyTable] = None,
-                 metric: str = "edp", max_mappings: int = 200, seed: int = 0,
+                 metric: str = "edp", max_mappings=200, seed: int = 0,
                  prune: bool = True, cache: Optional[EvaluationCache] = None,
                  vectorize: bool = True, backend: str = "analytical",
                  policy: str = "exhaustive", budget: Optional[int] = None,
                  compile: bool = False, frontier: bool = False,
-                 fused: bool = False):
+                 fused: bool = False, bulk: bool = True):
         self.arch = arch
         self.energy = energy
         self.metric = metric
@@ -106,12 +106,14 @@ class SearchEngine:
         self.compile = compile
         self.frontier = frontier
         self.fused = fused
+        self.bulk = bulk
         self.cache = cache if cache is not None else EvaluationCache()
         self.mapper = Mapper(arch, energy=energy, metric=metric,
                              max_mappings=max_mappings, seed=seed,
                              prune=prune, evaluation_cache=self.cache,
                              vectorize=vectorize, backend=backend,
-                             policy=policy, budget=budget, compile=compile)
+                             policy=policy, budget=budget, compile=compile,
+                             bulk=bulk)
 
     @property
     def cache_stats(self) -> CacheStats:
@@ -155,7 +157,7 @@ class SearchEngine:
                             vectorize=self.vectorize, backend=backend,
                             policy=self.policy, budget=self.budget,
                             compile=self.compile, frontier=self.frontier,
-                            fused=self.fused)
+                            fused=self.fused, bulk=self.bulk)
         for (workload, _), choice in zip(unique_workloads(workloads),
                                          cost.layer_choices):
             self.mapper.adopt_result(workload, choice.result)
@@ -172,11 +174,12 @@ def _search_chunk(payload: Tuple) -> Tuple[List[SearchResult], int, int]:
     how many) ran it.
     """
     (arch, energy, metric, max_mappings, seed, prune, vectorize, layouts,
-     policy, budget, compile_flag, shapes) = payload
+     policy, budget, compile_flag, bulk, shapes) = payload
     mapper = Mapper(arch, energy=energy, metric=metric,
                     max_mappings=max_mappings, seed=seed, prune=prune,
                     evaluation_cache=EvaluationCache(), vectorize=vectorize,
-                    policy=policy, budget=budget, compile=compile_flag)
+                    policy=policy, budget=budget, compile=compile_flag,
+                    bulk=bulk)
     results = [mapper.search(wl, layouts=layouts) for wl in shapes]
     stats = mapper.evaluation_cache.stats
     return results, stats.hits, stats.misses
@@ -184,7 +187,7 @@ def _search_chunk(payload: Tuple) -> Tuple[List[SearchResult], int, int]:
 
 def _search_model_impl(arch: ArchSpec, workloads: Sequence,
                        model_name: str = "model", metric: str = "edp",
-                       max_mappings: int = 200,
+                       max_mappings=200,
                        energy: Optional[EnergyTable] = None,
                        workers: int = 1, chunk_size: Optional[int] = None,
                        prune: bool = True, seed: int = 0,
@@ -196,7 +199,7 @@ def _search_model_impl(arch: ArchSpec, workloads: Sequence,
                        policy: str = "exhaustive",
                        budget: Optional[int] = None,
                        compile: bool = False, frontier: bool = False,
-                       fused: bool = False) -> ModelCost:
+                       fused: bool = False, bulk: bool = True) -> ModelCost:
     """The whole-model co-search engine behind :func:`search_model`.
 
     This is the execution layer: ``workers`` must already be a concrete
@@ -234,6 +237,18 @@ def _search_model_impl(arch: ArchSpec, workloads: Sequence,
         compile = backend.compile
         backend = "analytical"
     analytical = backend is None or backend == "analytical"
+    if max_mappings == "auto":
+        # The adaptive universe is a statement about the analytical model's
+        # admissible bounds and is defined for the scalar winner only.
+        if not analytical:
+            raise InvalidRequestError(
+                "max_mappings='auto' requires the analytical backend")
+        if policy != "exhaustive":
+            raise InvalidRequestError(
+                "max_mappings='auto' requires policy='exhaustive'")
+        if frontier or fused:
+            raise InvalidRequestError(
+                "frontier/fused search requires an integer max_mappings")
     if frontier or fused:
         # Frontier/fused searches are statements about the analytical
         # model (the dominance prune reuses its admissible bounds, the
@@ -272,7 +287,7 @@ def _search_model_impl(arch: ArchSpec, workloads: Sequence,
             mapper = Mapper(arch, energy=energy, metric=metric,
                             max_mappings=max_mappings, seed=seed, prune=prune,
                             vectorize=vectorize, backend=backend,
-                            policy=policy, budget=budget)
+                            policy=policy, budget=budget, bulk=bulk)
         results = [mapper.search(wl, layouts=layouts) for wl in shapes]
     elif workers <= 1 or len(shapes) <= 1:
         stats.workers = 1
@@ -281,7 +296,8 @@ def _search_model_impl(arch: ArchSpec, workloads: Sequence,
             mapper = Mapper(arch, energy=energy, metric=metric,
                             max_mappings=max_mappings, seed=seed, prune=prune,
                             evaluation_cache=eval_cache, vectorize=vectorize,
-                            policy=policy, budget=budget, compile=compile)
+                            policy=policy, budget=budget, compile=compile,
+                            bulk=bulk)
         else:
             eval_cache = mapper.evaluation_cache
         # Shared caches outlive this call: report this run's delta, not the
@@ -300,7 +316,7 @@ def _search_model_impl(arch: ArchSpec, workloads: Sequence,
     else:
         size = chunk_size or default_chunk_size(len(shapes), workers)
         payloads = [(arch, energy, metric, max_mappings, seed, prune,
-                     vectorize, layouts, policy, budget, compile, chunk)
+                     vectorize, layouts, policy, budget, compile, bulk, chunk)
                     for chunk in chunked(shapes, size)]
         chunk_outputs, stats.workers = run_fanout(_search_chunk, payloads,
                                                   workers, executor=executor)
@@ -334,7 +350,7 @@ def _search_model_impl(arch: ArchSpec, workloads: Sequence,
 
 
 def search_model(arch: ArchSpec, workloads: Sequence, model_name: str = "model",
-                 metric: str = "edp", max_mappings: int = 200,
+                 metric: str = "edp", max_mappings=200,
                  energy: Optional[EnergyTable] = None,
                  workers: Optional[int] = 1,
                  chunk_size: Optional[int] = None, prune: bool = True,
@@ -343,7 +359,7 @@ def search_model(arch: ArchSpec, workloads: Sequence, model_name: str = "model",
                  backend="analytical", policy: str = "exhaustive",
                  budget: Optional[int] = None,
                  compile: bool = False, frontier: bool = False,
-                 fused: bool = False) -> ModelCost:
+                 fused: bool = False, bulk: bool = True) -> ModelCost:
     """Co-search a whole model on one architecture and aggregate the cost.
 
     .. deprecated:: 1.1
@@ -382,6 +398,14 @@ def search_model(arch: ArchSpec, workloads: Sequence, model_name: str = "model",
       scored pairs per unique shape.
     * ``compile`` — route the kernel inner loops through the optional
       numba-jitted variants (bit-identical; no-op without numba).
+    * ``bulk`` — compute bounds/rungs/dominance vectors for each shape's
+      whole candidate universe in one numpy pass and materialize mappings
+      lazily (:mod:`repro.search.bulk`; analytical backend only,
+      bit-identical results and counters either way).
+    * ``max_mappings="auto"`` — adaptive universe (analytical backend,
+      exhaustive policy): a small seeded sample grown only where the bound
+      landscape is tight, returning exactly the uncapped exhaustive winner
+      of the full structured space.
 
     Raises ``ValueError`` on an empty workload list — silently returning an
     all-zero :class:`ModelCost` hid bugs in callers.
@@ -406,14 +430,14 @@ def search_model(arch: ArchSpec, workloads: Sequence, model_name: str = "model",
             workers=session.resolve_workers(workers), chunk_size=chunk_size,
             prune=prune, seed=seed, cache=cache, vectorize=vectorize,
             backend=backend, policy=policy, budget=budget, compile=compile,
-            frontier=frontier, fused=fused)
+            frontier=frontier, fused=fused, bulk=bulk)
     request = SearchRequest(
         workloads=tuple(workload_payload(wl) for wl in workloads),
         arch=arch_payload(arch), model=model_name, metric=metric,
         max_mappings=max_mappings, seed=seed, prune=prune,
         backend=backend or "analytical", workers=workers,
         vectorize=vectorize, fresh_cache=True, policy=policy, budget=budget,
-        compile=compile, frontier=frontier, fused=fused)
+        compile=compile, frontier=frontier, fused=fused, bulk=bulk)
     return session.run(request).cost
 
 

@@ -36,6 +36,8 @@ import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.search.bounds import cached_bound_statics
 from repro.workloads.conv import ConvLayerSpec
 from repro.workloads.gemm import GemmSpec
@@ -238,10 +240,26 @@ def frontier_search(mapper, workload,
             f"got {mapper.backend.name!r}")
 
     layouts = list(layouts) if layouts else mapper.candidate_layouts(workload)
-    mappings = mapper.candidate_mappings(workload)
     statics = (cached_bound_statics(mapper.cost_model, workload)
                if mapper.prune else None)
     arch = mapper.arch
+    use_bulk = getattr(mapper, "bulk", False)
+    if use_bulk:
+        # Bulk control plane: footprints and cycle floors for the whole
+        # universe in one numpy pass; mappings materialize lazily, so
+        # dominance-pruned entries are never built.  The floats are
+        # bit-identical to the scalar computation below, so prune
+        # decisions, counters and the frontier itself are unchanged.
+        from repro.search.bulk import candidate_universe
+
+        mappings = candidate_universe(mapper, workload)
+        footprints = mappings.footprints(arch).tolist()
+        cycle_floors = (mappings.cycles_floor(statics).tolist()
+                        if statics is not None else None)
+    else:
+        mappings = mapper.candidate_mappings(workload)
+        footprints = None
+        cycle_floors = None
 
     best = None
     best_value = math.inf
@@ -253,22 +271,37 @@ def frontier_search(mapper, workload,
     cache_hits = 0
     # Running front: [(objective vector, (m_idx, l_idx, mapping, layout))].
     front: List[Tuple[Tuple[float, ...], Tuple]] = []
+    front_arr: Optional[np.ndarray] = None  # numpy mirror, rebuilt after folds
 
-    for m_idx, mapping in enumerate(mappings):
-        footprint = buffer_footprint_bytes(workload, mapping, arch)
+    for m_idx in range(len(mappings)):
+        footprint = (footprints[m_idx] if footprints is not None
+                     else buffer_footprint_bytes(workload, mappings[m_idx],
+                                                 arch))
         if statics is not None and front:
-            cycles_floor = (mapping.compute_cycles(workload)
-                            + statics.reorder_cycles)
+            cycles_floor = (cycle_floors[m_idx]
+                            if cycle_floors is not None
+                            else (mappings[m_idx].compute_cycles(workload)
+                                  + statics.reorder_cycles))
             lower = (statics.energy_floor_pj * cycles_floor, cycles_floor,
                      statics.energy_floor_pj, footprint)
             # A kept point <= the bound vector everywhere dominates (or
             # exactly duplicates) every candidate of this mapping: skip it.
             # The point is from an earlier mapping, so the scalar incumbent
             # also survives any metric tie (lexicographic order).
-            if any(all(k <= b for k, b in zip(kept, lower))
-                   for kept, _ in front):
+            if use_bulk:
+                if front_arr is None:
+                    front_arr = np.asarray([kept for kept, _ in front],
+                                           dtype=np.float64)
+                dominated = bool(np.any(np.all(
+                    front_arr <= np.asarray(lower, dtype=np.float64),
+                    axis=1)))
+            else:
+                dominated = any(all(k <= b for k, b in zip(kept, lower))
+                                for kept, _ in front)
+            if dominated:
                 pruned += len(layouts)
                 continue
+        mapping = mappings[m_idx]
         if mapper.vectorize:
             scored = mapper.evaluation_cache.evaluate_batch(
                 mapper.cost_model, workload, mapping, layouts)
@@ -287,6 +320,7 @@ def frontier_search(mapper, workload,
             vector = (report.edp, report.total_cycles,
                       report.total_energy_pj, footprint)
             pareto_fold(front, vector, (m_idx, l_idx, mapping, layout))
+        front_arr = None  # folds may have grown or thinned the front
 
     # The lexicographic winner can be strictly dominated through a metric
     # tie; insert it by construction so frontier mode strictly generalizes

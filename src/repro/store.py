@@ -43,7 +43,7 @@ import sqlite3
 import threading
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, List, Optional
+from typing import Dict, Iterable, List, Optional, Tuple
 
 #: Default size bound of a store file (bytes).  Search payloads are a few
 #: KB to a few hundred KB, so the default holds thousands of warm cells.
@@ -239,6 +239,45 @@ class ResultStore:
                         (key, kind, text, size))
                     self._evict_locked()
                 self.stats.puts += 1
+            except sqlite3.OperationalError:
+                self.stats.errors += 1
+            except sqlite3.DatabaseError:
+                self._recover()
+
+    def put_many(self, items: Iterable[Tuple[str, Dict, str]]) -> None:
+        """Store many ``(key, payload, kind)`` entries in **one** WAL
+        transaction — one fsync for the whole batch instead of one per
+        entry, which is what makes a burst of publishes from concurrent
+        serve handlers cheap.
+
+        Semantics match a sequence of :meth:`put` calls: last write wins
+        per key, oversize payloads are skipped, and LRU eviction runs once
+        at the end *inside the same transaction*, so the store is never
+        observable above its bounds.  Failures are swallowed (the batch is
+        simply not cached)."""
+        encoded = []
+        for key, payload, kind in items:
+            text = json.dumps(payload, sort_keys=True)
+            size = len(text.encode("utf-8"))
+            if size > self.max_bytes:
+                continue
+            encoded.append((key, kind, text, size))
+        if not encoded:
+            return
+        with self._lock:
+            if self._conn is None:
+                return
+            try:
+                with self._conn:
+                    for key, kind, text, size in encoded:
+                        self._conn.execute(
+                            "INSERT OR REPLACE INTO results "
+                            "(key, kind, payload, size, seq) "
+                            "VALUES (?, ?, ?, ?, "
+                            "(SELECT COALESCE(MAX(seq), 0) + 1 FROM results))",
+                            (key, kind, text, size))
+                    self._evict_locked()
+                self.stats.puts += len(encoded)
             except sqlite3.OperationalError:
                 self.stats.errors += 1
             except sqlite3.DatabaseError:

@@ -86,6 +86,51 @@ def test_two_instances_share_one_file_interleaved(tmp_path):
     a.close(), b.close()
 
 
+# --------------------------------------------------------------- put_many
+@settings(max_examples=30, deadline=None)
+@given(entries=st.dictionaries(_keys, _payloads, max_size=8))
+def test_put_many_matches_sequential_puts(tmp_path_factory, entries):
+    """One batched transaction is observably the same as N puts."""
+    base = tmp_path_factory.mktemp("store")
+    items = [(key, payload, "test") for key, payload in entries.items()]
+    with ResultStore(base / "batch.sqlite") as batched, \
+            ResultStore(base / "serial.sqlite") as serial:
+        batched.put_many(items)
+        for key, payload, kind in items:
+            serial.put(key, payload, kind=kind)
+        assert batched.stats.puts == serial.stats.puts == len(items)
+        assert len(batched) == len(serial) == len(entries)
+        for key, payload in entries.items():
+            assert batched.get(key) == serial.get(key) == payload
+
+
+def test_put_many_last_write_wins_within_the_batch(tmp_path):
+    store = ResultStore(tmp_path / "s.sqlite")
+    store.put_many([("k", {"v": 1}, ""), ("k", {"v": 2}, "")])
+    assert store.get("k") == {"v": 2}
+    assert len(store) == 1
+
+
+def test_put_many_evicts_inside_the_same_transaction(tmp_path):
+    """The batch that overflows the bound leaves the store under it —
+    eviction runs before the transaction commits, never as a follow-up."""
+    payload = {"pad": "x" * 100}
+    bound = 3 * _size(payload)
+    store = ResultStore(tmp_path / "s.sqlite", max_bytes=bound)
+    store.put_many([(name, payload, "") for name in "abcde"])
+    assert store.total_bytes() <= bound
+    assert store.keys() == ["c", "d", "e"]  # batch order is the LRU order
+    assert store.stats.evictions == 2
+
+
+def test_put_many_skips_oversize_payloads(tmp_path):
+    store = ResultStore(tmp_path / "s.sqlite", max_bytes=200)
+    store.put_many([("big", {"pad": "x" * 500}, ""), ("ok", {"v": 1}, "")])
+    assert store.get("big") is None
+    assert store.get("ok") == {"v": 1}
+    assert store.stats.puts == 1
+
+
 # ----------------------------------------------------------------- bounds
 @settings(max_examples=30, deadline=None)
 @given(payloads=st.lists(_payloads, min_size=1, max_size=12),

@@ -29,6 +29,12 @@ policies must reproduce the exhaustive winner on every unique ResNet-50
 shape, with the warm-started evolutionary policy doing it in at least
 ``--min-budget-reduction`` (3x) fewer evaluations — and the compiled
 kernel must be bit-identical to the oracle when numba is installed.
+**bulk** (``--gates bulk``) checks the
+batched bound pipeline: an exhaustive search with ``bulk=True`` must be
+bit-identical to the scalar bound path on every golden cell (winners,
+frontiers *and* counters), and the uncapped exhaustive ResNet-50
+co-search must run at least ``--min-bulk-speedup`` (1.5x) faster with
+the bulk pipeline — the timing run is appended to ``BENCH_search.json``.
 **service** is off by default because it reads a
 measurement instead of taking one: ``--gates service`` checks that the
 latest ``tools/loadtest.py`` run (``BENCH_service.json``) pushed the
@@ -103,7 +109,14 @@ def kernel_speedup(rounds: int) -> float:
 
 
 def cosearch_speedup(rounds: int) -> float:
-    """Scalar vs vectorized whole-model co-search speedup on FEATHER."""
+    """Scalar vs vectorized whole-model co-search speedup on FEATHER.
+
+    The reference is the full scalar path — ``vectorize=False`` *and*
+    ``bulk=False`` — because the bulk bound pipeline accelerates the
+    scalar-evaluation engine itself (~4x); leaving bulk on in the
+    reference would make this gate measure only the evaluation batching
+    remainder instead of the fast path against its scalar oracle.
+    """
     from repro.layoutloop.arch import feather_arch
     from repro.search.engine import search_model
     from repro.workloads.resnet50 import resnet50_layers
@@ -111,7 +124,7 @@ def cosearch_speedup(rounds: int) -> float:
     layers = resnet50_layers(include_fc=False)
     scalar_s, scalar = best_of(
         lambda: search_model(feather_arch(), layers, max_mappings=24,
-                             vectorize=False), rounds)
+                             vectorize=False, bulk=False), rounds)
     vector_s, vector = best_of(
         lambda: search_model(feather_arch(), layers, max_mappings=24), rounds)
     if (vector.total_cycles != scalar.total_cycles
@@ -300,6 +313,128 @@ def frontier_identity() -> int:
     return total_points
 
 
+def bulk_speedup(rounds: int, bench_path: Path) -> float:
+    """Bulk-bounds identity + speedup gate (``--gates bulk``).
+
+    Two checks, in order:
+
+    * **identity** — on every golden-matrix cell, an exhaustive search
+      with the bulk bound pipeline (``bulk=True``, the default) must be
+      bit-identical to the scalar bound path (``bulk=False``): same
+      winner report, mapping, layout *and* the same evaluated/pruned
+      counters, since the bulk bounds replicate the scalar float
+      arithmetic exactly.  Frontier cells compare the full serialized
+      frontier, point for point.
+    * **speedup** — the *uncapped* exhaustive ResNet-50 co-search on
+      FEATHER (every parallelism x order candidate per shape, 757-1845
+      mappings each) must run measurably faster with the bulk pipeline;
+      the ``--min-bulk-speedup`` floor sits below the locally measured
+      ~2x so only a real regression trips.
+
+    The timing run is appended to ``BENCH_search.json`` so the trajectory
+    file carries the bulk datapoints alongside the budgeted-policy runs.
+    """
+    import json
+    import os
+
+    import repro
+    from repro.backends.simulator import SimulatorBackend
+    from repro.layoutloop.mapper import Mapper
+    from repro.scenarios.builtin import golden_matrix
+    from repro.scenarios.registry import resolve_arch, resolve_workload_set
+    from repro.search.signatures import workload_signature
+    from repro.workloads.resnet50 import resnet50_layers
+
+    def mapper_for(cell, bulk: bool) -> Mapper:
+        arch = resolve_arch(cell.arch)
+        backend = (SimulatorBackend(arch, seed=cell.config.seed)
+                   if cell.backend == "simulator" else "analytical")
+        return Mapper(arch, metric=cell.config.metric,
+                      max_mappings=cell.config.max_mappings,
+                      seed=cell.config.seed, prune=cell.config.prune,
+                      backend=backend, bulk=bulk)
+
+    def unique(workloads):
+        seen = {}
+        for workload in workloads:
+            seen.setdefault(workload_signature(workload), workload)
+        return list(seen.values())
+
+    cells = list(golden_matrix())
+    checked = 0
+    for cell in cells:
+        scalar_mapper = mapper_for(cell, False)
+        bulk_mapper = mapper_for(cell, True)
+        for workload in unique(resolve_workload_set(cell.workload_set)):
+            if cell.config.frontier:
+                s_res, s_front = scalar_mapper.search_frontier(workload)
+                b_res, b_front = bulk_mapper.search_frontier(workload)
+                if s_front.to_dict() != b_front.to_dict():
+                    print(f"FAIL: bulk frontier differs from scalar on "
+                          f"{cell.name} / {s_res.workload}")
+                    sys.exit(1)
+            else:
+                s_res = scalar_mapper.search(workload)
+                b_res = bulk_mapper.search(workload)
+            if (s_res.best_report != b_res.best_report
+                    or s_res.best_mapping.name != b_res.best_mapping.name
+                    or s_res.best_layout.name != b_res.best_layout.name
+                    or (s_res.evaluated, s_res.pruned)
+                    != (b_res.evaluated, b_res.pruned)):
+                print(f"FAIL: bulk winner differs from scalar on "
+                      f"{cell.name} / {s_res.workload}")
+                sys.exit(1)
+            checked += 1
+
+    shapes = unique(resnet50_layers(include_fc=False))
+    arch = resolve_arch("FEATHER")
+    uncapped = 10 ** 9  # larger than any per-shape universe: exhaustive
+
+    def run(bulk: bool):
+        mapper = Mapper(arch, max_mappings=uncapped, seed=0, bulk=bulk)
+        return [mapper.search(workload) for workload in shapes]
+
+    scalar_s, scalar_results = best_of(lambda: run(False), rounds)
+    bulk_s, bulk_results = best_of(lambda: run(True), rounds)
+    for s_res, b_res in zip(scalar_results, bulk_results):
+        if (s_res.best_report != b_res.best_report
+                or s_res.best_mapping.name != b_res.best_mapping.name
+                or s_res.best_layout.name != b_res.best_layout.name):
+            print(f"FAIL: uncapped bulk winner differs from scalar on "
+                  f"{s_res.workload}")
+            sys.exit(1)
+    speedup = scalar_s / bulk_s
+    universe = sum(r.evaluated + r.pruned for r in bulk_results)
+
+    history = {"benchmark": "budgeted-search", "runs": []}
+    if bench_path.exists():
+        try:
+            history = json.loads(bench_path.read_text())
+        except json.JSONDecodeError:
+            pass
+    history.setdefault("runs", []).append({
+        "gate": "bulk",
+        "repro_version": repro.__version__,
+        "cpu_count": os.cpu_count(),
+        "model": "resnet50",
+        "arch": "FEATHER",
+        "max_mappings": "uncapped",
+        "candidates": universe,
+        "scalar_wall_s": round(scalar_s, 4),
+        "bulk_wall_s": round(bulk_s, 4),
+        "speedup": round(speedup, 3),
+        "winner_identical": True,
+    })
+    history["runs"] = history["runs"][-50:]
+    bench_path.write_text(json.dumps(history, indent=2, sort_keys=True)
+                          + "\n")
+
+    print(f"bulk     : scalar {scalar_s:.3f}s  bulk {bulk_s:.3f}s  "
+          f"speedup {speedup:.2f}x  ({universe} candidate pairs uncapped, "
+          f"identical winners; {checked} golden cells identical)")
+    return speedup
+
+
 def service_throughput(bench_path: Path) -> float:
     """Threaded-server throughput from the latest loadtest run.
 
@@ -336,7 +471,7 @@ def main(argv=None) -> int:
     parser.add_argument("--gates", default="kernel,cosearch,api",
                         help="comma-separated gates to run "
                              "(kernel, cosearch, api, budget, frontier, "
-                             "service)")
+                             "bulk, service)")
     parser.add_argument("--min-kernel-speedup", type=float, default=3.0,
                         help="minimum scalar/batched evaluation ratio")
     parser.add_argument("--min-cosearch-speedup", type=float, default=2.0,
@@ -346,6 +481,14 @@ def main(argv=None) -> int:
     parser.add_argument("--min-budget-reduction", type=float, default=3.0,
                         help="minimum exhaustive/warm-evolutionary full-"
                              "evaluation ratio at identical winners")
+    parser.add_argument("--min-bulk-speedup", type=float, default=1.5,
+                        help="minimum scalar/bulk uncapped-exhaustive "
+                             "co-search ratio at identical winners")
+    parser.add_argument("--search-bench", type=Path,
+                        default=Path(__file__).resolve().parent.parent
+                        / "BENCH_search.json",
+                        help="search trajectory file the bulk gate appends "
+                             "its timing run to")
     parser.add_argument("--min-service-throughput", type=float, default=10.0,
                         help="minimum threaded-server req/s in the latest "
                              "loadtest run (service gate)")
@@ -358,7 +501,7 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     gates = {g.strip() for g in args.gates.split(",") if g.strip()}
     unknown = gates - {"kernel", "cosearch", "api", "budget", "frontier",
-                       "service"}
+                       "bulk", "service"}
     if unknown:
         parser.error(f"unknown gates: {sorted(unknown)}")
 
@@ -389,6 +532,12 @@ def main(argv=None) -> int:
             failed = True
     if "frontier" in gates:
         frontier_identity()  # exits on any identity violation
+    if "bulk" in gates:
+        bulk = bulk_speedup(args.rounds, args.search_bench)
+        if bulk < args.min_bulk_speedup:
+            print(f"FAIL: bulk speedup {bulk:.2f}x below the "
+                  f"{args.min_bulk_speedup:.2f}x floor")
+            failed = True
     if "service" in gates:
         service = service_throughput(args.service_bench)
         if service < args.min_service_throughput:
