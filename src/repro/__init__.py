@@ -10,7 +10,10 @@ physical-storage and layout awareness used for all cross-accelerator studies.
 its (dataflow, layout) exploration through, ``backends`` puts the
 analytical model and the cycle-level simulator behind one pluggable
 evaluation protocol (with multi-fidelity search and analytical-vs-simulated
-cross-validation on top), and ``scenarios`` turns the paper's fixed
+cross-validation on top), ``constraints`` binds declarative platform rules
+to the search (illegal mappings are *repaired* to legality, not rejected —
+what makes the rigid ``systolic``/``noc:*`` backends searchable on the same
+grid), and ``scenarios`` turns the paper's fixed
 evaluation grid into declarative workload x architecture x search-config
 sweeps with golden-pinned JSON records.
 
@@ -34,6 +37,7 @@ from repro import (
     backends,
     baselines,
     buffer,
+    constraints,
     dataflow,
     errors,
     experiments,
@@ -58,7 +62,7 @@ from repro.api import (
     default_session,
 )
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "api",
@@ -66,6 +70,7 @@ __all__ = [
     "backends",
     "baselines",
     "buffer",
+    "constraints",
     "dataflow",
     "errors",
     "EvalRequest",

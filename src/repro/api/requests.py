@@ -37,7 +37,7 @@ from typing import Dict, Optional, Tuple, Union
 from repro.errors import InvalidRequestError
 
 #: Version of the request/response wire format (bumped on breaking change).
-API_SCHEMA_VERSION = 3
+API_SCHEMA_VERSION = 4
 
 _METRICS = ("edp", "latency", "energy")
 _POLICIES = ("exhaustive", "halving", "evolutionary")
@@ -195,10 +195,29 @@ class SearchRequest(_RequestBase):
     excluded from the content key, like ``vectorize``."""
     fresh_cache: bool = False
     """Use a private evaluation cache for this request (legacy semantics)."""
+    constraints: Optional[str] = None
+    """Constraint-aware search mode (:mod:`repro.constraints`): ``None``
+    (default) inherits the backend's own ConstraintSet — none for
+    ``analytical``/``simulator``, the presets for ``systolic``/``noc:*`` —
+    ``"none"`` forces the layer off even on a constrained backend, and
+    ``"default"`` binds the architecture's own physical rules.  When a set
+    is bound, every candidate mapping is repaired to legality before
+    scoring and the response stats carry the repair-log counters.
+    Result-shaping, so part of the content key (only when a set actually
+    binds — unconstrained requests key identically to schema v3 ones)."""
     schema_version: int = API_SCHEMA_VERSION
 
     def __post_init__(self) -> None:
         _check_schema_version(self.schema_version, "SearchRequest")
+        if self.constraints is not None:
+            if self.constraints not in ("none", "default"):
+                raise InvalidRequestError(
+                    "constraints must be None, 'none' or 'default', "
+                    f"got {self.constraints!r}")
+            if self.max_mappings == "auto" and self.constraints == "default":
+                raise InvalidRequestError(
+                    "max_mappings='auto' grows the raw structured universe "
+                    "and cannot be combined with constraints='default'")
         if self.metric not in _METRICS:
             raise InvalidRequestError(
                 f"metric must be one of {_METRICS}, got {self.metric!r}")

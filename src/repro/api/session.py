@@ -154,6 +154,11 @@ def _resolve_request(request: Request) -> Tuple[str, _Resolved]:
             workloads=codec.resolve_workloads(request.workloads),
             arch=codec.resolve_arch(request.arch),
             layouts=codec.resolve_layouts(request.layouts))
+        # ``constraints`` is result-shaping, so it is keyed — but only when
+        # set, so unconstrained requests keep the exact key tuple of the
+        # previous schema (the no-constraints bit-identity promise).
+        constraints_part = (() if request.constraints is None
+                            else (("constraints", request.constraints),))
         return _digest((
             "search", API_SCHEMA_VERSION, repro.__version__, request.model,
             tuple(workload_signature(w) for w in resolved.workloads),
@@ -162,7 +167,7 @@ def _resolve_request(request: Request) -> Tuple[str, _Resolved]:
             (request.metric, request.max_mappings, request.seed,
              request.prune, request.policy, request.budget,
              request.frontier, request.fused),
-            request.layouts, request.backend)), resolved
+            request.layouts, request.backend) + constraints_part), resolved
     if isinstance(request, SweepRequest):
         from repro.scenarios.runner import cell_key
 
@@ -399,7 +404,8 @@ class Session:
         key = (arch_signature(arch, DEFAULT_ENERGY_TABLE), request.metric,
                request.max_mappings, request.seed, request.prune,
                request.backend, request.vectorize, request.policy,
-               request.budget, request.compile, request.bulk)
+               request.budget, request.compile, request.bulk,
+               request.constraints)
         with self._lock:
             mapper = self._mappers.get(key)
         if mapper is not None:
@@ -409,7 +415,8 @@ class Session:
                         prune=request.prune, evaluation_cache=self.cache,
                         vectorize=request.vectorize, backend=backend,
                         policy=request.policy, budget=request.budget,
-                        compile=request.compile, bulk=request.bulk)
+                        compile=request.compile, bulk=request.bulk,
+                        constraints=request.constraints)
         with self._lock:
             return self._mappers.setdefault(key, mapper)
 
@@ -626,7 +633,7 @@ class Session:
             vectorize=request.vectorize, backend="analytical",
             layouts=resolved.layouts, policy=request.policy,
             budget=request.budget, compile=request.compile,
-            bulk=request.bulk)
+            bulk=request.bulk, constraints=request.constraints)
         try:
             return pool.submit(_offloaded_search, payload).result()
         except (BrokenProcessPool, OSError):
@@ -739,7 +746,8 @@ class Session:
                     layouts=layouts, executor=pool, mapper=mapper,
                     policy=request.policy, budget=request.budget,
                     compile=request.compile, frontier=request.frontier,
-                    fused=request.fused, bulk=request.bulk)
+                    fused=request.fused, bulk=request.bulk,
+                    constraints=request.constraints)
             finally:
                 self._release_executor(pool)
         if crossval:

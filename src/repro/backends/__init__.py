@@ -1,13 +1,18 @@
 """Unified evaluation backends: analytical model and cycle-level simulator.
 
 One protocol (:class:`EvaluationBackend`), one comparable result type
-(:class:`BackendReport`, in :class:`CostReport` vocabulary), two built-in
+(:class:`BackendReport`, in :class:`CostReport` vocabulary), the built-in
 implementations behind a name registry:
 
 * ``"analytical"`` — the Timeloop-style Layoutloop cost model (§V),
   memoized + vectorized, bit-identical to calling it directly;
 * ``"simulator"`` — the numerically-exact cycle-accounting FEATHER
-  simulator (§III), with deterministic seeded weight/iAct generation.
+  simulator (§III), with deterministic seeded weight/iAct generation;
+* ``"systolic"`` — the rigid weight-stationary array baseline (Fig. 4),
+  carrying :func:`~repro.constraints.systolic_constraints`;
+* ``"noc:linear"`` / ``"noc:tree"`` / ``"noc:fan"`` — analytical cost
+  plus the exposed latency of a reference reduction topology (Table I),
+  carrying :func:`~repro.constraints.noc_constraints`.
 
 On top of the protocol:
 
@@ -22,6 +27,8 @@ On top of the protocol:
 ``"analytical"``); ``python -m repro.scenarios run --backend simulator``
 is the CLI front.
 """
+
+from functools import partial
 
 from repro.backends.analytical import AnalyticalBackend
 from repro.backends.base import (
@@ -45,6 +52,7 @@ from repro.backends.multifidelity import (
     multifidelity_search,
     multifidelity_search_layer,
 )
+from repro.backends.noc import TOPOLOGIES, NocBackend
 from repro.backends.simulator import (
     BackendCompatibilityError,
     SimulatorBackend,
@@ -53,9 +61,14 @@ from repro.backends.simulator import (
     seeded_conv_tensors,
     seeded_gemm_tensors,
 )
+from repro.backends.systolic import SystolicBackend
 
 register_backend("analytical", AnalyticalBackend)
 register_backend("simulator", SimulatorBackend)
+register_backend("systolic", SystolicBackend)
+for _topology in TOPOLOGIES:
+    register_backend(f"noc:{_topology}", partial(NocBackend, _topology))
+del _topology
 
 __all__ = [
     "AnalyticalBackend",
@@ -67,7 +80,10 @@ __all__ = [
     "EvaluationBackend",
     "MultiFidelityModelResult",
     "MultiFidelityResult",
+    "NocBackend",
     "SimulatorBackend",
+    "SystolicBackend",
+    "TOPOLOGIES",
     "VerifiedCandidate",
     "backend_names",
     "cell_rng",

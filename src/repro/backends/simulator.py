@@ -107,15 +107,17 @@ def feather_config_for(arch: ArchSpec) -> FeatherConfig:
     """
     if arch.reorder_implementation is not ReorderImplementation.RIR:
         raise BackendCompatibilityError(
-            f"the simulator backend models FEATHER (reorder-in-reduction) "
-            f"only; {arch.name!r} reorders via "
+            f"constraint 'reorder-in-reduction' violated: the simulator "
+            f"backend models FEATHER (reorder-in-reduction) only, but "
+            f"{arch.name!r} reorders via "
             f"{arch.reorder_implementation.value!r} — evaluate it on the "
             f"'analytical' backend instead")
     cols = arch.pe_cols
     if cols < 2 or cols & (cols - 1):
         raise BackendCompatibilityError(
-            f"{arch.name!r}: array width {cols} is not a power of two; "
-            f"BIRRD (and therefore the simulator) requires one")
+            f"constraint 'pow2-array-width' violated: {arch.name!r} has "
+            f"array width {cols}, not a power of two; BIRRD (and therefore "
+            f"the simulator) requires one")
     return FeatherConfig(
         array_rows=arch.pe_rows,
         array_cols=cols,
@@ -203,8 +205,9 @@ class SimulatorBackend(EvaluationBackend):
         which co-searches first) use this to fail fast."""
         if workload.macs > self.max_macs:
             raise BackendCompatibilityError(
-                f"{getattr(workload, 'name', workload)}: {workload.macs} "
-                f"MACs exceeds the simulator cell bound ({self.max_macs}); "
+                f"constraint 'max-macs' violated: "
+                f"{getattr(workload, 'name', workload)} has {workload.macs} "
+                f"MACs, over the simulator cell bound ({self.max_macs}); "
                 f"the cycle-level backend is for micro-cells — use the "
                 f"'analytical' backend or raise max_macs explicitly")
 

@@ -1,0 +1,43 @@
+"""Constraint-aware mapping layer: repair, don't reject.
+
+Declarative per-architecture platform rules (:class:`ConstraintSet`) with a
+``repair`` pass that minimally transforms illegal mappings into legal ones
+and a ``validate`` predicate, in the spirit of ZigZag/MATCH's
+``adjust_temporal_mapping``.  The :class:`~repro.layoutloop.mapper.Mapper`
+threads a bound set through every search policy so exhaustive, budgeted and
+frontier searches all enumerate only repaired-legal candidates; backends
+that model rigid hardware (``systolic``, ``noc:<topology>``) carry their
+preset as a ``constraints`` attribute and searches on them pick it up
+automatically.  With no set bound, every path is bit-identical to running
+without this package.
+"""
+
+from repro.constraints.presets import (
+    SYSTOLIC_ORDERS,
+    default_constraints,
+    noc_constraints,
+    resolve_constraints,
+    systolic_constraints,
+)
+from repro.constraints.rules import (
+    CONSTRAINT_NAMES,
+    NO_REPAIR,
+    ConstraintSet,
+    RepairLog,
+    RepairOutcome,
+    UnsatisfiableConstraintError,
+)
+
+__all__ = [
+    "CONSTRAINT_NAMES",
+    "ConstraintSet",
+    "NO_REPAIR",
+    "RepairLog",
+    "RepairOutcome",
+    "SYSTOLIC_ORDERS",
+    "UnsatisfiableConstraintError",
+    "default_constraints",
+    "noc_constraints",
+    "resolve_constraints",
+    "systolic_constraints",
+]

@@ -1,0 +1,106 @@
+"""Built-in :class:`ConstraintSet` presets for the shipped backends.
+
+Each evaluation backend that models real hardware carries one of these as
+its ``constraints`` attribute; the :class:`~repro.layoutloop.mapper.Mapper`
+picks it up automatically so every search on that backend enumerates only
+repaired-legal candidates.  The presets are derived from the
+:class:`~repro.layoutloop.arch.ArchSpec` they bind to (buffer geometry,
+allowed parallel dims), so the same backend on a different architecture
+gets correspondingly different rules.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.constraints.rules import ConstraintSet
+from repro.errors import InvalidRequestError
+from repro.layoutloop.arch import ArchSpec
+
+#: Temporal orders a weight-stationary systolic array can execute: the
+#: output/reduction dims are spatial, the weights stay in the PEs while the
+#: innermost loops stream activations (P/Q for a conv, N for a GEMM).
+SYSTOLIC_ORDERS = (
+    ("N", "M", "C", "R", "S", "P", "Q"),
+    ("M", "K", "N"),
+)
+
+
+def default_constraints(arch: ArchSpec) -> ConstraintSet:
+    """The architecture's own physical rules, with no backend-specific ones.
+
+    Binds the buffer-capacity ceiling of the arch's declared geometry and
+    its allowed-parallel-dims restriction (when one is declared).  On a
+    fully flexible FEATHER this leaves the structured mapping space almost
+    untouched — the space already respects the array shape — so it mostly
+    exists as the ``constraints="default"`` request mode and as the base
+    other presets extend.
+    """
+    return ConstraintSet(
+        name=f"default:{arch.name}",
+        buffer_capacity_bytes=arch.buffer.capacity_bytes,
+        allowed_parallel_dims=arch.allowed_parallel_dims,
+    )
+
+
+def systolic_constraints(arch: ArchSpec) -> ConstraintSet:
+    """Rules of a rigid weight-stationary systolic array (Fig. 4 baseline).
+
+    One legal loop order per workload kind (weight stationary), spatial
+    parallelism only over the output-channel and reduction dimensions
+    (M x C for convs, M x K for GEMMs — the array's two physical axes),
+    and the arch's buffer ceiling.  Most sampled candidates repair onto a
+    much smaller legal universe — the rigidity the paper's comparisons
+    exploit, now expressed as data.
+    """
+    return ConstraintSet(
+        name=f"systolic:{arch.name}",
+        allowed_orders=SYSTOLIC_ORDERS,
+        allowed_parallel_dims=("M", "C", "K"),
+        buffer_capacity_bytes=arch.buffer.capacity_bytes,
+    )
+
+
+def noc_constraints(topology: str, arch: ArchSpec) -> ConstraintSet:
+    """Rules imposed by a reference reduction network topology.
+
+    * ``linear`` — a systolic-style accumulation chain handles any
+      contiguous group (it is just slow), so only the buffer ceiling binds;
+    * ``tree`` — MAERI's ART reduces aligned power-of-two groups only, so
+      the spatial-reduction group size must be a power of two (the
+      showcase repair: reduction-dim degrees are floored to powers of two);
+    * ``fan`` — SIGMA's FAN forwards across levels and supports arbitrary
+      contiguous groups, so again only the buffer ceiling binds.
+    """
+    if topology not in ("linear", "tree", "fan"):
+        raise InvalidRequestError(
+            f"unknown NoC topology {topology!r}; expected 'linear', "
+            "'tree' or 'fan'")
+    return ConstraintSet(
+        name=f"noc:{topology}:{arch.name}",
+        pow2_spatial_reduction=(topology == "tree"),
+        buffer_capacity_bytes=arch.buffer.capacity_bytes,
+    )
+
+
+def resolve_constraints(spec, arch: ArchSpec,
+                        backend=None) -> Optional[ConstraintSet]:
+    """A request's ``constraints`` field -> a bound set (or ``None``).
+
+    * ``None`` — inherit the backend's own constraints (``None`` for
+      backends without any, e.g. the idealized analytical model);
+    * ``"none"`` — force the layer off even on a constrained backend;
+    * ``"default"`` — :func:`default_constraints` of the architecture;
+    * a :class:`ConstraintSet` instance — used as-is.
+    """
+    if spec is None:
+        return getattr(backend, "constraints", None)
+    if isinstance(spec, ConstraintSet):
+        return spec
+    if spec == "none":
+        return None
+    if spec == "default":
+        return default_constraints(arch)
+    raise InvalidRequestError(
+        f"constraints must be None, 'none', 'default' or a ConstraintSet, "
+        f"got {spec!r}")

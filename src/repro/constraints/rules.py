@@ -1,0 +1,429 @@
+"""Declarative per-architecture mapping constraints with repair.
+
+ZigZag/MATCH wrap their cost model with platform rules and an
+``adjust_temporal_mapping`` pass: an illegal schedule is *repaired* to meet
+the platform instead of being discarded.  :class:`ConstraintSet` is that
+layer for this reproduction — a frozen, declarative bundle of the rules a
+real accelerator imposes on a :class:`~repro.dataflow.mapping.Mapping`:
+
+* **legal loop orders** — rigid designs execute one (or a few) temporal
+  orders; a candidate with any other order is reordered to the nearest
+  legal one (fewest pairwise inversions, deterministic tie-break);
+* **parallelism rules** — which dimensions may be spatial at all,
+  divisibility/alignment of the degrees, and power-of-two or bounded
+  spatial-reduction groups (what a physical reduction network supports);
+* **buffer capacity** — the on-chip tile footprint must fit the buffer;
+  oversized tiles/degrees are clamped (halved) until they fit.
+
+``validate`` is the predicate, ``violations`` names what failed (the names
+are stable identifiers surfaced in skip reasons and error messages), and
+``repair`` minimally transforms an illegal mapping into a legal one,
+returning the per-mapping :class:`RepairOutcome`.  ``repair_candidates``
+runs a whole candidate list through repair and deduplicates the result
+(repair is many-to-one), accumulating a :class:`RepairLog` whose counters
+satisfy ``legal + repaired == candidates`` and feed the search-level
+coverage equation ``evaluated + pruned + repaired == universe``.
+
+An empty :class:`ConstraintSet` binds nothing: every mapping validates,
+repair is the identity, and searches are bit-identical to running without
+the layer at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.dataflow.mapping import Mapping, ParallelSpec, TileLevel
+from repro.errors import IncompatibleCellError
+from repro.search.signatures import mapping_signature
+
+#: Stable constraint names, in the order repair applies them.
+CONSTRAINT_NAMES = (
+    "parallel-dims",
+    "parallel-alignment",
+    "pow2-spatial-reduction",
+    "max-spatial-reduction",
+    "loop-order",
+    "buffer-capacity",
+)
+
+
+class UnsatisfiableConstraintError(IncompatibleCellError):
+    """A constraint no repair can satisfy for this (workload, arch) cell.
+
+    Raised when even the minimal mapping (serial, unit tiles) violates a
+    rule — e.g. a buffer-capacity ceiling below the smallest possible tile
+    footprint.  Derives from :class:`~repro.errors.IncompatibleCellError`
+    so sweeps skip the cell with a reason naming the constraint.
+    """
+
+
+@dataclass(frozen=True)
+class RepairOutcome:
+    """What :meth:`ConstraintSet.repair` did to one mapping."""
+
+    changed: bool
+    violations: Tuple[str, ...] = ()
+    order_moves: int = 0
+    parallel_drops: int = 0
+    parallel_clamps: int = 0
+    tile_clamps: int = 0
+
+
+#: The identity outcome of repairing an already-legal mapping.
+NO_REPAIR = RepairOutcome(changed=False)
+
+
+@dataclass
+class RepairLog:
+    """Aggregated repair statistics over one candidate universe.
+
+    ``candidates = legal + repaired`` always holds; ``merged`` counts the
+    candidates collapsed away because repair mapped them onto a mapping
+    already in the repaired universe (keep-first dedup).
+    """
+
+    constraints: str = ""
+    candidates: int = 0
+    legal: int = 0
+    repaired: int = 0
+    merged: int = 0
+    order_moves: int = 0
+    parallel_drops: int = 0
+    parallel_clamps: int = 0
+    tile_clamps: int = 0
+
+    def add(self, outcome: RepairOutcome, duplicate: bool = False) -> None:
+        """Account one repaired candidate (``duplicate`` = deduped away)."""
+        self.candidates += 1
+        if outcome.changed:
+            self.repaired += 1
+        else:
+            self.legal += 1
+        if duplicate:
+            self.merged += 1
+        self.order_moves += outcome.order_moves
+        self.parallel_drops += outcome.parallel_drops
+        self.parallel_clamps += outcome.parallel_clamps
+        self.tile_clamps += outcome.tile_clamps
+
+    def as_dict(self) -> Dict:
+        """Plain-JSON payload of the log (what scenario records carry)."""
+        return {
+            "constraints": self.constraints,
+            "candidates": self.candidates,
+            "legal": self.legal,
+            "repaired": self.repaired,
+            "merged": self.merged,
+            "order_moves": self.order_moves,
+            "parallel_drops": self.parallel_drops,
+            "parallel_clamps": self.parallel_clamps,
+            "tile_clamps": self.tile_clamps,
+        }
+
+
+@dataclass(frozen=True)
+class ConstraintSet:
+    """Declarative platform rules for mappings on one architecture.
+
+    Every field is optional; a field left at its default binds nothing.
+    ``allowed_orders`` entries are canonical full dimension orders — a
+    mapping's order is legal when it equals some entry filtered down to
+    the dimensions the mapping actually carries (so one 7-dim conv order
+    and one 3-dim GEMM order cover both workload kinds).
+    """
+
+    name: str
+    allowed_orders: Optional[Tuple[Tuple[str, ...], ...]] = None
+    buffer_capacity_bytes: Optional[int] = None
+    allowed_parallel_dims: Optional[Tuple[str, ...]] = None
+    parallel_multiple_of: int = 1
+    pow2_spatial_reduction: bool = False
+    max_spatial_reduction: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.parallel_multiple_of < 1:
+            raise ValueError("parallel_multiple_of must be >= 1")
+        if (self.max_spatial_reduction is not None
+                and self.max_spatial_reduction < 1):
+            raise ValueError("max_spatial_reduction must be >= 1")
+        if self.allowed_orders is not None:
+            object.__setattr__(self, "allowed_orders", tuple(
+                tuple(d.upper() for d in order)
+                for order in self.allowed_orders))
+            if not self.allowed_orders:
+                raise ValueError("allowed_orders, when given, must not be "
+                                 "empty")
+        if self.allowed_parallel_dims is not None:
+            object.__setattr__(self, "allowed_parallel_dims", tuple(
+                d.upper() for d in self.allowed_parallel_dims))
+
+    # -------------------------------------------------------------- identity
+    def signature(self) -> Tuple:
+        """Hashable identity of the rule bundle (memo/content keys)."""
+        return ("constraints", self.name, self.allowed_orders,
+                self.buffer_capacity_bytes, self.allowed_parallel_dims,
+                self.parallel_multiple_of, self.pow2_spatial_reduction,
+                self.max_spatial_reduction)
+
+    @property
+    def unbound(self) -> bool:
+        """True when no field binds (validate/repair are the identity)."""
+        return (self.allowed_orders is None
+                and self.buffer_capacity_bytes is None
+                and self.allowed_parallel_dims is None
+                and self.parallel_multiple_of == 1
+                and not self.pow2_spatial_reduction
+                and self.max_spatial_reduction is None)
+
+    # ------------------------------------------------------------ validation
+    def violations(self, mapping: Mapping, workload, arch
+                   ) -> Tuple[str, ...]:
+        """Names of the constraints ``mapping`` violates (stable strings)."""
+        found: List[str] = []
+        spatial = [p for p in mapping.parallel if p.degree > 1]
+        if self.allowed_parallel_dims is not None:
+            if any(p.dim not in self.allowed_parallel_dims for p in spatial):
+                found.append("parallel-dims")
+        if self.parallel_multiple_of > 1:
+            if any(p.degree % self.parallel_multiple_of for p in spatial):
+                found.append("parallel-alignment")
+        group = mapping.spatial_reduction_size
+        if self.pow2_spatial_reduction and group & (group - 1):
+            found.append("pow2-spatial-reduction")
+        if (self.max_spatial_reduction is not None
+                and group > self.max_spatial_reduction):
+            found.append("max-spatial-reduction")
+        if self.allowed_orders is not None:
+            if mapping.order not in self._legal_orders(mapping.order):
+                found.append("loop-order")
+        if self.buffer_capacity_bytes is not None:
+            from repro.search.frontier import buffer_footprint_bytes
+
+            if (buffer_footprint_bytes(workload, mapping, arch)
+                    > self.buffer_capacity_bytes):
+                found.append("buffer-capacity")
+        return tuple(found)
+
+    def validate(self, mapping: Mapping, workload, arch) -> bool:
+        """Whether ``mapping`` satisfies every bound constraint."""
+        return not self.violations(mapping, workload, arch)
+
+    def _legal_orders(self, order: Tuple[str, ...]
+                      ) -> Tuple[Tuple[str, ...], ...]:
+        """Allowed orders filtered to the dims ``order`` carries, deduped."""
+        present = set(order)
+        filtered: List[Tuple[str, ...]] = []
+        for allowed in self.allowed_orders:
+            candidate = tuple(d for d in allowed if d in present)
+            if len(candidate) == len(present) and candidate not in filtered:
+                filtered.append(candidate)
+        return tuple(filtered)
+
+    # ---------------------------------------------------------------- repair
+    def repair(self, mapping: Mapping, workload, arch
+               ) -> Tuple[Mapping, RepairOutcome]:
+        """Minimally transform ``mapping`` into a legal one.
+
+        Deterministic fixed-point pass: drop disallowed parallel dims,
+        clamp degrees for alignment/power-of-two/reduction-bound rules,
+        reorder the temporal loops to the nearest legal order, then halve
+        tiles/degrees until the footprint fits the buffer.  Already-legal
+        mappings are returned unchanged (the identical object), so repair
+        is idempotent.  Raises :class:`UnsatisfiableConstraintError` when
+        even the minimal mapping cannot satisfy a rule.
+        """
+        violated = self.violations(mapping, workload, arch)
+        if not violated:
+            return mapping, NO_REPAIR
+
+        parallel = list(mapping.parallel)
+        tile = dict(mapping.tile.sizes)
+        order = mapping.order
+        drops = clamps = tile_clamps = order_moves = 0
+
+        def legalize(dim: str, degree: int) -> int:
+            """Largest degree <= ``degree`` every degree rule accepts."""
+            while degree > 1:
+                before = degree
+                if self.parallel_multiple_of > 1:
+                    degree = (degree // self.parallel_multiple_of
+                              * self.parallel_multiple_of)
+                if (self.pow2_spatial_reduction and degree > 1
+                        and dim in mapping.reduction_dims):
+                    degree = _pow2_floor(degree)
+                if degree == before:
+                    return degree
+            return 1
+
+        def clamp(i: int, degree: int) -> None:
+            nonlocal drops, clamps, parallel
+            spec = parallel[i]
+            degree = legalize(spec.dim, degree)
+            if degree == spec.degree:
+                return
+            if spec.dim in tile:
+                tile[spec.dim] = min(tile[spec.dim], degree)
+            if degree <= 1:
+                parallel[i] = None
+                drops += 1
+            else:
+                parallel[i] = ParallelSpec(spec.dim, degree)
+                clamps += 1
+
+        if self.allowed_parallel_dims is not None:
+            for i, spec in enumerate(parallel):
+                if spec.degree > 1 and spec.dim not in \
+                        self.allowed_parallel_dims:
+                    clamp(i, 1)
+        if self.parallel_multiple_of > 1:
+            for i, spec in enumerate(parallel):
+                if spec is not None and spec.degree > 1:
+                    aligned = (spec.degree // self.parallel_multiple_of
+                               * self.parallel_multiple_of)
+                    clamp(i, max(1, aligned))
+        if self.pow2_spatial_reduction:
+            for i, spec in enumerate(parallel):
+                if (spec is not None and spec.degree > 1
+                        and spec.dim in mapping.reduction_dims):
+                    clamp(i, _pow2_floor(spec.degree))
+        if self.max_spatial_reduction is not None:
+            while True:
+                group = 1
+                largest, largest_i = 0, None
+                for i, spec in enumerate(parallel):
+                    if spec is not None and spec.dim in \
+                            mapping.reduction_dims:
+                        group *= spec.degree
+                        if spec.degree > largest:
+                            largest, largest_i = spec.degree, i
+                if group <= self.max_spatial_reduction or largest_i is None:
+                    break
+                clamp(largest_i, largest // 2)
+
+        parallel = [p for p in parallel if p is not None]
+
+        if self.allowed_orders is not None:
+            legal = self._legal_orders(order)
+            if not legal:
+                raise UnsatisfiableConstraintError(
+                    f"constraint 'loop-order' of {self.name!r} is "
+                    f"unsatisfiable: no allowed order covers the dims "
+                    f"{sorted(set(order))} of mapping {mapping.name!r}")
+            if order not in legal:
+                order = min(legal, key=lambda o: (_inversions(order, o),
+                                                  legal.index(o)))
+                order_moves = 1
+
+        candidate = self._rebuild(mapping, parallel, tile, order)
+
+        if self.buffer_capacity_bytes is not None:
+            from repro.search.frontier import buffer_footprint_bytes
+
+            while (buffer_footprint_bytes(workload, candidate, arch)
+                   > self.buffer_capacity_bytes):
+                degrees = {p.dim: p.degree for p in parallel}
+                effective = {d: max(s, degrees.get(d, 1))
+                             for d, s in tile.items()}
+                for d, g in degrees.items():
+                    effective.setdefault(d, g)
+                shrinkable = {d: e for d, e in effective.items() if e > 1}
+                if not shrinkable:
+                    raise UnsatisfiableConstraintError(
+                        f"constraint 'buffer-capacity' of {self.name!r} is "
+                        f"unsatisfiable: the minimal tile footprint of "
+                        f"workload {getattr(workload, 'name', workload)!r} "
+                        f"exceeds {self.buffer_capacity_bytes} bytes")
+                # Halve the largest effective extent (alphabetical
+                # tie-break): tile first, spatial degree when the tile is
+                # already at the degree.
+                dim = min(shrinkable, key=lambda d: (-shrinkable[d], d))
+                target = shrinkable[dim] // 2
+                if dim in tile and tile[dim] > degrees.get(dim, 1):
+                    tile[dim] = max(degrees.get(dim, 1), target)
+                    tile_clamps += 1
+                else:
+                    for i, spec in enumerate(parallel):
+                        if spec.dim == dim:
+                            clamp(i, min(spec.degree, max(1, target)))
+                            break
+                    else:
+                        tile[dim] = max(1, target)
+                        tile_clamps += 1
+                    parallel = [p for p in parallel if p is not None]
+                candidate = self._rebuild(mapping, parallel, tile, order)
+
+        outcome = RepairOutcome(
+            changed=True, violations=violated, order_moves=order_moves,
+            parallel_drops=drops, parallel_clamps=clamps,
+            tile_clamps=tile_clamps)
+        return candidate, outcome
+
+    @staticmethod
+    def _rebuild(mapping: Mapping, parallel: Sequence[ParallelSpec],
+                 tile: Dict[str, int], order: Tuple[str, ...]) -> Mapping:
+        return replace(
+            mapping,
+            name=f"{mapping.name}~fix",
+            parallel=tuple(parallel),
+            tile=TileLevel(tuple(sorted(tile.items()))),
+            order=order,
+        )
+
+    # ------------------------------------------------------------- universes
+    def repair_candidates(self, mappings: Sequence[Mapping], workload, arch
+                          ) -> Tuple[List[Mapping], RepairLog]:
+        """Repair a candidate list, dedup the result, and account the work.
+
+        Repair is many-to-one (many illegal candidates collapse onto the
+        same legal mapping); the first occurrence of each repaired
+        signature is kept, so the returned list preserves scan order and
+        the first-seen tie discipline of every search policy.
+        """
+        log = RepairLog(constraints=self.name)
+        seen = set()
+        repaired: List[Mapping] = []
+        for mapping in mappings:
+            fixed, outcome = self.repair(mapping, workload, arch)
+            sig = mapping_signature(fixed)
+            duplicate = sig in seen
+            log.add(outcome, duplicate=duplicate)
+            if not duplicate:
+                seen.add(sig)
+                repaired.append(fixed)
+        return repaired, log
+
+    def describe(self) -> str:
+        """One-line human-readable summary of the bound rules."""
+        rules = []
+        if self.allowed_orders is not None:
+            rules.append(f"{len(self.allowed_orders)} legal order(s)")
+        if self.allowed_parallel_dims is not None:
+            rules.append("parallel dims "
+                         + "/".join(self.allowed_parallel_dims))
+        if self.parallel_multiple_of > 1:
+            rules.append(f"degrees %{self.parallel_multiple_of}")
+        if self.pow2_spatial_reduction:
+            rules.append("pow2 reduction groups")
+        if self.max_spatial_reduction is not None:
+            rules.append(f"reduction <= {self.max_spatial_reduction}")
+        if self.buffer_capacity_bytes is not None:
+            rules.append(f"buffer <= {self.buffer_capacity_bytes}B")
+        return f"{self.name}: {', '.join(rules) if rules else 'unbound'}"
+
+
+def _pow2_floor(value: int) -> int:
+    """Largest power of two <= value (value >= 1)."""
+    return 1 << (value.bit_length() - 1)
+
+
+def _inversions(current: Tuple[str, ...], target: Tuple[str, ...]) -> int:
+    """Pairwise-order disagreements between two permutations of one set."""
+    rank = {d: i for i, d in enumerate(target)}
+    count = 0
+    for i, a in enumerate(current):
+        for b in current[i + 1:]:
+            if rank[a] > rank[b]:
+                count += 1
+    return count

@@ -79,6 +79,14 @@ class SearchResult:
     """Candidates skipped because their lower bound could not beat the best."""
     cache_hits: int = 0
     """Scored candidates served from the evaluation cache."""
+    repaired: int = 0
+    """(mapping, layout) candidates collapsed away by constraint repair —
+    raw candidates whose repaired form duplicated an earlier one, times the
+    layout count, so ``evaluated + pruned + repaired`` covers the raw
+    universe.  0 when no :class:`~repro.constraints.ConstraintSet` binds."""
+    repair: Optional[Dict] = None
+    """The :class:`~repro.constraints.RepairLog` payload of the candidate
+    universe (plus ``universe_pairs``), or ``None`` when unconstrained."""
 
     @property
     def best_value(self) -> float:
@@ -132,6 +140,14 @@ class Mapper:
     replaces the fixed sample with the adaptive universe: a small seeded
     base sample grown only where the bound landscape is tight, returning
     exactly the uncapped exhaustive winner of the full structured space.
+
+    ``constraints`` binds a :class:`~repro.constraints.ConstraintSet` (or
+    the string ``"default"`` for the architecture's own rules, ``"none"``
+    to force the layer off): every candidate universe is then repaired to
+    legality and deduplicated before any policy scores it, with the repair
+    accounted in ``SearchResult.repaired``/``repair``.  ``None`` inherits
+    the backend's own constraints — the analytical backend has none, so by
+    default nothing changes and results stay bit-identical.
     """
 
     def __init__(self, arch: ArchSpec, energy: Optional[EnergyTable] = None,
@@ -140,7 +156,7 @@ class Mapper:
                  evaluation_cache: Optional[EvaluationCache] = None,
                  vectorize: bool = True, backend=None,
                  policy: str = "exhaustive", budget: Optional[int] = None,
-                 compile: bool = False, bulk: bool = True):
+                 compile: bool = False, bulk: bool = True, constraints=None):
         from repro.backends import (
             AnalyticalBackend,
             EvaluationBackend,
@@ -184,13 +200,26 @@ class Mapper:
             self.backend = create_backend(backend, arch, energy=energy,
                                           seed=seed)
         self._analytical = isinstance(self.backend, AnalyticalBackend)
+        from repro.constraints import resolve_constraints
+
+        self.constraints = resolve_constraints(constraints, arch,
+                                               backend=self.backend)
         # The bulk control plane is exact only where the admissible bounds
         # are: the analytical model.  Other backends silently fall back to
-        # the scalar loop (mirroring how they disable pruning).
-        self.bulk = bool(bulk) and self._analytical
+        # the scalar loop (mirroring how they disable pruning).  A bound
+        # ConstraintSet also forces the scalar path: the bulk universe
+        # enumerates raw flat indices symbolically, while constraints need
+        # every candidate materialized for repair.
+        self.bulk = (bool(bulk) and self._analytical
+                     and self.constraints is None)
         if max_mappings == "auto" and not self._analytical:
             raise ValueError(
                 "max_mappings='auto' requires the analytical backend")
+        if max_mappings == "auto" and self.constraints is not None:
+            raise ValueError(
+                "max_mappings='auto' is incompatible with a bound "
+                "ConstraintSet (the adaptive universe is defined on the "
+                "raw structured space)")
         if self._analytical:
             self.cost_model = self.backend.cost_model
             self.evaluation_cache = self.backend.cache
@@ -207,17 +236,63 @@ class Mapper:
         # warm-start filters `_cache` positionally, and frontier pairs are
         # (SearchResult, ShapeFrontier) tuples, not SearchResults.
         self._frontier_cache: Dict[Tuple, Tuple] = {}
+        # Repaired candidate universes per workload signature: (mappings,
+        # RepairLog).  Only populated when a ConstraintSet binds.
+        self._repair_cache: Dict[Tuple, Tuple] = {}
 
     # ------------------------------------------------------------- candidates
     def candidate_mappings(self, workload) -> List[Mapping]:
-        """Mappings the architecture can actually run."""
+        """Mappings the architecture can actually run.
+
+        With a bound :class:`~repro.constraints.ConstraintSet` the raw
+        structured sample is repaired to legality and deduplicated (memoized
+        per workload shape); every search policy consumes this method, so
+        all of them enumerate the same repaired-legal universe.
+        """
         space = self._mapping_space(workload)
         if space is None:
-            return self._fixed_parallelism_mappings(workload)
-        mappings = space.sample(self.max_mappings, seed=self.seed,
-                                materialize=not self.vectorize)
-        mappings.extend(self._canonical_tail(workload))
-        return mappings
+            mappings = self._fixed_parallelism_mappings(workload)
+        else:
+            mappings = space.sample(self.max_mappings, seed=self.seed,
+                                    materialize=not self.vectorize)
+            mappings.extend(self._canonical_tail(workload))
+        if self.constraints is None:
+            return mappings
+        return self._repaired_universe(workload, mappings)[0]
+
+    def _repaired_universe(self, workload,
+                           raw: Optional[List[Mapping]] = None) -> Tuple:
+        """The repaired-legal candidate list and its RepairLog, memoized."""
+        key = self._workload_signature(workload)
+        cached = self._repair_cache.get(key)
+        if cached is None:
+            if raw is None:
+                return self._repaired_universe(
+                    workload, self.candidate_mappings(workload))
+            cached = self.constraints.repair_candidates(raw, workload,
+                                                        self.arch)
+            self._repair_cache[key] = cached
+        return cached
+
+    def repair_log(self, workload):
+        """The :class:`~repro.constraints.RepairLog` of one workload's
+        candidate universe (``None`` when unconstrained)."""
+        if self.constraints is None:
+            return None
+        return self._repaired_universe(workload)[1]
+
+    def _finalize_repair(self, result: SearchResult, workload,
+                         layouts: Optional[Sequence[Layout]]) -> SearchResult:
+        """Attach the repair counters to a freshly computed result."""
+        if self.constraints is None:
+            return result
+        log = self.repair_log(workload)
+        n_layouts = (len(layouts) if layouts
+                     else len(self.candidate_layouts(workload)))
+        result.repaired = log.merged * n_layouts
+        result.repair = dict(log.as_dict(),
+                             universe_pairs=log.candidates * n_layouts)
+        return result
 
     def _mapping_space(self, workload) -> Optional[MappingSpace]:
         """The structured mapping space of a flexible architecture, or
@@ -336,6 +411,7 @@ class Mapper:
                          else evolutionary_search)
             result = search_fn(self, workload, layouts=layouts,
                                budget=self.budget)
+            self._finalize_repair(result, workload, layouts)
             self._cache[key] = result
             return result
 
@@ -415,6 +491,7 @@ class Mapper:
             pruned=pruned,
             cache_hits=cache_hits,
         )
+        self._finalize_repair(result, workload, layouts)
         self._cache[key] = result
         return result
 
@@ -440,18 +517,24 @@ class Mapper:
         cached = self._frontier_cache.get(key)
         if cached is None:
             cached = frontier_search(self, workload, layouts=layouts)
+            self._finalize_repair(cached[0], workload, layouts)
             self._frontier_cache[key] = cached
         return cached
 
     def _result_key(self, workload,
                     layouts: Optional[Sequence[Layout]] = None) -> Tuple:
         """Memo key of a (workload, layout-restriction) search on this
-        mapper's configuration."""
-        return (getattr(workload, "name", str(workload)),
-                self._workload_signature(workload), self.metric,
-                self.max_mappings, self.backend.name,
-                tuple(l.name for l in layouts) if layouts else None,
-                self.policy, self.budget)
+        mapper's configuration.  The constraints signature is appended only
+        when a set binds, so unconstrained keys are unchanged (and the
+        budgeted policies' positional warm-start filter keeps working)."""
+        key = (getattr(workload, "name", str(workload)),
+               self._workload_signature(workload), self.metric,
+               self.max_mappings, self.backend.name,
+               tuple(l.name for l in layouts) if layouts else None,
+               self.policy, self.budget)
+        if self.constraints is not None:
+            key += (self.constraints.signature(),)
+        return key
 
     def has_result(self, workload,
                    layouts: Optional[Sequence[Layout]] = None) -> bool:

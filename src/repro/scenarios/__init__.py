@@ -25,6 +25,7 @@ cells are never recomputed.
 from repro.scenarios.builtin import (
     builtin_matrix,
     coverage_matrix,
+    cross_architecture_matrix,
     crossval_matrix,
     figure_matrix,
     golden_matrix,
@@ -74,6 +75,7 @@ __all__ = [
     "builtin_matrix",
     "cell_key",
     "coverage_matrix",
+    "cross_architecture_matrix",
     "crossval_matrix",
     "diff_payloads",
     "figure_matrix",

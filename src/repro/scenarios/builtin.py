@@ -1,6 +1,6 @@
 """The built-in scenario matrix: everything the repo can run end-to-end.
 
-Six groups, combined (deduplicated) by :func:`builtin_matrix`:
+Seven groups, combined (deduplicated) by :func:`builtin_matrix`:
 
 * **smoke** — five tiny cells spanning every workload family (dense conv,
   skewed GEMM, depthwise, skewed attention heads, batched conv); the CI
@@ -16,9 +16,15 @@ Six groups, combined (deduplicated) by :func:`builtin_matrix`:
 * **crossval** — micro-cells cross-validating the analytical model
   against the simulator; their records embed per-cell
   analytical-vs-simulated cycle/utilization deltas.
-* **golden** — pinned micro-cells (analytical, simulator and crossval)
-  whose records are checked into ``tests/golden/`` and asserted
-  bit-identical by ``tests/test_scenarios_golden.py``.
+* **cross-architecture** — the same workload grid searched on the
+  flexible analytical FEATHER model, the rigid ``systolic`` baseline and
+  the reference reduction-NoC backends (``noc:linear``/``noc:tree``), the
+  Table I-style comparison as one sweep; the constrained backends repair
+  every candidate to their legal universes and their records carry the
+  repair-log counters.
+* **golden** — pinned micro-cells (analytical, simulator, crossval,
+  systolic and NoC) whose records are checked into ``tests/golden/`` and
+  asserted bit-identical by ``tests/test_scenarios_golden.py``.
 """
 
 from __future__ import annotations
@@ -111,6 +117,38 @@ def crossval_matrix() -> ScenarioMatrix:
     ])
 
 
+#: Backends of the cross-architecture comparison sweep; ``simulator`` is
+#: deliberately absent (its MAC bound rejects paper-scale layers — it has
+#: its own micro-cell group above).
+CROSS_ARCHITECTURE_BACKENDS = ("analytical", "systolic", "noc:linear",
+                               "noc:tree")
+
+_XARCH_EDP = SearchConfig(name="xarch-edp", metric="edp", max_mappings=30)
+
+
+def cross_architecture_matrix() -> ScenarioMatrix:
+    """FEATHER vs. systolic vs. reference NoCs on one workload grid.
+
+    One cell per (workload set, backend) over the same architecture, so a
+    single ``run --filter xarch`` sweep answers the paper's Table I-style
+    question end-to-end: what does the flexible analytical model buy over
+    a rigid weight-stationary array or an alternative reduction topology
+    on identical layers?  The constrained backends search their own
+    repaired-legal universes (their ConstraintSets ride on the backend),
+    and every record embeds the repair-log counters.
+    """
+    matrix = ScenarioMatrix(name="cross-architecture")
+    for backend in CROSS_ARCHITECTURE_BACKENDS:
+        slug = backend.replace(":", "-")
+        for wset in ("resnet50[:4]", "fig10_gemms"):
+            wslug = wset.split("[")[0].replace("_", "-")
+            matrix.add(Scenario(
+                f"xarch-{slug}-{wslug}", wset, "FEATHER", _XARCH_EDP,
+                backend=backend,
+                tags=("xarch", "cross-architecture", backend)))
+    return matrix
+
+
 def golden_matrix() -> ScenarioMatrix:
     """The pinned micro-cells backing the golden-file regression tests.
 
@@ -148,12 +186,21 @@ def golden_matrix() -> ScenarioMatrix:
                                          max_mappings=12, frontier=True,
                                          fused=True),
                  tags=("golden", "frontier", "fused")),
+        Scenario("golden-systolic-micro-convs", "micro_convs", "FEATHER-4x4",
+                 SearchConfig(name="golden-systolic", metric="latency",
+                              max_mappings=12),
+                 backend="systolic", tags=("golden", "systolic")),
+        Scenario("golden-noc-tree-micro-convs", "micro_convs", "FEATHER-4x4",
+                 SearchConfig(name="golden-noc", metric="edp",
+                              max_mappings=12),
+                 backend="noc:tree", tags=("golden", "noc")),
     ])
 
 
 def builtin_matrix() -> ScenarioMatrix:
     """All built-in cells (smoke + figures + coverage + simulator +
-    crossval + golden), deduplicated."""
+    crossval + cross-architecture + golden), deduplicated."""
     return ScenarioMatrix(name="builtin").merged(
         smoke_matrix(), figure_matrix(), coverage_matrix(),
-        simulator_matrix(), crossval_matrix(), golden_matrix())
+        simulator_matrix(), crossval_matrix(), cross_architecture_matrix(),
+        golden_matrix())

@@ -23,7 +23,7 @@ from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import Dict, List, Optional
 
-SCHEMA_VERSION = 3
+SCHEMA_VERSION = 4
 
 #: Record fields excluded from the deterministic payload: they describe how
 #: a run executed (or which release produced it), not what it computed.
@@ -207,6 +207,8 @@ def search_stats_payload(stats) -> Dict[str, object]:
         "layers_unique": stats.layers_unique,
         "evaluations": stats.evaluations,
         "pruned": stats.pruned,
+        "repaired": stats.repaired,
+        "repair": stats.repair,
         "cache_hits": stats.cache.hits,
         "cache_misses": stats.cache.misses,
     }

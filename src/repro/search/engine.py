@@ -60,6 +60,14 @@ class SearchStats:
     """Per-shape cap on scored pairs (budgeted policies only)."""
     pruned: int = 0
     """Candidates skipped by the admissible lower bound."""
+    repaired: int = 0
+    """(mapping, layout) pairs of the raw universe that constraint repair
+    merged into an already-seen legal candidate (0 with no ConstraintSet
+    bound).  ``evaluations + pruned + repaired`` covers the raw universe."""
+    repair: Optional[Dict] = None
+    """Aggregated :class:`repro.constraints.RepairLog` counters across the
+    unique shapes (``None`` with no ConstraintSet bound); carries
+    ``universe_pairs`` so coverage checks line up per run."""
     cache: CacheStats = field(default_factory=CacheStats)
     """Merged evaluation-cache counters across all workers."""
     workers: int = 1
@@ -92,7 +100,7 @@ class SearchEngine:
                  vectorize: bool = True, backend: str = "analytical",
                  policy: str = "exhaustive", budget: Optional[int] = None,
                  compile: bool = False, frontier: bool = False,
-                 fused: bool = False, bulk: bool = True):
+                 fused: bool = False, bulk: bool = True, constraints=None):
         self.arch = arch
         self.energy = energy
         self.metric = metric
@@ -113,7 +121,8 @@ class SearchEngine:
                              prune=prune, evaluation_cache=self.cache,
                              vectorize=vectorize, backend=backend,
                              policy=policy, budget=budget, compile=compile,
-                             bulk=bulk)
+                             bulk=bulk, constraints=constraints)
+        self.constraints = self.mapper.constraints
 
     @property
     def cache_stats(self) -> CacheStats:
@@ -157,7 +166,8 @@ class SearchEngine:
                             vectorize=self.vectorize, backend=backend,
                             policy=self.policy, budget=self.budget,
                             compile=self.compile, frontier=self.frontier,
-                            fused=self.fused, bulk=self.bulk)
+                            fused=self.fused, bulk=self.bulk,
+                            constraints=self.constraints)
         for (workload, _), choice in zip(unique_workloads(workloads),
                                          cost.layer_choices):
             self.mapper.adopt_result(workload, choice.result)
@@ -174,12 +184,12 @@ def _search_chunk(payload: Tuple) -> Tuple[List[SearchResult], int, int]:
     how many) ran it.
     """
     (arch, energy, metric, max_mappings, seed, prune, vectorize, layouts,
-     policy, budget, compile_flag, bulk, shapes) = payload
+     policy, budget, compile_flag, bulk, constraints, shapes) = payload
     mapper = Mapper(arch, energy=energy, metric=metric,
                     max_mappings=max_mappings, seed=seed, prune=prune,
                     evaluation_cache=EvaluationCache(), vectorize=vectorize,
                     policy=policy, budget=budget, compile=compile_flag,
-                    bulk=bulk)
+                    bulk=bulk, constraints=constraints)
     results = [mapper.search(wl, layouts=layouts) for wl in shapes]
     stats = mapper.evaluation_cache.stats
     return results, stats.hits, stats.misses
@@ -199,7 +209,8 @@ def _search_model_impl(arch: ArchSpec, workloads: Sequence,
                        policy: str = "exhaustive",
                        budget: Optional[int] = None,
                        compile: bool = False, frontier: bool = False,
-                       fused: bool = False, bulk: bool = True) -> ModelCost:
+                       fused: bool = False, bulk: bool = True,
+                       constraints=None) -> ModelCost:
     """The whole-model co-search engine behind :func:`search_model`.
 
     This is the execution layer: ``workers`` must already be a concrete
@@ -246,6 +257,11 @@ def _search_model_impl(arch: ArchSpec, workloads: Sequence,
         if policy != "exhaustive":
             raise InvalidRequestError(
                 "max_mappings='auto' requires policy='exhaustive'")
+        if constraints is not None and constraints != "none":
+            raise InvalidRequestError(
+                "max_mappings='auto' grows the raw structured universe and "
+                "cannot be combined with a ConstraintSet; use an integer "
+                "max_mappings")
         if frontier or fused:
             raise InvalidRequestError(
                 "frontier/fused search requires an integer max_mappings")
@@ -287,7 +303,8 @@ def _search_model_impl(arch: ArchSpec, workloads: Sequence,
             mapper = Mapper(arch, energy=energy, metric=metric,
                             max_mappings=max_mappings, seed=seed, prune=prune,
                             vectorize=vectorize, backend=backend,
-                            policy=policy, budget=budget, bulk=bulk)
+                            policy=policy, budget=budget, bulk=bulk,
+                            constraints=constraints)
         results = [mapper.search(wl, layouts=layouts) for wl in shapes]
     elif workers <= 1 or len(shapes) <= 1:
         stats.workers = 1
@@ -297,7 +314,7 @@ def _search_model_impl(arch: ArchSpec, workloads: Sequence,
                             max_mappings=max_mappings, seed=seed, prune=prune,
                             evaluation_cache=eval_cache, vectorize=vectorize,
                             policy=policy, budget=budget, compile=compile,
-                            bulk=bulk)
+                            bulk=bulk, constraints=constraints)
         else:
             eval_cache = mapper.evaluation_cache
         # Shared caches outlive this call: report this run's delta, not the
@@ -316,7 +333,8 @@ def _search_model_impl(arch: ArchSpec, workloads: Sequence,
     else:
         size = chunk_size or default_chunk_size(len(shapes), workers)
         payloads = [(arch, energy, metric, max_mappings, seed, prune,
-                     vectorize, layouts, policy, budget, compile, bulk, chunk)
+                     vectorize, layouts, policy, budget, compile, bulk,
+                     constraints, chunk)
                     for chunk in chunked(shapes, size)]
         chunk_outputs, stats.workers = run_fanout(_search_chunk, payloads,
                                                   workers, executor=executor)
@@ -334,6 +352,18 @@ def _search_model_impl(arch: ArchSpec, workloads: Sequence,
         cost.layer_choices.append(choice)
         stats.evaluations += result.evaluated
         stats.pruned += result.pruned
+        stats.repaired += result.repaired
+        if result.repair is not None:
+            # Sum the numeric repair-log counters over unique shapes; the
+            # non-numeric fields (the ConstraintSet name) agree by
+            # construction, keep the first.
+            agg = dict(stats.repair or {})
+            for rkey, rval in result.repair.items():
+                if isinstance(rval, (int, float)):
+                    agg[rkey] = agg.get(rkey, 0) + rval
+                else:
+                    agg.setdefault(rkey, rval)
+            stats.repair = agg
     if shape_frontiers is not None:
         cost.frontiers = shape_frontiers
     if fused:
@@ -359,7 +389,8 @@ def search_model(arch: ArchSpec, workloads: Sequence, model_name: str = "model",
                  backend="analytical", policy: str = "exhaustive",
                  budget: Optional[int] = None,
                  compile: bool = False, frontier: bool = False,
-                 fused: bool = False, bulk: bool = True) -> ModelCost:
+                 fused: bool = False, bulk: bool = True,
+                 constraints=None) -> ModelCost:
     """Co-search a whole model on one architecture and aggregate the cost.
 
     .. deprecated:: 1.1
@@ -406,6 +437,13 @@ def search_model(arch: ArchSpec, workloads: Sequence, model_name: str = "model",
       exhaustive policy): a small seeded sample grown only where the bound
       landscape is tight, returning exactly the uncapped exhaustive winner
       of the full structured space.
+    * ``constraints`` — a :class:`repro.constraints.ConstraintSet` (or the
+      request strings ``"none"``/``"default"``) binding platform rules to
+      the search: every candidate is repaired to legality before scoring
+      and the stats carry the repair-log counters.  ``None`` (default)
+      inherits the backend's own constraints — the analytical and
+      simulator backends carry none, ``systolic``/``noc:*`` carry their
+      presets.
 
     Raises ``ValueError`` on an empty workload list — silently returning an
     all-zero :class:`ModelCost` hid bugs in callers.
@@ -423,21 +461,24 @@ def search_model(arch: ArchSpec, workloads: Sequence, model_name: str = "model",
     # a serializable request cannot carry; those calls go straight to the
     # execution layer with the same session-resolved worker count.
     if (energy is not None or cache is not None or chunk_size is not None
-            or not (backend is None or isinstance(backend, str))):
+            or not (backend is None or isinstance(backend, str))
+            or not (constraints is None or isinstance(constraints, str))):
         return _search_model_impl(
             arch, workloads, model_name=model_name, metric=metric,
             max_mappings=max_mappings, energy=energy,
             workers=session.resolve_workers(workers), chunk_size=chunk_size,
             prune=prune, seed=seed, cache=cache, vectorize=vectorize,
             backend=backend, policy=policy, budget=budget, compile=compile,
-            frontier=frontier, fused=fused, bulk=bulk)
+            frontier=frontier, fused=fused, bulk=bulk,
+            constraints=constraints)
     request = SearchRequest(
         workloads=tuple(workload_payload(wl) for wl in workloads),
         arch=arch_payload(arch), model=model_name, metric=metric,
         max_mappings=max_mappings, seed=seed, prune=prune,
         backend=backend or "analytical", workers=workers,
         vectorize=vectorize, fresh_cache=True, policy=policy, budget=budget,
-        compile=compile, frontier=frontier, fused=fused, bulk=bulk)
+        compile=compile, frontier=frontier, fused=fused, bulk=bulk,
+        constraints=constraints)
     return session.run(request).cost
 
 
@@ -450,7 +491,8 @@ def search_models(arches: Sequence[ArchSpec], workloads: Sequence,
                   seed: int = 0, vectorize: bool = True,
                   backend: str = "analytical", policy: str = "exhaustive",
                   budget: Optional[int] = None,
-                  compile: bool = False) -> Dict[str, ModelCost]:
+                  compile: bool = False,
+                  constraints=None) -> Dict[str, ModelCost]:
     """Run :func:`search_model` for several architectures (Fig. 13 style)."""
     return {
         arch.name: search_model(arch, workloads, model_name=model_name,
@@ -458,6 +500,7 @@ def search_models(arches: Sequence[ArchSpec], workloads: Sequence,
                                 energy=energy, workers=workers,
                                 chunk_size=chunk_size, prune=prune, seed=seed,
                                 vectorize=vectorize, backend=backend,
-                                policy=policy, budget=budget, compile=compile)
+                                policy=policy, budget=budget, compile=compile,
+                                constraints=constraints)
         for arch in arches
     }

@@ -10,7 +10,7 @@ Three layers, one claim: concurrency changes *scheduling*, never
   search while it runs share one execution (the sha256 in-flight table),
   and every client reads the same payload.
 * **Session.submit thread safety, no HTTP** — concurrent ``submit()`` of
-  the six golden cells from many threads: results equal the golden
+  the golden cells from many threads: results equal the golden
   records, and the session counters stay consistent
   (``requests == executed + coalesced``).
 
@@ -69,7 +69,7 @@ def _golden_cells():
 
 
 CELLS = _golden_cells()
-assert len(CELLS) == 8, "expected the eight pinned golden cells"
+assert len(CELLS) == 10, "expected the ten pinned golden cells"
 
 
 @pytest.fixture(scope="module")

@@ -15,6 +15,20 @@ The warmup-dominated micro GEMM cells are printed for context but not
 gated — their deltas are the *fidelity gap* cross-validation scenarios
 exist to expose, not a regression signal.
 
+The cross-architecture backends are gated on their exact pricing
+invariants instead of a delta bound (they model *different* hardware, so
+closeness to the analytical FEATHER model is not the claim):
+
+* **systolic** — the co-searched winner borrows its energy from the
+  analytical cost model bit-exactly and never reports negative stalls
+  (the rigid array can only add fill/drain/serialization cycles on top
+  of the ideal MAC throughput);
+* **noc:linear/tree/fan** — on one tree-legal winner per micro conv, each
+  topology's energy equals the analytical energy bit-exactly, its total
+  cycles are >= the analytical cycles (exposed reduction latency is
+  nonnegative), and the log-depth topologies (tree, fan) never expose
+  more reduction latency than the linear chain.
+
 Usage::
 
     PYTHONPATH=src python tools/backend_parity.py [--max-cycle-delta X]
@@ -24,6 +38,72 @@ from __future__ import annotations
 
 import argparse
 import sys
+
+
+def cross_architecture_parity(arch) -> bool:
+    """Exact pricing invariants of the systolic and NoC backends.
+
+    Returns ``True`` when every invariant holds; prints one line per
+    (workload, backend) cell.  The gate is exact (energy bit-equality,
+    cycle/stall inequalities), not a delta bound — see the module
+    docstring.
+    """
+    from repro.backends import create_backend
+    from repro.layoutloop.mapper import Mapper
+    from repro.workloads.micro import micro_conv_layers
+
+    analytical = create_backend("analytical", arch)
+    ok = True
+
+    print("\nbackend parity — systolic + reduction NoCs on FEATHER-4x4 "
+          "(gate: exact energy, nonnegative exposed cycles)")
+    print(f"{'cell':18s} {'backend':10s} {'cycles':>10s} {'analytic':>10s} "
+          f"{'exposed':>8s}  gate")
+    for workload in micro_conv_layers():
+        sys_backend = create_backend("systolic", arch)
+        sys_res = Mapper(arch, metric="edp", max_mappings=8,
+                         backend=sys_backend).search(workload)
+        base = analytical.evaluate(workload, sys_res.best_mapping,
+                                   sys_res.best_layout)
+        rep = sys_res.best_report
+        good = (rep.total_energy_pj == base.total_energy_pj
+                and rep.stall_cycles >= 0
+                and rep.total_cycles >= rep.macs / max(
+                    1.0, rep.extra["parallel_m"] * rep.extra["parallel_k"]))
+        ok &= good
+        print(f"{workload.name:18s} {'systolic':10s} {rep.total_cycles:10.0f} "
+              f"{base.total_cycles:10.0f} "
+              f"{rep.extra['fill_drain_cycles']:8.0f}  "
+              f"{'PASS' if good else 'FAIL'}")
+
+        # One tree-legal winner (the strictest reduction universe) priced
+        # on every topology: legal for tree implies legal for all three.
+        tree_res = Mapper(arch, metric="edp", max_mappings=8,
+                          backend=create_backend("noc:tree", arch)
+                          ).search(workload)
+        mapping, layout = tree_res.best_mapping, tree_res.best_layout
+        base = analytical.evaluate(workload, mapping, layout)
+        exposed = {}
+        for topology in ("linear", "tree", "fan"):
+            rep = create_backend(f"noc:{topology}", arch).evaluate(
+                workload, mapping, layout)
+            exposed[topology] = rep.extra["reduction_cycles_exposed"]
+            good = (rep.total_energy_pj == base.total_energy_pj
+                    and rep.total_cycles
+                    == base.total_cycles + exposed[topology]
+                    and exposed[topology] >= 0)
+            ok &= good
+            print(f"{workload.name:18s} {'noc:' + topology:10s} "
+                  f"{rep.total_cycles:10.0f} {base.total_cycles:10.0f} "
+                  f"{exposed[topology]:8.0f}  {'PASS' if good else 'FAIL'}")
+        if exposed["tree"] > exposed["linear"] or \
+                exposed["fan"] > exposed["linear"]:
+            print(f"FAIL: a log-depth topology exposed more reduction "
+                  f"latency than the linear chain on {workload.name}")
+            ok = False
+    if not ok:
+        print("FAIL: a cross-architecture pricing invariant is violated")
+    return ok
 
 
 def main(argv=None) -> int:
@@ -76,6 +156,9 @@ def main(argv=None) -> int:
     if not gemm_val.rir_claim_holds:
         print("FAIL: a co-searched GEMM cell stalled in simulation "
               "(RIR claim violated)")
+        failed = True
+
+    if not cross_architecture_parity(arch):
         failed = True
 
     if failed:

@@ -18,7 +18,7 @@ still fails the guard.  Thresholds are deliberately below the locally
 measured speedups (~12x, ~6x and ~25x) so only a real regression trips on
 a noisy CI box, while still proving "measurably faster".
 
-Three more gates are off by default.  **frontier** (``--gates frontier``)
+The remaining gates are off by default.  **frontier** (``--gates frontier``)
 is an identity gate on the Pareto-frontier search: on every unique shape
 of the ResNet-50 residual block the frontier scan must return the scalar
 winner bit-identically (and contain it as a frontier member) while scoring
@@ -35,6 +35,14 @@ bit-identical to the scalar bound path on every golden cell (winners,
 frontiers *and* counters), and the uncapped exhaustive ResNet-50
 co-search must run at least ``--min-bulk-speedup`` (1.5x) faster with
 the bulk pipeline — the timing run is appended to ``BENCH_search.json``.
+**constraints** (``--gates constraints``) is the identity gate on the
+constraint layer: with no ConstraintSet bound, a mapper with the layer
+forced off (``constraints="none"``) must be bit-identical to the default
+mapper on every golden cell (winners, frontiers *and* counters, zero
+repairs accounted), and on the constrained-backend golden cells every
+candidate in the repaired universe must validate, repair must be
+idempotent on it, and the coverage counters must close exactly:
+``evaluated + pruned + repaired == universe_pairs``.
 **service** is off by default because it reads a
 measurement instead of taking one: ``--gates service`` checks that the
 latest ``tools/loadtest.py`` run (``BENCH_service.json``) pushed the
@@ -338,7 +346,7 @@ def bulk_speedup(rounds: int, bench_path: Path) -> float:
     import os
 
     import repro
-    from repro.backends.simulator import SimulatorBackend
+    from repro.backends import create_backend
     from repro.layoutloop.mapper import Mapper
     from repro.scenarios.builtin import golden_matrix
     from repro.scenarios.registry import resolve_arch, resolve_workload_set
@@ -346,9 +354,12 @@ def bulk_speedup(rounds: int, bench_path: Path) -> float:
     from repro.workloads.resnet50 import resnet50_layers
 
     def mapper_for(cell, bulk: bool) -> Mapper:
+        # crossval cells search analytically (the simulator leg replays
+        # winners); every other backend is instantiated as the cell runs it.
         arch = resolve_arch(cell.arch)
-        backend = (SimulatorBackend(arch, seed=cell.config.seed)
-                   if cell.backend == "simulator" else "analytical")
+        backend = ("analytical" if cell.backend in ("analytical", "crossval")
+                   else create_backend(cell.backend, arch,
+                                       seed=cell.config.seed))
         return Mapper(arch, metric=cell.config.metric,
                       max_mappings=cell.config.max_mappings,
                       seed=cell.config.seed, prune=cell.config.prune,
@@ -435,6 +446,113 @@ def bulk_speedup(rounds: int, bench_path: Path) -> float:
     return speedup
 
 
+def constraints_identity() -> int:
+    """Constraint-layer identity gate (``--gates constraints``).
+
+    Two checks over the golden matrix, both exact:
+
+    * **unconstrained bit-identity** — on every golden cell whose backend
+      binds no :class:`~repro.constraints.ConstraintSet` (analytical,
+      crossval, simulator), a mapper with the constraint layer forced off
+      (``constraints="none"``) must be bit-identical to the default
+      mapper: same winner report, mapping, layout and evaluated/pruned
+      counters (frontier cells compare the full serialized frontier), with
+      zero repairs accounted on either side.  With nothing bound the layer
+      must be a no-op, not a cheap approximation of one.
+    * **repaired-search legality + coverage** — on the constrained-backend
+      golden cells (systolic, noc:*), every candidate in the repaired
+      universe must ``validate()``, repair must be idempotent on it
+      (already-legal mappings come back as the identical object), and the
+      search counters must close over the raw universe exactly:
+      ``evaluated + pruned + repaired == universe_pairs``.
+    """
+    from repro.backends import create_backend
+    from repro.layoutloop.mapper import Mapper
+    from repro.scenarios.builtin import golden_matrix
+    from repro.scenarios.registry import resolve_arch, resolve_workload_set
+    from repro.search.signatures import workload_signature
+
+    def build(cell, constraints=None) -> Mapper:
+        arch = resolve_arch(cell.arch)
+        backend = ("analytical" if cell.backend in ("analytical", "crossval")
+                   else create_backend(cell.backend, arch,
+                                       seed=cell.config.seed))
+        return Mapper(arch, metric=cell.config.metric,
+                      max_mappings=cell.config.max_mappings,
+                      seed=cell.config.seed, prune=cell.config.prune,
+                      backend=backend, constraints=constraints)
+
+    def unique(workloads):
+        seen = {}
+        for workload in workloads:
+            seen.setdefault(workload_signature(workload), workload)
+        return list(seen.values())
+
+    identical = 0
+    legal = 0
+    for cell in golden_matrix():
+        plain = build(cell)
+        shapes = unique(resolve_workload_set(cell.workload_set))
+        if plain.constraints is None:
+            off = build(cell, constraints="none")
+            for workload in shapes:
+                if cell.config.frontier:
+                    p_res, p_front = plain.search_frontier(workload)
+                    o_res, o_front = off.search_frontier(workload)
+                    if p_front.to_dict() != o_front.to_dict():
+                        print(f"FAIL: constraints=\"none\" frontier differs "
+                              f"from default on {cell.name} / "
+                              f"{p_res.workload}")
+                        sys.exit(1)
+                else:
+                    p_res = plain.search(workload)
+                    o_res = off.search(workload)
+                if (p_res.best_report != o_res.best_report
+                        or p_res.best_mapping.name != o_res.best_mapping.name
+                        or p_res.best_layout.name != o_res.best_layout.name
+                        or (p_res.evaluated, p_res.pruned)
+                        != (o_res.evaluated, o_res.pruned)):
+                    print(f"FAIL: constraints=\"none\" search differs from "
+                          f"default on {cell.name} / {p_res.workload}")
+                    sys.exit(1)
+                if (p_res.repaired or p_res.repair is not None
+                        or o_res.repaired or o_res.repair is not None):
+                    print(f"FAIL: repairs accounted with no constraints "
+                          f"bound on {cell.name} / {p_res.workload}")
+                    sys.exit(1)
+                identical += 1
+        else:
+            cset = plain.constraints
+            for workload in shapes:
+                result = plain.search(workload)
+                for mapping in plain.candidate_mappings(workload):
+                    if not cset.validate(mapping, workload, plain.arch):
+                        print(f"FAIL: illegal mapping {mapping.name!r} in "
+                              f"the repaired universe of {cell.name} / "
+                              f"{result.workload}")
+                        sys.exit(1)
+                    fixed, _ = cset.repair(mapping, workload, plain.arch)
+                    if fixed is not mapping:
+                        print(f"FAIL: repair is not idempotent on "
+                              f"{mapping.name!r} ({cell.name} / "
+                              f"{result.workload})")
+                        sys.exit(1)
+                universe = result.repair["universe_pairs"]
+                if (result.evaluated + result.pruned + result.repaired
+                        != universe):
+                    print(f"FAIL: coverage {result.evaluated} evaluated + "
+                          f"{result.pruned} pruned + {result.repaired} "
+                          f"repaired != universe {universe} on {cell.name} "
+                          f"/ {result.workload}")
+                    sys.exit(1)
+                legal += 1
+    print(f"constrnt : constraints=\"none\" bit-identical on {identical} "
+          f"unconstrained golden searches; repaired universes legal, "
+          f"repair idempotent, coverage == universe on {legal} constrained "
+          f"searches")
+    return identical + legal
+
+
 def service_throughput(bench_path: Path) -> float:
     """Threaded-server throughput from the latest loadtest run.
 
@@ -471,7 +589,7 @@ def main(argv=None) -> int:
     parser.add_argument("--gates", default="kernel,cosearch,api",
                         help="comma-separated gates to run "
                              "(kernel, cosearch, api, budget, frontier, "
-                             "bulk, service)")
+                             "bulk, constraints, service)")
     parser.add_argument("--min-kernel-speedup", type=float, default=3.0,
                         help="minimum scalar/batched evaluation ratio")
     parser.add_argument("--min-cosearch-speedup", type=float, default=2.0,
@@ -501,7 +619,7 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     gates = {g.strip() for g in args.gates.split(",") if g.strip()}
     unknown = gates - {"kernel", "cosearch", "api", "budget", "frontier",
-                       "bulk", "service"}
+                       "bulk", "constraints", "service"}
     if unknown:
         parser.error(f"unknown gates: {sorted(unknown)}")
 
@@ -538,6 +656,8 @@ def main(argv=None) -> int:
             print(f"FAIL: bulk speedup {bulk:.2f}x below the "
                   f"{args.min_bulk_speedup:.2f}x floor")
             failed = True
+    if "constraints" in gates:
+        constraints_identity()  # exits on any identity violation
     if "service" in gates:
         service = service_throughput(args.service_bench)
         if service < args.min_service_throughput:

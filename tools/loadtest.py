@@ -76,9 +76,10 @@ def _templates() -> Tuple[List[Dict], List[Dict], List[Dict]]:
 
     Templates span the paper's evaluation surface (ResNet-50, the Fig. 10
     GEMMs, MobileNet-v3 depthwise, several layouts/metrics/seeds, the
-    budgeted ``halving``/``evolutionary`` search policies, and
-    ``frontier=`` / ``fused=`` Pareto searches exercising the v3 response
-    schema under concurrent load).
+    budgeted ``halving``/``evolutionary`` search policies, ``frontier=`` /
+    ``fused=`` Pareto searches, and constrained-backend searches
+    (``systolic``, ``noc:tree``) exercising the v4 response schema — repair
+    counters included — under concurrent load).
     """
     searches = [
         {"workloads": "resnet50[:8]", "arch": "FEATHER", "model": "resnet8",
@@ -106,6 +107,10 @@ def _templates() -> Tuple[List[Dict], List[Dict], List[Dict]]:
         {"workloads": "resnet50_residual_block", "arch": "FEATHER",
          "model": "residual", "metric": "edp", "max_mappings": 12,
          "frontier": True, "fused": True},
+        {"workloads": "resnet50[:4]", "arch": "FEATHER", "model": "resnet4",
+         "metric": "edp", "max_mappings": 12, "backend": "systolic"},
+        {"workloads": "fig10_gemms", "arch": "FEATHER-4x4", "model": "fig10",
+         "metric": "edp", "max_mappings": 12, "backend": "noc:tree"},
     ]
     evals = [
         {"workload": f"fig10_gemms#{i}", "arch": "FEATHER-4x4",
